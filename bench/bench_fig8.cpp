@@ -1,0 +1,95 @@
+// Reproduces Figure 8: number of test vectors on the original chips
+// (multi-port test: any port pair may serve as source/meter) versus the DFT
+// architectures (single fixed source and meter; more valves to test; under
+// valve sharing the vectors must also work around the shared controls).
+//
+// Expected shape: the DFT architecture needs more vectors than the original
+// chip.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/text_table.hpp"
+#include "core/codesign.hpp"
+#include "sched/scheduler.hpp"
+#include "testgen/path_ilp.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace {
+
+// First sharing scheme (random, seeded) whose test generation succeeds:
+// the Figure-8 DFT bar measures a shared-control architecture as produced by
+// the flow, not a dedicated-control one.
+std::optional<mfd::testgen::TestSuite> first_valid_shared_suite(
+    const mfd::arch::Biochip& augmented, const mfd::testgen::PathPlan& plan,
+    int* shared_valves) {
+  using namespace mfd;
+  std::vector<arch::ValveId> originals;
+  for (arch::ValveId v = 0; v < augmented.valve_count(); ++v) {
+    if (!augmented.valve(v).is_dft) originals.push_back(v);
+  }
+  Rng rng(4242);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    core::SharingScheme scheme;
+    for (int i = 0; i < augmented.dft_valve_count(); ++i) {
+      scheme.partner.push_back(originals[rng.index(originals.size())]);
+    }
+    const arch::Biochip shared = core::apply_sharing(augmented, scheme);
+    testgen::VectorGenOptions options;
+    options.plan = &plan;
+    auto suite =
+        testgen::generate_test_suite(shared, plan.source, plan.meter, options);
+    if (suite.has_value()) {
+      *shared_valves = augmented.dft_valve_count();
+      return suite;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mfd;
+  std::printf("Figure 8: test vector counts, original multi-port test vs. "
+              "single-source single-meter DFT test\n\n");
+
+  TextTable table;
+  table.set_header({"chip", "original vectors", "DFT vectors (shared)",
+                    "DFT paths/cuts", ""});
+
+  bool shape_holds = true;
+  for (const arch::Biochip& chip : arch::make_paper_chips()) {
+    const auto original = testgen::generate_test_suite_multiport(chip);
+    if (!original.has_value()) {
+      std::printf("%s: original chip not fully testable\n",
+                  chip.name().c_str());
+      return 1;
+    }
+    const testgen::PathPlan plan = testgen::plan_dft_paths(chip);
+    if (!plan.feasible) {
+      std::printf("%s: no DFT plan\n", chip.name().c_str());
+      return 1;
+    }
+    const arch::Biochip augmented = testgen::apply_plan(chip, plan);
+    int shared_valves = 0;
+    const auto dft =
+        first_valid_shared_suite(augmented, plan, &shared_valves);
+    if (!dft.has_value()) {
+      std::printf("%s: no valid sharing scheme found\n", chip.name().c_str());
+      return 1;
+    }
+    if (dft->size() < original->size()) shape_holds = false;
+    table.add_row({chip.name(), std::to_string(original->size()),
+                   std::to_string(dft->size()),
+                   std::to_string(dft->path_vector_count()) + "/" +
+                       std::to_string(dft->cut_vector_count()),
+                   bench::bar(original->size(), 1.0) + " vs " +
+                       bench::bar(dft->size(), 1.0)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("shape check: DFT needs %s vectors than the original "
+              "multi-port test (paper: more).\n",
+              shape_holds ? "at least as many" : "FEWER (deviation)");
+  return 0;
+}

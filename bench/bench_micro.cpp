@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: graph
+// queries, max-flow, LP/ILP solves, pressure simulation, vector generation,
+// and scheduling. These are the inner loops of the PSO fitness evaluation,
+// so their cost bounds the codesign runtime directly.
+#include <benchmark/benchmark.h>
+
+#include "arch/chips.hpp"
+#include "core/codesign.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/traversal.hpp"
+#include "ilp/solver.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/pressure.hpp"
+#include "testgen/path_ilp.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace {
+
+using namespace mfd;
+
+void BM_GridReachability(benchmark::State& state) {
+  const arch::Biochip chip = arch::make_mrna_chip();
+  const graph::EdgeMask mask = chip.channel_mask();
+  const graph::NodeId s = chip.port(0).node;
+  const graph::NodeId t = chip.port(1).node;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::reachable(chip.grid().graph(), s, t, mask));
+  }
+}
+BENCHMARK(BM_GridReachability);
+
+void BM_ShortestPathWeighted(benchmark::State& state) {
+  const arch::Biochip chip = arch::make_mrna_chip();
+  const graph::EdgeMask mask = chip.channel_mask();
+  const std::vector<double> weights(
+      static_cast<std::size_t>(chip.grid().graph().edge_count()), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::shortest_path_weighted(
+        chip.grid().graph(), chip.port(0).node, chip.port(1).node, weights,
+        mask));
+  }
+}
+BENCHMARK(BM_ShortestPathWeighted);
+
+void BM_MaxFlowMinCut(benchmark::State& state) {
+  const arch::Biochip chip = arch::make_mrna_chip();
+  const graph::EdgeMask mask = chip.channel_mask();
+  const std::vector<double> capacity(
+      static_cast<std::size_t>(chip.grid().graph().edge_count()), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::max_flow(chip.grid().graph(),
+                                             chip.port(0).node,
+                                             chip.port(1).node, capacity,
+                                             mask));
+  }
+}
+BENCHMARK(BM_MaxFlowMinCut);
+
+void BM_LpRelaxation(benchmark::State& state) {
+  // A knapsack-style LP with the size of a small path model.
+  ilp::Model model;
+  ilp::LinearExpr objective;
+  for (int i = 0; i < 120; ++i) {
+    const ilp::VarId v = model.add_binary();
+    objective.add(v, 1.0 + (i % 7) * 0.1);
+  }
+  for (int c = 0; c < 40; ++c) {
+    ilp::LinearExpr row;
+    for (int i = c; i < 120; i += 3) row.add(i, 1.0);
+    model.add_constraint(std::move(row), ilp::Sense::kGreaterEqual, 2.0);
+  }
+  model.set_objective(std::move(objective));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(model));
+  }
+}
+BENCHMARK(BM_LpRelaxation);
+
+void BM_PressureMeasure(benchmark::State& state) {
+  const arch::Biochip chip = arch::make_ra30_chip();
+  const sim::PressureSimulator simulator(chip);
+  sim::TestVector vector;
+  vector.kind = sim::VectorKind::kPath;
+  vector.source = 0;
+  vector.meter = 1;
+  vector.control_open.assign(
+      static_cast<std::size_t>(chip.control_count()), 1);
+  vector.expected_pressure = true;
+  const sim::Fault fault{3, sim::FaultKind::kStuckAt0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.detects(vector, fault));
+  }
+}
+BENCHMARK(BM_PressureMeasure);
+
+void BM_VectorGeneration(benchmark::State& state) {
+  const arch::Biochip chip = arch::make_ra30_chip();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testgen::generate_test_suite_multiport(chip));
+  }
+}
+BENCHMARK(BM_VectorGeneration);
+
+void BM_ScheduleIvd(benchmark::State& state) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const sched::Assay assay = sched::make_ivd_assay();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::schedule_assay(chip, assay));
+  }
+}
+BENCHMARK(BM_ScheduleIvd);
+
+void BM_ScheduleCpaOnMrna(benchmark::State& state) {
+  const arch::Biochip chip = arch::make_mrna_chip();
+  const sched::Assay assay = sched::make_cpa_assay();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::schedule_assay(chip, assay));
+  }
+}
+BENCHMARK(BM_ScheduleCpaOnMrna);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Scalability sweep over synthetic chips: how the DFT flow's stages (path
+// ILP, test generation, scheduling) scale with chip size. Not a paper
+// figure; supports the claim that the approach is laptop-scale for mVLSI
+// chips beyond the three published benchmarks.
+#include <chrono>
+#include <cstdio>
+
+#include "arch/synthetic.hpp"
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/text_table.hpp"
+#include "core/codesign.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/synthetic.hpp"
+#include "testgen/path_ilp.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mfd;
+  std::printf("Scalability: DFT flow stages on synthetic chips\n\n");
+
+  TextTable table;
+  table.set_header({"grid", "valves", "plan [s]", "added", "testgen [s]",
+                    "vectors", "schedule [s]", "makespan"});
+  CsvWriter csv({"grid_w", "grid_h", "valves", "plan_s", "added", "testgen_s",
+                 "vectors", "schedule_s", "makespan"});
+
+  Rng rng(31337);
+  struct Size {
+    int w, h, extra;
+  };
+  for (const Size size : {Size{5, 4, 2}, Size{6, 5, 4}, Size{7, 5, 6},
+                          Size{8, 6, 8}}) {
+    arch::SyntheticChipSpec spec;
+    spec.grid_width = size.w;
+    spec.grid_height = size.h;
+    spec.ports = 3;
+    spec.mixers = 2;
+    spec.detectors = 2;
+    spec.extra_channels = size.extra;
+    const arch::Biochip chip = arch::make_synthetic_chip(spec, rng);
+
+    auto t0 = std::chrono::steady_clock::now();
+    testgen::PathPlanOptions plan_options;
+    plan_options.time_limit_seconds = 45.0;
+    const testgen::PathPlan plan = testgen::plan_dft_paths(chip, plan_options);
+    const double plan_seconds = seconds_since(t0);
+    if (!plan.feasible) {
+      table.add_row({std::to_string(size.w) + "x" + std::to_string(size.h),
+                     std::to_string(chip.valve_count()),
+                     format_double(plan_seconds, 2), "infeasible", "-", "-",
+                     "-", "-"});
+      continue;
+    }
+    const arch::Biochip augmented =
+        core::with_dedicated_controls(testgen::apply_plan(chip, plan));
+
+    t0 = std::chrono::steady_clock::now();
+    testgen::VectorGenOptions vopt;
+    vopt.plan = &plan;
+    const auto suite = testgen::generate_test_suite(augmented, plan.source,
+                                                    plan.meter, vopt);
+    const double testgen_seconds = seconds_since(t0);
+
+    sched::SyntheticAssaySpec assay_spec;
+    assay_spec.operations = 16;
+    Rng assay_rng(7);
+    const sched::Assay assay =
+        sched::make_synthetic_assay(assay_spec, assay_rng);
+    t0 = std::chrono::steady_clock::now();
+    const sched::Schedule schedule = sched::schedule_assay(augmented, assay);
+    const double schedule_seconds = seconds_since(t0);
+
+    table.add_row(
+        {std::to_string(size.w) + "x" + std::to_string(size.h),
+         std::to_string(chip.valve_count()), format_double(plan_seconds, 2),
+         std::to_string(plan.added_edges.size()),
+         format_double(testgen_seconds, 3),
+         suite.has_value() ? std::to_string(suite->size()) : "-",
+         format_double(schedule_seconds, 3),
+         schedule.feasible ? format_double(schedule.makespan, 0) : "inf"});
+    csv.add_row({std::to_string(size.w), std::to_string(size.h),
+                 std::to_string(chip.valve_count()),
+                 format_double(plan_seconds, 3),
+                 std::to_string(plan.added_edges.size()),
+                 format_double(testgen_seconds, 3),
+                 suite.has_value() ? std::to_string(suite->size()) : "-1",
+                 format_double(schedule_seconds, 3),
+                 schedule.feasible ? format_double(schedule.makespan, 1)
+                                   : "-1"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  csv.save("scalability.csv");
+  std::printf("series written to scalability.csv\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arch/chips.hpp"
+#include "sched/assay.hpp"
+
+namespace mfd::bench {
+
+/// Reads a positive integer from the environment, else the default. The
+/// reproduction binaries honour:
+///   MFDFT_BENCH_ITERATIONS — outer PSO iterations (Table 1)
+///   MFDFT_BENCH_FULL=1     — paper-scale settings (100 iterations)
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+inline bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::string(value) != "0" &&
+         std::string(value) != "";
+}
+
+/// Outer PSO iterations for codesign benches: the paper uses 100; the
+/// default here is reduced so the full bench suite runs in minutes on a
+/// laptop. Set MFDFT_BENCH_FULL=1 for the paper-scale run.
+inline int outer_iterations(int reduced_default) {
+  if (env_flag("MFDFT_BENCH_FULL")) return 100;
+  return env_int("MFDFT_BENCH_ITERATIONS", reduced_default);
+}
+
+struct Combination {
+  arch::Biochip chip;
+  sched::Assay assay;
+};
+
+/// The nine chip x assay combinations of Table 1, in the paper's order.
+inline std::vector<Combination> paper_combinations() {
+  std::vector<Combination> combos;
+  for (const arch::Biochip& chip : arch::make_paper_chips()) {
+    for (const sched::Assay& assay : sched::make_paper_assays()) {
+      combos.push_back({chip, assay});
+    }
+  }
+  return combos;
+}
+
+/// Renders a crude horizontal bar for figure-style console output.
+inline std::string bar(double value, double scale) {
+  const int width = value <= 0 ? 0 : static_cast<int>(value / scale + 0.5);
+  return std::string(static_cast<std::size_t>(width), '#');
+}
+
+}  // namespace mfd::bench

@@ -1,0 +1,201 @@
+#include "arch/biochip.hpp"
+
+#include <algorithm>
+
+#include "graph/traversal.hpp"
+
+namespace mfd::arch {
+
+const char* to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kMixer:
+      return "mixer";
+    case DeviceKind::kDetector:
+      return "detector";
+    case DeviceKind::kHeater:
+      return "heater";
+    case DeviceKind::kFilter:
+      return "filter";
+  }
+  return "unknown";
+}
+
+Biochip::Biochip(ConnectionGrid grid, std::string name)
+    : grid_(std::move(grid)), name_(std::move(name)) {
+  edge_valve_.assign(static_cast<std::size_t>(grid_.graph().edge_count()),
+                     kInvalidValve);
+}
+
+DeviceId Biochip::add_device(DeviceKind kind, int x, int y, std::string name) {
+  const graph::NodeId node = grid_.node_at(x, y);
+  MFD_REQUIRE(!node_is_device(node) && !node_is_port(node),
+              "add_device(): grid node already occupied");
+  if (name.empty()) {
+    name = std::string(to_string(kind)) + '_' +
+           std::to_string(device_count(kind) + 1);
+  }
+  devices_.push_back(Device{kind, node, std::move(name)});
+  return static_cast<DeviceId>(devices_.size()) - 1;
+}
+
+PortId Biochip::add_port(int x, int y, std::string name) {
+  const graph::NodeId node = grid_.node_at(x, y);
+  MFD_REQUIRE(!node_is_device(node) && !node_is_port(node),
+              "add_port(): grid node already occupied");
+  if (name.empty()) name = "P" + std::to_string(port_count());
+  ports_.push_back(Port{node, std::move(name)});
+  return static_cast<PortId>(ports_.size()) - 1;
+}
+
+ValveId Biochip::add_valve(graph::EdgeId edge, bool is_dft) {
+  MFD_REQUIRE(edge >= 0 && edge < grid_.graph().edge_count(),
+              "add_valve(): edge outside grid");
+  MFD_REQUIRE(edge_valve_[static_cast<std::size_t>(edge)] == kInvalidValve,
+              "add_valve(): edge already occupied by a channel");
+  const ValveId id = static_cast<ValveId>(valves_.size());
+  Valve valve;
+  valve.edge = edge;
+  valve.is_dft = is_dft;
+  valve.control = is_dft ? kInvalidControl : control_count_++;
+  valves_.push_back(valve);
+  edge_valve_[static_cast<std::size_t>(edge)] = id;
+  return id;
+}
+
+ValveId Biochip::add_channel(int x1, int y1, int x2, int y2) {
+  return add_valve(grid_.edge_between(x1, y1, x2, y2), /*is_dft=*/false);
+}
+
+ValveId Biochip::add_dft_channel(graph::EdgeId edge) {
+  return add_valve(edge, /*is_dft=*/true);
+}
+
+void Biochip::assign_dedicated_control(ValveId valve) {
+  MFD_REQUIRE(valve >= 0 && valve < valve_count(),
+              "assign_dedicated_control(): unknown valve");
+  valves_[static_cast<std::size_t>(valve)].control = control_count_++;
+}
+
+void Biochip::share_control(ValveId valve, ValveId with) {
+  MFD_REQUIRE(valve >= 0 && valve < valve_count() && with >= 0 &&
+                  with < valve_count(),
+              "share_control(): unknown valve");
+  MFD_REQUIRE(valve != with, "share_control(): valve cannot share with itself");
+  const ControlId target = valves_[static_cast<std::size_t>(with)].control;
+  MFD_REQUIRE(target != kInvalidControl,
+              "share_control(): partner has no control channel");
+  valves_[static_cast<std::size_t>(valve)].control = target;
+}
+
+void Biochip::clear_control(ValveId valve) {
+  MFD_REQUIRE(valve >= 0 && valve < valve_count(),
+              "clear_control(): unknown valve");
+  MFD_REQUIRE(valves_[static_cast<std::size_t>(valve)].is_dft,
+              "clear_control(): only DFT valves may be detached");
+  valves_[static_cast<std::size_t>(valve)].control = kInvalidControl;
+}
+
+const Device& Biochip::device(DeviceId d) const {
+  MFD_REQUIRE(d >= 0 && d < device_count(), "device(): id out of range");
+  return devices_[static_cast<std::size_t>(d)];
+}
+
+int Biochip::device_count(DeviceKind kind) const {
+  return static_cast<int>(
+      std::count_if(devices_.begin(), devices_.end(),
+                    [kind](const Device& d) { return d.kind == kind; }));
+}
+
+const Port& Biochip::port(PortId p) const {
+  MFD_REQUIRE(p >= 0 && p < port_count(), "port(): id out of range");
+  return ports_[static_cast<std::size_t>(p)];
+}
+
+const Valve& Biochip::valve(ValveId v) const {
+  MFD_REQUIRE(v >= 0 && v < valve_count(), "valve(): id out of range");
+  return valves_[static_cast<std::size_t>(v)];
+}
+
+int Biochip::dft_valve_count() const {
+  return static_cast<int>(std::count_if(
+      valves_.begin(), valves_.end(), [](const Valve& v) { return v.is_dft; }));
+}
+
+std::vector<ValveId> Biochip::valves_of_control(ControlId c) const {
+  std::vector<ValveId> result;
+  for (ValveId v = 0; v < valve_count(); ++v) {
+    if (valves_[static_cast<std::size_t>(v)].control == c) result.push_back(v);
+  }
+  return result;
+}
+
+ValveId Biochip::valve_on_edge(graph::EdgeId e) const {
+  MFD_REQUIRE(e >= 0 && e < grid_.graph().edge_count(),
+              "valve_on_edge(): edge outside grid");
+  return edge_valve_[static_cast<std::size_t>(e)];
+}
+
+bool Biochip::node_is_device(graph::NodeId n) const {
+  return device_at(n).has_value();
+}
+
+bool Biochip::node_is_port(graph::NodeId n) const {
+  return port_at(n).has_value();
+}
+
+std::optional<DeviceId> Biochip::device_at(graph::NodeId n) const {
+  for (DeviceId d = 0; d < device_count(); ++d) {
+    if (devices_[static_cast<std::size_t>(d)].node == n) return d;
+  }
+  return std::nullopt;
+}
+
+std::optional<PortId> Biochip::port_at(graph::NodeId n) const {
+  for (PortId p = 0; p < port_count(); ++p) {
+    if (ports_[static_cast<std::size_t>(p)].node == n) return p;
+  }
+  return std::nullopt;
+}
+
+graph::EdgeMask Biochip::channel_mask() const {
+  graph::EdgeMask mask(grid_.graph().edge_count(), false);
+  for (const Valve& v : valves_) mask.set(v.edge, true);
+  return mask;
+}
+
+std::vector<graph::EdgeId> Biochip::channel_edges() const {
+  std::vector<graph::EdgeId> edges;
+  edges.reserve(valves_.size());
+  for (const Valve& v : valves_) edges.push_back(v.edge);
+  return edges;
+}
+
+bool Biochip::validate(std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (ports_.empty()) return fail("chip has no external ports");
+  if (valves_.empty()) return fail("chip has no channels");
+  for (ValveId v = 0; v < valve_count(); ++v) {
+    if (valves_[static_cast<std::size_t>(v)].control == kInvalidControl) {
+      return fail("valve " + std::to_string(v) + " has no control channel");
+    }
+  }
+  const graph::EdgeMask mask = channel_mask();
+  const graph::NodeId anchor = ports_.front().node;
+  for (const Port& p : ports_) {
+    if (!graph::reachable(grid_.graph(), anchor, p.node, mask)) {
+      return fail("port " + p.name + " unreachable through channels");
+    }
+  }
+  for (const Device& d : devices_) {
+    if (!graph::reachable(grid_.graph(), anchor, d.node, mask)) {
+      return fail("device " + d.name + " unreachable through channels");
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace mfd::arch

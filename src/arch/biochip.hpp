@@ -1,0 +1,153 @@
+// Continuous-flow biochip architecture model.
+//
+// A chip occupies a subset of its connection grid: devices and external
+// ports sit on grid nodes, flow-channel segments on grid edges. Every
+// occupied channel segment is guarded by exactly one microvalve (the paper
+// tests valves and their channel segments together, so the one-valve-per-
+// segment granularity is the natural testable unit). Each valve is driven by
+// a control channel; several valves may share one control channel, in which
+// case they always switch together — the mechanism the paper exploits to add
+// DFT valves without new control ports.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/grid.hpp"
+#include "graph/graph.hpp"
+
+namespace mfd::arch {
+
+using ValveId = int;
+using ControlId = int;
+using DeviceId = int;
+using PortId = int;
+
+inline constexpr ValveId kInvalidValve = -1;
+inline constexpr ControlId kInvalidControl = -1;
+
+enum class DeviceKind { kMixer, kDetector, kHeater, kFilter };
+
+[[nodiscard]] const char* to_string(DeviceKind kind);
+
+struct Device {
+  DeviceKind kind = DeviceKind::kMixer;
+  graph::NodeId node = graph::kInvalidNode;
+  std::string name;
+};
+
+struct Port {
+  graph::NodeId node = graph::kInvalidNode;
+  std::string name;
+};
+
+struct Valve {
+  /// The grid edge (channel segment) this valve guards.
+  graph::EdgeId edge = graph::kInvalidEdge;
+  /// Control channel driving the valve.
+  ControlId control = kInvalidControl;
+  /// True for valves added by the DFT flow (candidates for control sharing).
+  bool is_dft = false;
+};
+
+/// A biochip laid out on a connection grid.
+class Biochip {
+ public:
+  explicit Biochip(ConnectionGrid grid, std::string name = "chip");
+
+  // --- construction -------------------------------------------------------
+
+  /// Places a device on a free grid node.
+  DeviceId add_device(DeviceKind kind, int x, int y, std::string name = {});
+
+  /// Declares an external port on a free grid node.
+  PortId add_port(int x, int y, std::string name = {});
+
+  /// Occupies the grid edge between two adjacent coordinates with a channel
+  /// segment. A new valve guarding the segment is created with its own
+  /// dedicated control channel; returns the valve id.
+  ValveId add_channel(int x1, int y1, int x2, int y2);
+
+  /// Occupies a grid edge with a DFT channel; the valve is flagged is_dft
+  /// and starts without a control channel (kInvalidControl) until a sharing
+  /// scheme or a dedicated control is assigned.
+  ValveId add_dft_channel(graph::EdgeId edge);
+
+  /// Gives a DFT valve its own dedicated control channel (the
+  /// "independent control ports available" scenario of the paper).
+  void assign_dedicated_control(ValveId valve);
+
+  /// Makes `valve` share the control channel of `with` (the DFT valve-sharing
+  /// mechanism). `with` must already have a control channel.
+  void share_control(ValveId valve, ValveId with);
+
+  /// Detaches a DFT valve from any control (back to unassigned).
+  void clear_control(ValveId valve);
+
+  // --- inspection ---------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ConnectionGrid& grid() const { return grid_; }
+
+  [[nodiscard]] int device_count() const {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] const Device& device(DeviceId d) const;
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] int device_count(DeviceKind kind) const;
+
+  [[nodiscard]] int port_count() const {
+    return static_cast<int>(ports_.size());
+  }
+  [[nodiscard]] const Port& port(PortId p) const;
+  [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }
+
+  [[nodiscard]] int valve_count() const {
+    return static_cast<int>(valves_.size());
+  }
+  [[nodiscard]] const Valve& valve(ValveId v) const;
+  [[nodiscard]] const std::vector<Valve>& valves() const { return valves_; }
+  [[nodiscard]] int dft_valve_count() const;
+
+  [[nodiscard]] int control_count() const { return control_count_; }
+
+  /// Valves driven by the given control channel.
+  [[nodiscard]] std::vector<ValveId> valves_of_control(ControlId c) const;
+
+  /// The valve guarding a grid edge, or kInvalidValve when unoccupied.
+  [[nodiscard]] ValveId valve_on_edge(graph::EdgeId e) const;
+
+  [[nodiscard]] bool edge_occupied(graph::EdgeId e) const {
+    return valve_on_edge(e) != kInvalidValve;
+  }
+
+  /// What (if anything) occupies a grid node.
+  [[nodiscard]] bool node_is_device(graph::NodeId n) const;
+  [[nodiscard]] bool node_is_port(graph::NodeId n) const;
+  [[nodiscard]] std::optional<DeviceId> device_at(graph::NodeId n) const;
+  [[nodiscard]] std::optional<PortId> port_at(graph::NodeId n) const;
+
+  /// Mask over the grid graph enabling exactly the occupied (channel) edges.
+  [[nodiscard]] graph::EdgeMask channel_mask() const;
+
+  /// All occupied edges in valve-id order.
+  [[nodiscard]] std::vector<graph::EdgeId> channel_edges() const;
+
+  /// True when every port and device can reach every other through channels
+  /// and every valve has a control channel.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+ private:
+  ValveId add_valve(graph::EdgeId edge, bool is_dft);
+
+  ConnectionGrid grid_;
+  std::string name_;
+  std::vector<Device> devices_;
+  std::vector<Port> ports_;
+  std::vector<Valve> valves_;
+  std::vector<ValveId> edge_valve_;  // per grid edge
+  int control_count_ = 0;
+};
+
+}  // namespace mfd::arch

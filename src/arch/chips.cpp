@@ -1,0 +1,145 @@
+#include "arch/chips.hpp"
+
+namespace mfd::arch {
+
+// Layouts are drawn with x growing right and y growing down. Channel lists
+// are written edge by edge so the valve count is explicit in the source.
+
+Biochip make_ivd_chip() {
+  // 5x4 grid, 12 valves.
+  //
+  //   y=1:  P0 - M1 - M2 - M3 - P1        (central transport bus)
+  //   y=2:  C  - D1 -  J - D2             (detection row)
+  //   y=3:            P2                  (bottom port)
+  //
+  // The corner node C gives the left side a second route (P0-C-D1), which is
+  // the kind of loop real chips use to reach detectors without crossing the
+  // bus.
+  Biochip chip(ConnectionGrid(5, 4), "IVD_chip");
+  chip.add_port(0, 1, "P0");
+  chip.add_port(4, 1, "P1");
+  chip.add_port(2, 3, "P2");
+  chip.add_device(DeviceKind::kMixer, 1, 1, "M1");
+  chip.add_device(DeviceKind::kMixer, 2, 1, "M2");
+  chip.add_device(DeviceKind::kMixer, 3, 1, "M3");
+  chip.add_device(DeviceKind::kDetector, 1, 2, "D1");
+  chip.add_device(DeviceKind::kDetector, 3, 2, "D2");
+
+  chip.add_channel(0, 1, 1, 1);  // P0 - M1
+  chip.add_channel(1, 1, 2, 1);  // M1 - M2
+  chip.add_channel(2, 1, 3, 1);  // M2 - M3
+  chip.add_channel(3, 1, 4, 1);  // M3 - P1
+  chip.add_channel(1, 1, 1, 2);  // M1 - D1
+  chip.add_channel(3, 1, 3, 2);  // M3 - D2
+  chip.add_channel(1, 2, 2, 2);  // D1 - J
+  chip.add_channel(2, 2, 3, 2);  // J  - D2
+  chip.add_channel(2, 2, 2, 3);  // J  - P2
+  chip.add_channel(2, 1, 2, 2);  // M2 - J
+  chip.add_channel(0, 1, 0, 2);  // P0 - C
+  chip.add_channel(0, 2, 1, 2);  // C  - D1
+  return chip;
+}
+
+Biochip make_ra30_chip() {
+  // 6x4 grid, 16 valves.
+  //
+  //   y=0:       T1 - T2                  (top bypass)
+  //   y=1:  P0 - M1 - D1 - D2 - M2 - P1   (central bus)
+  //   y=2:       J1 - D3 - J2 - J3        (lower detection row)
+  //   y=3:            P2                  (bottom port)
+  Biochip chip(ConnectionGrid(6, 4), "RA30_chip");
+  chip.add_port(0, 1, "P0");
+  chip.add_port(5, 1, "P1");
+  chip.add_port(2, 3, "P2");
+  chip.add_device(DeviceKind::kMixer, 1, 1, "M1");
+  chip.add_device(DeviceKind::kMixer, 4, 1, "M2");
+  chip.add_device(DeviceKind::kDetector, 2, 1, "D1");
+  chip.add_device(DeviceKind::kDetector, 3, 1, "D2");
+  chip.add_device(DeviceKind::kDetector, 2, 2, "D3");
+
+  chip.add_channel(0, 1, 1, 1);  // P0 - M1
+  chip.add_channel(1, 1, 2, 1);  // M1 - D1
+  chip.add_channel(2, 1, 3, 1);  // D1 - D2
+  chip.add_channel(3, 1, 4, 1);  // D2 - M2
+  chip.add_channel(4, 1, 5, 1);  // M2 - P1
+  chip.add_channel(1, 1, 1, 2);  // M1 - J1
+  chip.add_channel(1, 2, 2, 2);  // J1 - D3
+  chip.add_channel(2, 2, 3, 2);  // D3 - J2
+  chip.add_channel(3, 2, 4, 2);  // J2 - J3
+  chip.add_channel(4, 2, 4, 1);  // J3 - M2
+  chip.add_channel(2, 2, 2, 3);  // D3 - P2
+  chip.add_channel(2, 1, 2, 2);  // D1 - D3
+  chip.add_channel(3, 1, 3, 2);  // D2 - J2
+  chip.add_channel(1, 1, 1, 0);  // M1 - T1
+  chip.add_channel(1, 0, 2, 0);  // T1 - T2
+  chip.add_channel(2, 0, 2, 1);  // T2 - D1
+  return chip;
+}
+
+Biochip make_mrna_chip() {
+  // 7x5 grid, 28 valves: a 5x3 channel mesh (x=1..5, y=1..3) with four port
+  // stubs and a corner bypass, devices at interior mesh nodes.
+  Biochip chip(ConnectionGrid(7, 5), "mRNA_chip");
+  chip.add_port(0, 2, "P0");
+  chip.add_port(6, 2, "P1");
+  chip.add_port(3, 0, "P2");
+  chip.add_port(3, 4, "P3");
+  chip.add_device(DeviceKind::kMixer, 2, 1, "M1");
+  chip.add_device(DeviceKind::kMixer, 2, 3, "M2");
+  chip.add_device(DeviceKind::kMixer, 4, 1, "M3");
+  chip.add_device(DeviceKind::kDetector, 4, 3, "D1");
+
+  // Mesh horizontals (x=1..4 -> x+1, y=1..3): 12 channels.
+  for (int y = 1; y <= 3; ++y) {
+    for (int x = 1; x <= 4; ++x) {
+      chip.add_channel(x, y, x + 1, y);
+    }
+  }
+  // Mesh verticals (x=1..5, y=1..2 -> y+1): 10 channels.
+  for (int x = 1; x <= 5; ++x) {
+    for (int y = 1; y <= 2; ++y) {
+      chip.add_channel(x, y, x, y + 1);
+    }
+  }
+  // Port stubs: 4 channels.
+  chip.add_channel(0, 2, 1, 2);  // P0 stub
+  chip.add_channel(5, 2, 6, 2);  // P1 stub
+  chip.add_channel(3, 0, 3, 1);  // P2 stub
+  chip.add_channel(3, 3, 3, 4);  // P3 stub
+  // Corner bypass: 2 channels (P0 - C - mesh).
+  chip.add_channel(0, 1, 0, 2);  // C - P0
+  chip.add_channel(0, 1, 1, 1);  // C - mesh corner
+  return chip;
+}
+
+Biochip make_figure4_chip() {
+  // Three ports, six valves: a Y-shaped network matching the structure of
+  // Figure 4(a). Junction J in the middle; each port reaches J through two
+  // segments.
+  //
+  //   y=0:       P0
+  //   y=1:       A
+  //   y=2:  P1 - B - J - C - P2   (C at x=3, P2 at x=4)
+  Biochip chip(ConnectionGrid(5, 3), "figure4_chip");
+  chip.add_port(2, 0, "P0");
+  chip.add_port(0, 2, "P1");
+  chip.add_port(4, 2, "P2");
+
+  chip.add_channel(2, 0, 2, 1);  // P0 - A
+  chip.add_channel(2, 1, 2, 2);  // A  - J
+  chip.add_channel(0, 2, 1, 2);  // P1 - B
+  chip.add_channel(1, 2, 2, 2);  // B  - J
+  chip.add_channel(2, 2, 3, 2);  // J  - C
+  chip.add_channel(3, 2, 4, 2);  // C  - P2
+  return chip;
+}
+
+std::vector<Biochip> make_paper_chips() {
+  std::vector<Biochip> chips;
+  chips.push_back(make_ivd_chip());
+  chips.push_back(make_ra30_chip());
+  chips.push_back(make_mrna_chip());
+  return chips;
+}
+
+}  // namespace mfd::arch

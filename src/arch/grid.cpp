@@ -1,0 +1,58 @@
+#include "arch/grid.hpp"
+
+#include <cstdlib>
+
+namespace mfd::arch {
+
+ConnectionGrid::ConnectionGrid(int width, int height)
+    : width_(width), height_(height) {
+  MFD_REQUIRE(width >= 1 && height >= 1,
+              "ConnectionGrid: dimensions must be positive");
+  graph_.add_nodes(width * height);
+  // Horizontal edges first (row-major), then vertical; the order is part of
+  // the id contract relied on by serialization.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x + 1 < width; ++x) {
+      graph_.add_edge(node_at(x, y), node_at(x + 1, y));
+    }
+  }
+  for (int y = 0; y + 1 < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      graph_.add_edge(node_at(x, y), node_at(x, y + 1));
+    }
+  }
+}
+
+graph::NodeId ConnectionGrid::node_at(int x, int y) const {
+  MFD_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+              "node_at(): coordinates outside grid");
+  return static_cast<graph::NodeId>(y * width_ + x);
+}
+
+int ConnectionGrid::x_of(graph::NodeId n) const {
+  MFD_REQUIRE(graph_.has_node(n), "x_of(): unknown node");
+  return static_cast<int>(n) % width_;
+}
+
+int ConnectionGrid::y_of(graph::NodeId n) const {
+  MFD_REQUIRE(graph_.has_node(n), "y_of(): unknown node");
+  return static_cast<int>(n) / width_;
+}
+
+graph::EdgeId ConnectionGrid::edge_between(int x1, int y1, int x2,
+                                           int y2) const {
+  const graph::NodeId a = node_at(x1, y1);
+  const graph::NodeId b = node_at(x2, y2);
+  MFD_REQUIRE(std::abs(x1 - x2) + std::abs(y1 - y2) == 1,
+              "edge_between(): coordinates are not 4-neighbours");
+  const graph::EdgeId e = graph_.find_edge(a, b);
+  MFD_ASSERT(e != graph::kInvalidEdge, "lattice edge missing");
+  return e;
+}
+
+int ConnectionGrid::manhattan_distance(graph::NodeId a,
+                                       graph::NodeId b) const {
+  return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+}
+
+}  // namespace mfd::arch

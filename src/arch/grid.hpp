@@ -1,0 +1,45 @@
+// Virtual connection grid (Figure 5 of the paper).
+//
+// The DFT flow maps a chip architecture onto a W x H lattice: devices and
+// ports occupy nodes, channel segments occupy edges between 4-neighbours.
+// Grid edges not occupied by the original chip are the candidate locations
+// for DFT channels and valves.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mfd::arch {
+
+/// Rectangular lattice over which chips are laid out. Owns the full lattice
+/// graph: every node and every 4-neighbour edge exists as a *candidate*;
+/// which of them a chip occupies is the chip's business.
+class ConnectionGrid {
+ public:
+  ConnectionGrid(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] graph::NodeId node_at(int x, int y) const;
+  [[nodiscard]] int x_of(graph::NodeId n) const;
+  [[nodiscard]] int y_of(graph::NodeId n) const;
+
+  /// The lattice edge between two adjacent coordinates; throws when the
+  /// coordinates are not 4-neighbours.
+  [[nodiscard]] graph::EdgeId edge_between(int x1, int y1, int x2,
+                                           int y2) const;
+
+  [[nodiscard]] int manhattan_distance(graph::NodeId a,
+                                       graph::NodeId b) const;
+
+  /// Full lattice graph (nodes = width*height, edges = all 4-neighbour
+  /// pairs). Edge and node ids are stable for a given grid size.
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+
+ private:
+  int width_;
+  int height_;
+  graph::Graph graph_;
+};
+
+}  // namespace mfd::arch

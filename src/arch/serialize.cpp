@@ -1,0 +1,205 @@
+#include "arch/serialize.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace mfd::arch {
+
+namespace {
+
+DeviceKind parse_device_kind(const std::string& word) {
+  if (word == "mixer") return DeviceKind::kMixer;
+  if (word == "detector") return DeviceKind::kDetector;
+  if (word == "heater") return DeviceKind::kHeater;
+  if (word == "filter") return DeviceKind::kFilter;
+  throw Error("read_chip(): unknown device kind '" + word + "'");
+}
+
+}  // namespace
+
+void write_chip(std::ostream& out, const Biochip& chip) {
+  out << "chip " << chip.name() << '\n';
+  out << "grid " << chip.grid().width() << ' ' << chip.grid().height() << '\n';
+  for (const Port& p : chip.ports()) {
+    out << "port " << p.name << ' ' << chip.grid().x_of(p.node) << ' '
+        << chip.grid().y_of(p.node) << '\n';
+  }
+  for (const Device& d : chip.devices()) {
+    out << "device " << to_string(d.kind) << ' ' << d.name << ' '
+        << chip.grid().x_of(d.node) << ' ' << chip.grid().y_of(d.node) << '\n';
+  }
+  for (const Valve& v : chip.valves()) {
+    const graph::Edge& e = chip.grid().graph().edge(v.edge);
+    out << (v.is_dft ? "dft_channel " : "channel ")
+        << chip.grid().x_of(e.u) << ' ' << chip.grid().y_of(e.u) << ' '
+        << chip.grid().x_of(e.v) << ' ' << chip.grid().y_of(e.v) << '\n';
+  }
+  // Control assignments for DFT valves: either dedicated or shared with the
+  // first non-DFT valve on the same control.
+  for (ValveId v = 0; v < chip.valve_count(); ++v) {
+    const Valve& valve = chip.valve(v);
+    if (!valve.is_dft || valve.control == kInvalidControl) continue;
+    ValveId partner = kInvalidValve;
+    for (ValveId w : chip.valves_of_control(valve.control)) {
+      if (w != v) {
+        partner = w;
+        break;
+      }
+    }
+    if (partner == kInvalidValve) {
+      out << "dedicated " << v << '\n';
+    } else {
+      out << "share " << v << ' ' << partner << '\n';
+    }
+  }
+}
+
+std::string chip_to_string(const Biochip& chip) {
+  std::ostringstream oss;
+  write_chip(oss, chip);
+  return oss.str();
+}
+
+Biochip read_chip(std::istream& in) {
+  std::string name = "chip";
+  int width = -1;
+  int height = -1;
+  // First pass over lines: a chip must open with `chip` (optional) and
+  // `grid`; everything else is applied in order.
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream probe(line);
+    std::string word;
+    if (probe >> word) lines.push_back(line);
+  }
+  MFD_REQUIRE(!lines.empty(), "read_chip(): empty input");
+
+  std::size_t cursor = 0;
+  {
+    std::istringstream head(lines[cursor]);
+    std::string keyword;
+    head >> keyword;
+    if (keyword == "chip") {
+      MFD_REQUIRE(static_cast<bool>(head >> name),
+                  "read_chip(): 'chip' line needs a name");
+      ++cursor;
+    }
+  }
+  MFD_REQUIRE(cursor < lines.size(), "read_chip(): missing 'grid' line");
+  {
+    std::istringstream head(lines[cursor]);
+    std::string keyword;
+    head >> keyword;
+    MFD_REQUIRE(keyword == "grid", "read_chip(): expected 'grid' line");
+    MFD_REQUIRE(static_cast<bool>(head >> width >> height),
+                "read_chip(): malformed 'grid' line");
+    ++cursor;
+  }
+
+  Biochip chip(ConnectionGrid(width, height), name);
+  for (; cursor < lines.size(); ++cursor) {
+    std::istringstream row(lines[cursor]);
+    std::string keyword;
+    row >> keyword;
+    if (keyword == "port") {
+      std::string port_name;
+      int x = 0;
+      int y = 0;
+      MFD_REQUIRE(static_cast<bool>(row >> port_name >> x >> y),
+                  "read_chip(): malformed 'port' line");
+      chip.add_port(x, y, port_name);
+    } else if (keyword == "device") {
+      std::string kind_word;
+      std::string device_name;
+      int x = 0;
+      int y = 0;
+      MFD_REQUIRE(static_cast<bool>(row >> kind_word >> device_name >> x >> y),
+                  "read_chip(): malformed 'device' line");
+      chip.add_device(parse_device_kind(kind_word), x, y, device_name);
+    } else if (keyword == "channel") {
+      int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+      MFD_REQUIRE(static_cast<bool>(row >> x1 >> y1 >> x2 >> y2),
+                  "read_chip(): malformed 'channel' line");
+      chip.add_channel(x1, y1, x2, y2);
+    } else if (keyword == "dft_channel") {
+      int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+      MFD_REQUIRE(static_cast<bool>(row >> x1 >> y1 >> x2 >> y2),
+                  "read_chip(): malformed 'dft_channel' line");
+      chip.add_dft_channel(chip.grid().edge_between(x1, y1, x2, y2));
+    } else if (keyword == "dedicated") {
+      int valve = -1;
+      MFD_REQUIRE(static_cast<bool>(row >> valve),
+                  "read_chip(): malformed 'dedicated' line");
+      chip.assign_dedicated_control(valve);
+    } else if (keyword == "share") {
+      int valve = -1;
+      int with = -1;
+      MFD_REQUIRE(static_cast<bool>(row >> valve >> with),
+                  "read_chip(): malformed 'share' line");
+      chip.share_control(valve, with);
+    } else {
+      throw Error("read_chip(): unknown keyword '" + keyword + "'");
+    }
+  }
+  return chip;
+}
+
+Biochip chip_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_chip(iss);
+}
+
+std::string render_chip_ascii(const Biochip& chip) {
+  const ConnectionGrid& grid = chip.grid();
+  // Each grid cell renders as 4 columns x 2 rows; nodes at even positions.
+  const int cols = grid.width() * 4 - 3;
+  const int rows = grid.height() * 2 - 1;
+  std::vector<std::string> canvas(static_cast<std::size_t>(rows),
+                                  std::string(static_cast<std::size_t>(cols),
+                                              ' '));
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      const graph::NodeId n = grid.node_at(x, y);
+      char mark = '.';
+      if (chip.node_is_port(n)) {
+        mark = 'P';
+      } else if (auto d = chip.device_at(n)) {
+        mark = chip.device(*d).kind == DeviceKind::kMixer ? 'M' : 'D';
+      }
+      canvas[static_cast<std::size_t>(y * 2)]
+            [static_cast<std::size_t>(x * 4)] = mark;
+    }
+  }
+  for (const Valve& v : chip.valves()) {
+    const graph::Edge& e = grid.graph().edge(v.edge);
+    const int x1 = grid.x_of(e.u), y1 = grid.y_of(e.u);
+    const int x2 = grid.x_of(e.v), y2 = grid.y_of(e.v);
+    const char mark = v.is_dft ? '+' : (x1 == x2 ? '|' : '-');
+    if (y1 == y2) {
+      const int y = y1 * 2;
+      const int x = std::min(x1, x2) * 4;
+      canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x + 1)] =
+          mark;
+      canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x + 2)] =
+          mark;
+      canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x + 3)] =
+          mark;
+    } else {
+      const int x = x1 * 4;
+      const int y = std::min(y1, y2) * 2;
+      canvas[static_cast<std::size_t>(y + 1)][static_cast<std::size_t>(x)] =
+          mark;
+    }
+  }
+  std::string out;
+  for (const std::string& line : canvas) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mfd::arch

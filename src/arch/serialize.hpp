@@ -1,0 +1,39 @@
+// Plain-text serialization of biochip architectures.
+//
+// The format is line-oriented and order-sensitive (valve ids follow channel
+// declaration order), e.g.:
+//
+//   chip IVD_chip
+//   grid 5 4
+//   port P0 0 1
+//   device mixer M1 1 1
+//   channel 0 1 1 1
+//   dft_channel 2 2 2 3
+//   dedicated 12
+//   share 13 4
+//
+// `share A B` makes valve A drive from valve B's control channel;
+// `dedicated V` gives DFT valve V its own control. Lines starting with '#'
+// are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/biochip.hpp"
+
+namespace mfd::arch {
+
+/// Writes the chip in the text format described above.
+void write_chip(std::ostream& out, const Biochip& chip);
+std::string chip_to_string(const Biochip& chip);
+
+/// Parses a chip from the text format; throws mfd::Error on malformed input.
+Biochip read_chip(std::istream& in);
+Biochip chip_from_string(const std::string& text);
+
+/// Renders an ASCII picture of the chip layout (ports, devices, channels,
+/// DFT channels) for logs and examples.
+std::string render_chip_ascii(const Biochip& chip);
+
+}  // namespace mfd::arch

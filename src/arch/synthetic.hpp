@@ -1,0 +1,26 @@
+// Synthetic chip generation for property-based testing and scalability
+// studies: random-but-valid chips with a controlled inventory.
+#pragma once
+
+#include "arch/biochip.hpp"
+#include "common/rng.hpp"
+
+namespace mfd::arch {
+
+struct SyntheticChipSpec {
+  int grid_width = 6;
+  int grid_height = 5;
+  int ports = 3;        // placed on the grid boundary
+  int mixers = 2;
+  int detectors = 1;    // devices placed on interior nodes
+  /// Extra channel segments beyond the connecting tree (adds loops).
+  int extra_channels = 4;
+};
+
+/// Generates a valid chip: ports on the boundary, devices in the interior,
+/// a channel tree connecting everything (built from grid shortest paths),
+/// plus `extra_channels` additional segments forming loops. Throws when the
+/// spec cannot fit the grid.
+Biochip make_synthetic_chip(const SyntheticChipSpec& spec, Rng& rng);
+
+}  // namespace mfd::arch

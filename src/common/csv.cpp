@@ -1,0 +1,72 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text_table.hpp"
+
+namespace mfd {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    quoted += c;
+    if (c == '"') quoted += '"';
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MFD_REQUIRE(!header_.empty(), "CsvWriter: header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  MFD_REQUIRE(row.size() == header_.size(),
+              "CsvWriter: row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row_numeric(const std::vector<double>& values,
+                                int decimals) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(format_double(v, decimals));
+  add_row(std::move(row));
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ',';
+      out << escape(fields[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream oss;
+  write(oss);
+  return oss.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path);
+  MFD_REQUIRE(file.is_open(), "CsvWriter: cannot open '" + path + "'");
+  write(file);
+  MFD_REQUIRE(file.good(), "CsvWriter: write to '" + path + "' failed");
+}
+
+}  // namespace mfd

@@ -1,0 +1,36 @@
+// Minimal CSV writer for exporting benchmark series (convergence curves,
+// sweep results) to files that plotting tools can consume directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mfd {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quotes fields containing
+/// separators, quotes or newlines; doubles embedded quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric series.
+  void add_row_numeric(const std::vector<double>& values, int decimals = 6);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  void write(std::ostream& out) const;
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to a file; throws mfd::Error when the file cannot be opened.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mfd

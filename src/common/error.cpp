@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace mfd::detail {
+
+void fail(const char* kind, const std::string& message,
+          const std::source_location& where) {
+  std::ostringstream oss;
+  oss << "mfdft " << kind << " failure at " << where.file_name() << ':'
+      << where.line() << " (" << where.function_name() << "): " << message;
+  throw Error(oss.str());
+}
+
+}  // namespace mfd::detail

@@ -1,0 +1,69 @@
+// Deterministic random number generation.
+//
+// All stochastic components (PSO, workload generators, failure injection in
+// tests) draw from mfd::Rng so that every experiment in the repository is
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mfd {
+
+/// Seedable pseudo-random source. Thin wrapper over std::mt19937_64 with the
+/// distributions the library actually needs; copyable so a component can fork
+/// an independent stream via `fork()`.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    MFD_REQUIRE(lo <= hi, "uniform(): lo must not exceed hi");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    MFD_REQUIRE(lo <= hi, "uniform_int(): lo must not exceed hi");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool flip(double p) {
+    MFD_REQUIRE(p >= 0.0 && p <= 1.0, "flip(): p must be a probability");
+    return uniform() < p;
+  }
+
+  /// Picks a uniformly random index into a container of the given size.
+  std::size_t index(std::size_t size) {
+    MFD_REQUIRE(size > 0, "index(): size must be positive");
+    return std::uniform_int_distribution<std::size_t>(0, size - 1)(engine_);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent stream; the parent advances once.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mfd

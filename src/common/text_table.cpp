@@ -1,0 +1,90 @@
+#include "common/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mfd {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  MFD_REQUIRE(!header.empty(), "TextTable header must not be empty");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    MFD_REQUIRE(row.size() == header_.size(),
+                "TextTable row width must match header width");
+  }
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+namespace {
+
+std::string rule_line(const std::vector<std::size_t>& widths) {
+  std::string line = "+";
+  for (std::size_t w : widths) {
+    line.append(w + 2, '-');
+    line += '+';
+  }
+  line += '\n';
+  return line;
+}
+
+std::string cells_line(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+  std::string line = "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    line += ' ';
+    line += cell;
+    line.append(widths[c] - cell.size() + 1, ' ');
+    line += '|';
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+std::string TextTable::str() const {
+  std::size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+  if (columns == 0) return {};
+
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << rule_line(widths);
+  if (!header_.empty()) {
+    out << cells_line(header_, widths);
+    out << rule_line(widths);
+  }
+  for (const Row& row : rows_) {
+    if (row.rule_before) out << rule_line(widths);
+    out << cells_line(row.cells, widths);
+  }
+  out << rule_line(widths);
+  return out.str();
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace mfd

@@ -1,0 +1,42 @@
+// Minimal ASCII table renderer used by the benchmark harness and examples to
+// print paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfd {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count when a header
+  /// was set, otherwise defines the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table with column alignment and +-+ rules.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a double with the given number of decimals.
+std::string format_double(double value, int decimals = 2);
+
+}  // namespace mfd

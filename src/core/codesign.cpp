@@ -1,0 +1,395 @@
+#include "core/codesign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace mfd::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Cached evaluation of one (configuration, sharing) candidate.
+struct Evaluation {
+  double makespan = kInf;
+  bool schedule_ok = false;
+  bool tests_ok = false;
+};
+
+// Evaluates a candidate per Section 4.1/4.2: quality is the execution time,
+// or infinity when the sharing breaks the schedule or the test vectors.
+class Evaluator {
+ public:
+  Evaluator(const sched::Assay& assay, const CodesignOptions& options)
+      : assay_(assay), options_(options) {}
+
+  void add_config(const arch::Biochip& augmented,
+                  const testgen::PathPlan& plan) {
+    configs_.push_back(&augmented);
+    plans_.push_back(&plan);
+  }
+
+  [[nodiscard]] int config_count() const {
+    return static_cast<int>(configs_.size());
+  }
+  [[nodiscard]] const arch::Biochip& config(int index) const {
+    return *configs_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] const testgen::PathPlan& plan(int index) const {
+    return *plans_[static_cast<std::size_t>(index)];
+  }
+
+  const Evaluation& evaluate(int config_index, const SharingScheme& scheme) {
+    const auto key = std::make_pair(config_index, scheme.partner);
+    const auto cached = cache_.find(key);
+    if (cached != cache_.end()) {
+      ++cache_hits;
+      return cached->second;
+    }
+    ++evaluations;
+
+    Evaluation eval;
+    const arch::Biochip shared = apply_sharing(config(config_index), scheme);
+    const sched::Schedule schedule =
+        sched::schedule_assay(shared, assay_, options_.sched);
+    eval.schedule_ok = schedule.feasible;
+    if (schedule.feasible) {
+      testgen::VectorGenOptions vopt = options_.vectors;
+      vopt.plan = plans_[static_cast<std::size_t>(config_index)];
+      const auto suite = testgen::generate_test_suite(
+          shared, plan(config_index).source, plan(config_index).meter, vopt);
+      eval.tests_ok = suite.has_value();
+      if (eval.tests_ok) eval.makespan = schedule.makespan;
+    }
+    return cache_.emplace(key, eval).first->second;
+  }
+
+  int evaluations = 0;
+  int cache_hits = 0;
+
+ private:
+  const sched::Assay& assay_;
+  const CodesignOptions& options_;
+  std::vector<const arch::Biochip*> configs_;
+  std::vector<const testgen::PathPlan*> plans_;
+  std::map<std::pair<int, std::vector<arch::ValveId>>, Evaluation> cache_;
+};
+
+// Original (non-DFT) valve ids of a chip, the sharing-partner candidates.
+std::vector<arch::ValveId> original_valves(const arch::Biochip& chip) {
+  std::vector<arch::ValveId> ids;
+  for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
+    if (!chip.valve(v).is_dft) ids.push_back(v);
+  }
+  return ids;
+}
+
+std::vector<arch::ValveId> dft_valves(const arch::Biochip& chip) {
+  std::vector<arch::ValveId> ids;
+  for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
+    if (chip.valve(v).is_dft) ids.push_back(v);
+  }
+  return ids;
+}
+
+// Decodes an inner-PSO position into a sharing scheme for the given chip.
+SharingScheme decode_sharing(const arch::Biochip& augmented,
+                             const std::vector<double>& position) {
+  const std::vector<arch::ValveId> originals = original_valves(augmented);
+  SharingScheme scheme;
+  scheme.partner.reserve(position.size());
+  for (double coordinate : position) {
+    scheme.partner.push_back(
+        originals[static_cast<std::size_t>(pso::decode_index(
+            coordinate, static_cast<int>(originals.size())))]);
+  }
+  return scheme;
+}
+
+}  // namespace
+
+arch::Biochip apply_sharing(const arch::Biochip& augmented,
+                            const SharingScheme& scheme) {
+  arch::Biochip chip = augmented;
+  const std::vector<arch::ValveId> dft = dft_valves(chip);
+  MFD_REQUIRE(scheme.partner.size() == dft.size(),
+              "apply_sharing(): one partner per DFT valve required");
+  for (std::size_t i = 0; i < dft.size(); ++i) {
+    const arch::ValveId partner = scheme.partner[i];
+    MFD_REQUIRE(!chip.valve(partner).is_dft,
+                "apply_sharing(): partner must be an original valve");
+    chip.share_control(dft[i], partner);
+  }
+  return chip;
+}
+
+arch::Biochip with_dedicated_controls(const arch::Biochip& augmented) {
+  arch::Biochip chip = augmented;
+  for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
+    if (chip.valve(v).is_dft && chip.valve(v).control == arch::kInvalidControl) {
+      chip.assign_dedicated_control(v);
+    }
+  }
+  return chip;
+}
+
+std::vector<testgen::PathPlan> enumerate_dft_configurations(
+    const arch::Biochip& chip, int max_configs,
+    testgen::PathPlanOptions options) {
+  MFD_REQUIRE(max_configs >= 1,
+              "enumerate_dft_configurations(): need at least one config");
+  std::vector<testgen::PathPlan> pool;
+  int min_count = -1;
+  for (int round = 0; round < max_configs; ++round) {
+    const testgen::PathPlan plan = testgen::plan_dft_paths(chip, options);
+    if (!plan.feasible) break;
+    if (plan.added_edges.empty()) {
+      // Already single-source single-meter testable: unique configuration.
+      pool.push_back(plan);
+      break;
+    }
+    if (min_count == -1) {
+      min_count = static_cast<int>(plan.added_edges.size());
+    } else if (static_cast<int>(plan.added_edges.size()) > min_count + 2) {
+      break;  // configurations getting too expensive; stop enumerating
+    }
+    options.forbidden_added_sets.push_back(plan.added_edges);
+    pool.push_back(std::move(plan));
+  }
+  return pool;
+}
+
+CodesignResult run_codesign(const arch::Biochip& chip,
+                            const sched::Assay& assay,
+                            const CodesignOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  CodesignResult result;
+
+  // Baseline: the unmodified chip.
+  const sched::Schedule original_schedule =
+      sched::schedule_assay(chip, assay, options.sched);
+  if (!original_schedule.feasible) {
+    result.failure_reason = "assay cannot be scheduled on the original chip";
+    result.runtime_seconds = elapsed();
+    return result;
+  }
+  result.exec_original = original_schedule.makespan;
+
+  // DFT configurations (outer search space).
+  result.pool =
+      enumerate_dft_configurations(chip, options.config_pool_size,
+                                   options.plan);
+  if (result.pool.empty()) {
+    result.failure_reason =
+        "no single-source single-meter configuration found within |P| limit";
+    result.runtime_seconds = elapsed();
+    return result;
+  }
+  result.plan = result.pool.front();
+  result.dft_valve_count =
+      static_cast<int>(result.plan.added_edges.size());
+
+  std::vector<arch::Biochip> augmented;
+  augmented.reserve(result.pool.size());
+  for (const testgen::PathPlan& plan : result.pool) {
+    augmented.push_back(testgen::apply_plan(chip, plan));
+  }
+
+  // Figure 7 baseline: DFT valves with their own control ports.
+  const sched::Schedule independent_schedule = sched::schedule_assay(
+      with_dedicated_controls(augmented.front()), assay, options.sched);
+  result.exec_dft_independent = independent_schedule.feasible
+                                    ? independent_schedule.makespan
+                                    : kInf;
+
+  Evaluator evaluator(assay, options);
+  for (std::size_t i = 0; i < augmented.size(); ++i) {
+    evaluator.add_config(augmented[i],
+                         result.pool[i]);
+  }
+
+  const int n_dft = result.dft_valve_count;
+
+  // "DFT without PSO": the first randomly drawn sharing scheme that passes
+  // both validations on the canonical configuration.
+  {
+    Rng rng(options.seed ^ 0x5eedu);
+    const std::vector<arch::ValveId> originals =
+        original_valves(augmented.front());
+    result.exec_dft_unoptimized = kInf;
+    for (int attempt = 0; attempt < options.unoptimized_attempts; ++attempt) {
+      SharingScheme scheme;
+      for (int i = 0; i < n_dft; ++i) {
+        scheme.partner.push_back(
+            originals[rng.index(originals.size())]);
+      }
+      const Evaluation& eval = evaluator.evaluate(0, scheme);
+      if (eval.makespan < kInf) {
+        result.exec_dft_unoptimized = eval.makespan;
+        break;
+      }
+    }
+  }
+
+  // Two-level PSO (Section 4.2). An outer particle's position is
+  // X = [X^a | X^s]: a continuous selector whose argmax picks the DFT
+  // configuration, concatenated with the valve-sharing coordinates. Each
+  // outer evaluation runs a short sub-PSO over sharing schemes seeded at the
+  // particle's current X^s (paper step (2)); the sub-PSO's best X^s is
+  // written back into the particle (step (3)), so sharing quality improves
+  // across outer iterations and Figure 9's convergence emerges.
+  const int pool_size = evaluator.config_count();
+  int max_dft = 0;
+  for (int c = 0; c < pool_size; ++c) {
+    max_dft = std::max(
+        max_dft, static_cast<int>(evaluator.plan(c).added_edges.size()));
+  }
+  const std::size_t selector_dims = static_cast<std::size_t>(pool_size);
+  const std::size_t dims = selector_dims + static_cast<std::size_t>(max_dft);
+
+  Rng outer_rng(options.seed);
+  struct OuterParticle {
+    std::vector<double> position;
+    std::vector<double> velocity;
+    std::vector<double> best_position;
+    double best_value = kInf;
+  };
+  std::vector<OuterParticle> swarm(
+      static_cast<std::size_t>(options.outer_particles));
+  std::vector<double> global_best_position;
+  double global_best = kInf;
+  SharingScheme best_scheme;
+  int best_config = 0;
+
+  std::uint64_t inner_seed = options.seed * 7919u + 13u;
+  auto outer_evaluate = [&](OuterParticle& particle) {
+    const auto selector_begin = particle.position.begin();
+    const int config_index =
+        pool_size == 1
+            ? 0
+            : static_cast<int>(std::max_element(
+                                   selector_begin,
+                                   selector_begin +
+                                       static_cast<std::ptrdiff_t>(
+                                           selector_dims)) -
+                               selector_begin);
+    const int config_dft = static_cast<int>(
+        evaluator.plan(config_index).added_edges.size());
+
+    // Sub-PSO over X^s, warm-started at the particle's current X^s.
+    std::vector<double> sharing_seed(
+        particle.position.begin() +
+            static_cast<std::ptrdiff_t>(selector_dims),
+        particle.position.begin() +
+            static_cast<std::ptrdiff_t>(selector_dims + config_dft));
+    pso::PsoOptions inner = options.inner;
+    inner.seed = inner_seed++;
+    const pso::PsoResult inner_result = pso::minimize(
+        config_dft,
+        [&](const std::vector<double>& inner_position) {
+          const SharingScheme scheme =
+              decode_sharing(evaluator.config(config_index), inner_position);
+          return evaluator.evaluate(config_index, scheme).makespan;
+        },
+        inner, {sharing_seed});
+
+    // Step (3): adopt the sub-PSO's best sharing vector.
+    if (!inner_result.best_position.empty()) {
+      std::copy(inner_result.best_position.begin(),
+                inner_result.best_position.end(),
+                particle.position.begin() +
+                    static_cast<std::ptrdiff_t>(selector_dims));
+    }
+    if (inner_result.best_value < global_best) {
+      global_best = inner_result.best_value;
+      best_scheme = decode_sharing(evaluator.config(config_index),
+                                   inner_result.best_position);
+      best_config = config_index;
+    }
+    return inner_result.best_value;
+  };
+
+  for (OuterParticle& particle : swarm) {
+    particle.position.resize(dims);
+    particle.velocity.assign(dims, 0.0);
+    for (double& x : particle.position) x = outer_rng.uniform();
+    particle.best_value = outer_evaluate(particle);
+    particle.best_position = particle.position;
+    if (particle.best_value <= global_best) {
+      global_best_position = particle.position;
+    }
+  }
+  result.convergence.push_back(global_best);
+
+  constexpr double kOmega = 0.72;
+  constexpr double kC1 = 1.49;
+  constexpr double kC2 = 1.49;
+  constexpr double kVmax = 0.3;
+  for (int iteration = 1; iteration < options.outer_iterations; ++iteration) {
+    for (OuterParticle& particle : swarm) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        double v = kOmega * particle.velocity[d] +
+                   kC1 * outer_rng.uniform() *
+                       (particle.best_position[d] - particle.position[d]);
+        if (!global_best_position.empty()) {
+          v += kC2 * outer_rng.uniform() *
+               (global_best_position[d] - particle.position[d]);
+        }
+        particle.velocity[d] = std::clamp(v, -kVmax, kVmax);
+        particle.position[d] =
+            std::clamp(particle.position[d] + particle.velocity[d], 0.0, 1.0);
+      }
+      const double value = outer_evaluate(particle);
+      if (value < particle.best_value) {
+        particle.best_value = value;
+        particle.best_position = particle.position;
+      }
+      if (value <= global_best) {
+        global_best_position = particle.position;
+      }
+    }
+    result.convergence.push_back(global_best);
+  }
+
+  result.evaluations = evaluator.evaluations;
+  result.cache_hits = evaluator.cache_hits;
+
+  if (global_best == kInf) {
+    result.failure_reason = "no valid valve-sharing scheme found";
+    result.runtime_seconds = elapsed();
+    return result;
+  }
+
+  // Assemble the final artifacts from the best candidate.
+  result.chosen_config = best_config;
+  result.plan = result.pool[static_cast<std::size_t>(best_config)];
+  result.dft_valve_count =
+      static_cast<int>(result.plan.added_edges.size());
+  result.shared_valve_count = result.dft_valve_count;
+  result.sharing = best_scheme;
+  result.chip = apply_sharing(
+      augmented[static_cast<std::size_t>(best_config)], best_scheme);
+  result.exec_dft_optimized = global_best;
+  result.schedule = sched::schedule_assay(result.chip, assay, options.sched);
+  testgen::VectorGenOptions vopt = options.vectors;
+  vopt.plan = &result.plan;
+  auto suite = testgen::generate_test_suite(result.chip, result.plan.source,
+                                            result.plan.meter, vopt);
+  MFD_ASSERT(suite.has_value(),
+             "optimized sharing scheme failed final test regeneration");
+  result.tests = std::move(*suite);
+  result.success = true;
+  result.runtime_seconds = elapsed();
+  return result;
+}
+
+}  // namespace mfd::core

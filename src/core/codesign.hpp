@@ -1,0 +1,116 @@
+// Design-for-testability codesign engine (the paper's main contribution).
+//
+// Given a chip and the bioassay it runs, the engine:
+//   1. augments the chip with DFT channels/valves so that a single pressure
+//      source and a single pressure meter suffice for testing (Section 3,
+//      ILP over the virtual connection grid);
+//   2. assigns every DFT valve a shared control channel of an original valve
+//      so no new control port is needed (Section 4);
+//   3. searches configurations and sharing schemes with a two-level PSO,
+//      scoring each candidate by the assay's execution time on the augmented
+//      chip and rejecting candidates whose sharing breaks the test vectors
+//      or the schedule (Section 4.2).
+//
+// Implementation note: the outer level explores DFT configurations from a
+// pool enumerated up front by re-solving the augmentation ILP under no-good
+// cuts (each solve excludes all previously found configurations). This keeps
+// the number of ILP solves bounded while the PSO still searches the same
+// space of near-minimal configurations the paper's outer particles do.
+#pragma once
+
+#include "arch/biochip.hpp"
+#include "pso/pso.hpp"
+#include "sched/scheduler.hpp"
+#include "testgen/path_ilp.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace mfd::core {
+
+/// A valve-sharing scheme: for each DFT valve (in valve-id order), the
+/// original valve whose control channel it shares.
+struct SharingScheme {
+  std::vector<arch::ValveId> partner;
+
+  [[nodiscard]] bool operator==(const SharingScheme&) const = default;
+};
+
+/// Applies a sharing scheme to a copy of the augmented chip. The chip's DFT
+/// valves must be control-less; `partner` entries must reference original
+/// (non-DFT) valves.
+arch::Biochip apply_sharing(const arch::Biochip& augmented,
+                            const SharingScheme& scheme);
+
+/// Gives every DFT valve its own dedicated control channel (the
+/// "independent control ports available" scenario of Section 2 / Figure 7).
+arch::Biochip with_dedicated_controls(const arch::Biochip& augmented);
+
+struct CodesignOptions {
+  testgen::PathPlanOptions plan;
+  /// Number of distinct DFT configurations enumerated for the outer level.
+  int config_pool_size = 4;
+  /// Outer PSO swarm (paper: 5 particles, 100 iterations total).
+  int outer_particles = 5;
+  int outer_iterations = 100;
+  /// Inner (valve sharing) PSO; paper uses 5 particles. Few iterations per
+  /// outer evaluation: the sub-swarm is warm-started at the outer particle's
+  /// current sharing vector, so refinement accumulates across outer
+  /// iterations.
+  pso::PsoOptions inner{.particles = 5, .iterations = 2, .seed = 99};
+  sched::ScheduleOptions sched;
+  testgen::VectorGenOptions vectors;
+  /// Random-scheme attempts for the "DFT without PSO" baseline.
+  int unoptimized_attempts = 200;
+  std::uint64_t seed = 2024;
+};
+
+struct CodesignResult {
+  bool success = false;
+  /// Why the run failed (empty on success).
+  std::string failure_reason;
+
+  /// Canonical ILP configuration (pool entry 0) and the full pool.
+  testgen::PathPlan plan;
+  std::vector<testgen::PathPlan> pool;
+  /// Index into `pool` of the configuration the PSO selected.
+  int chosen_config = 0;
+
+  /// Final augmented chip with the optimized sharing applied.
+  arch::Biochip chip;
+  SharingScheme sharing;
+  testgen::TestSuite tests;
+  sched::Schedule schedule;
+
+  /// Execution times (seconds): original chip; augmented chip with the first
+  /// valid random sharing (no PSO); with the PSO-optimized sharing; with
+  /// dedicated control ports for every DFT valve.
+  double exec_original = 0.0;
+  double exec_dft_unoptimized = 0.0;
+  double exec_dft_optimized = 0.0;
+  double exec_dft_independent = 0.0;
+
+  /// Best execution time after each outer PSO iteration (Figure 9).
+  std::vector<double> convergence;
+
+  int dft_valve_count = 0;
+  int shared_valve_count = 0;
+  double runtime_seconds = 0.0;
+  int evaluations = 0;
+  int cache_hits = 0;
+
+  CodesignResult() : chip(arch::ConnectionGrid(1, 1)) {}
+};
+
+/// Enumerates up to `max_configs` distinct near-minimal DFT configurations
+/// by repeatedly solving the augmentation ILP under no-good cuts. The first
+/// entry is the canonical minimum; later entries may add one or two more
+/// channels. Stops early when no further configuration exists.
+std::vector<testgen::PathPlan> enumerate_dft_configurations(
+    const arch::Biochip& chip, int max_configs,
+    testgen::PathPlanOptions options = {});
+
+/// Runs the full codesign flow.
+CodesignResult run_codesign(const arch::Biochip& chip,
+                            const sched::Assay& assay,
+                            const CodesignOptions& options = {});
+
+}  // namespace mfd::core

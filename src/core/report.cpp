@@ -1,0 +1,61 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "common/text_table.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace mfd::core {
+
+DftCostReport build_cost_report(const arch::Biochip& original,
+                                const CodesignResult& result) {
+  MFD_REQUIRE(result.success,
+              "build_cost_report(): codesign result must be successful");
+  DftCostReport report;
+  // Multi-port test: each port carries either the source or a meter.
+  report.test_devices_before = original.port_count();
+  report.test_devices_after = 2;
+  report.control_ports_before = original.control_count();
+  report.control_ports_after = result.chip.control_count();
+  report.channels_added = result.dft_valve_count;
+  report.valves_added = result.dft_valve_count;
+  report.vectors_dft = result.tests.size();
+  if (const auto original_suite =
+          testgen::generate_test_suite_multiport(original)) {
+    report.vectors_original = original_suite->size();
+  }
+  report.exec_original = result.exec_original;
+  report.exec_dft = result.exec_dft_optimized;
+  return report;
+}
+
+std::string render_cost_report(const DftCostReport& report) {
+  TextTable table;
+  table.set_header({"metric", "original", "DFT", "delta"});
+  table.add_row({"pressure sources + meters",
+                 std::to_string(report.test_devices_before),
+                 std::to_string(report.test_devices_after),
+                 std::to_string(-report.test_devices_saved())});
+  table.add_row({"control ports",
+                 std::to_string(report.control_ports_before),
+                 std::to_string(report.control_ports_after),
+                 std::to_string(report.control_ports_added())});
+  table.add_row({"channels/valves", "-",
+                 "+" + std::to_string(report.channels_added), ""});
+  table.add_row({"test vectors", std::to_string(report.vectors_original),
+                 std::to_string(report.vectors_dft),
+                 std::to_string(report.vectors_dft -
+                                report.vectors_original)});
+  table.add_row({"execution time [s]", format_double(report.exec_original, 0),
+                 format_double(report.exec_dft, 0),
+                 format_double(report.exec_dft - report.exec_original, 0)});
+  std::ostringstream out;
+  out << table.str();
+  out << "test devices saved: " << report.test_devices_saved()
+      << ", control ports added: " << report.control_ports_added()
+      << ", execution overhead: "
+      << format_double(report.execution_overhead() * 100.0, 1) << "%\n";
+  return out.str();
+}
+
+}  // namespace mfd::core

@@ -1,0 +1,53 @@
+// Test-platform cost accounting.
+//
+// The paper's motivation is the cost of the test platform: pressure sources,
+// pressure meters, and control ports are cumbersome external devices. This
+// report quantifies what a DFT result saves — the original multi-port test
+// needs a source plus a meter on every other port, the DFT architecture
+// exactly one of each — and what it spends (added channels/valves, larger
+// vector counts, control sharing instead of new ports).
+#pragma once
+
+#include <string>
+
+#include "core/codesign.hpp"
+
+namespace mfd::core {
+
+struct DftCostReport {
+  // Test platform devices (pressure sources + meters).
+  int test_devices_before = 0;  // original: one per port
+  int test_devices_after = 0;   // DFT: one source + one meter
+  // Control ports (one per control channel).
+  int control_ports_before = 0;
+  int control_ports_after = 0;
+  // Flow-layer additions.
+  int channels_added = 0;
+  int valves_added = 0;
+  // Test program sizes.
+  int vectors_original = 0;  // multi-port test of the original chip
+  int vectors_dft = 0;       // single-source single-meter test
+  // Application execution times (seconds).
+  double exec_original = 0.0;
+  double exec_dft = 0.0;
+
+  [[nodiscard]] int test_devices_saved() const {
+    return test_devices_before - test_devices_after;
+  }
+  [[nodiscard]] int control_ports_added() const {
+    return control_ports_after - control_ports_before;
+  }
+  [[nodiscard]] double execution_overhead() const {
+    return exec_original > 0.0 ? exec_dft / exec_original - 1.0 : 0.0;
+  }
+};
+
+/// Builds the cost report for a successful codesign run. The original chip
+/// must be the one the codesign started from.
+DftCostReport build_cost_report(const arch::Biochip& original,
+                                const CodesignResult& result);
+
+/// Renders the report as a short human-readable summary.
+std::string render_cost_report(const DftCostReport& report);
+
+}  // namespace mfd::core

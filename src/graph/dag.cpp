@@ -1,0 +1,91 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace mfd::graph {
+
+NodeId Digraph::add_node() {
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return static_cast<NodeId>(successors_.size() - 1);
+}
+
+NodeId Digraph::add_nodes(int count) {
+  MFD_REQUIRE(count >= 0, "add_nodes(): count must be non-negative");
+  const NodeId first = static_cast<NodeId>(successors_.size());
+  successors_.resize(successors_.size() + static_cast<std::size_t>(count));
+  predecessors_.resize(predecessors_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+void Digraph::add_arc(NodeId u, NodeId v) {
+  MFD_REQUIRE(has_node(u) && has_node(v), "add_arc(): unknown endpoint");
+  MFD_REQUIRE(u != v, "add_arc(): self-loops are not supported");
+  MFD_REQUIRE(!has_arc(u, v), "add_arc(): duplicate arc");
+  successors_[static_cast<std::size_t>(u)].push_back(v);
+  predecessors_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+const std::vector<NodeId>& Digraph::successors(NodeId n) const {
+  MFD_REQUIRE(has_node(n), "successors(): unknown node");
+  return successors_[static_cast<std::size_t>(n)];
+}
+
+const std::vector<NodeId>& Digraph::predecessors(NodeId n) const {
+  MFD_REQUIRE(has_node(n), "predecessors(): unknown node");
+  return predecessors_[static_cast<std::size_t>(n)];
+}
+
+bool Digraph::has_arc(NodeId u, NodeId v) const {
+  MFD_REQUIRE(has_node(u) && has_node(v), "has_arc(): unknown endpoint");
+  const auto& succ = successors_[static_cast<std::size_t>(u)];
+  return std::find(succ.begin(), succ.end(), v) != succ.end();
+}
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  std::vector<int> remaining(static_cast<std::size_t>(g.node_count()));
+  std::queue<NodeId> ready;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    remaining[static_cast<std::size_t>(n)] = g.in_degree(n);
+    if (remaining[static_cast<std::size_t>(n)] == 0) ready.push(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.node_count()));
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop();
+    order.push_back(n);
+    for (NodeId m : g.successors(n)) {
+      if (--remaining[static_cast<std::size_t>(m)] == 0) ready.push(m);
+    }
+  }
+  if (order.size() != static_cast<std::size_t>(g.node_count())) {
+    return std::nullopt;
+  }
+  return order;
+}
+
+bool is_dag(const Digraph& g) { return topological_order(g).has_value(); }
+
+std::vector<double> critical_path_lengths(const Digraph& g,
+                                          const std::vector<double>& weight) {
+  MFD_REQUIRE(weight.size() == static_cast<std::size_t>(g.node_count()),
+              "critical_path_lengths(): one weight per node required");
+  const auto order = topological_order(g);
+  MFD_REQUIRE(order.has_value(), "critical_path_lengths(): graph is cyclic");
+  std::vector<double> length(static_cast<std::size_t>(g.node_count()), 0.0);
+  // Process in reverse topological order: length(n) = w(n) + max(successors).
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId n = *it;
+    double best = 0.0;
+    for (NodeId m : g.successors(n)) {
+      best = std::max(best, length[static_cast<std::size_t>(m)]);
+    }
+    length[static_cast<std::size_t>(n)] =
+        weight[static_cast<std::size_t>(n)] + best;
+  }
+  return length;
+}
+
+}  // namespace mfd::graph

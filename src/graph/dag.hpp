@@ -1,0 +1,61 @@
+// Directed-acyclic-graph utilities for bioassay sequencing graphs.
+//
+// A sequencing graph G = (O, E) has an operation per node and a precedence
+// edge per data dependency (Figure 2 of the paper). The scheduler needs
+// topological order and critical-path lengths for its list-scheduling
+// priorities.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfd::graph {
+
+/// Minimal directed graph (adjacency-list, append-only).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int node_count) { add_nodes(node_count); }
+
+  NodeId add_node();
+  NodeId add_nodes(int count);
+
+  /// Adds arc u -> v. Duplicate arcs are rejected.
+  void add_arc(NodeId u, NodeId v);
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(successors_.size());
+  }
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId n) const;
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId n) const;
+  [[nodiscard]] int in_degree(NodeId n) const {
+    return static_cast<int>(predecessors(n).size());
+  }
+  [[nodiscard]] int out_degree(NodeId n) const {
+    return static_cast<int>(successors(n).size());
+  }
+  [[nodiscard]] bool has_node(NodeId n) const {
+    return n >= 0 && n < node_count();
+  }
+  [[nodiscard]] bool has_arc(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<std::vector<NodeId>> successors_;
+  std::vector<std::vector<NodeId>> predecessors_;
+};
+
+/// Kahn topological order; nullopt when the graph has a cycle.
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+/// True when the digraph has no directed cycle.
+bool is_dag(const Digraph& g);
+
+/// Longest path (critical path) from each node to any sink, where each node
+/// carries the given non-negative weight (its operation duration). Used as
+/// list-scheduling priority. Throws when the graph is cyclic.
+std::vector<double> critical_path_lengths(const Digraph& g,
+                                          const std::vector<double>& weight);
+
+}  // namespace mfd::graph

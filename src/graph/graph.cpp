@@ -1,0 +1,40 @@
+#include "graph/graph.hpp"
+
+namespace mfd::graph {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+NodeId Graph::add_nodes(int count) {
+  MFD_REQUIRE(count >= 0, "add_nodes(): count must be non-negative");
+  const NodeId first = static_cast<NodeId>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  MFD_REQUIRE(has_node(u) && has_node(v), "add_edge(): unknown endpoint");
+  MFD_REQUIRE(u != v, "add_edge(): self-loops are not supported");
+  MFD_REQUIRE(find_edge(u, v) == kInvalidEdge,
+              "add_edge(): parallel edges are not supported");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v});
+  adjacency_[static_cast<std::size_t>(u)].push_back(id);
+  adjacency_[static_cast<std::size_t>(v)].push_back(id);
+  return id;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  MFD_REQUIRE(has_node(u) && has_node(v), "find_edge(): unknown endpoint");
+  // Scan the smaller adjacency list.
+  const NodeId base = degree(u) <= degree(v) ? u : v;
+  const NodeId target = base == u ? v : u;
+  for (EdgeId e : incident_edges(base)) {
+    if (edges_[static_cast<std::size_t>(e)].other(base) == target) return e;
+  }
+  return kInvalidEdge;
+}
+
+}  // namespace mfd::graph

@@ -1,0 +1,120 @@
+// Generic undirected graph used across the library.
+//
+// The biochip architecture, the virtual connection grid, and the pressure
+// network are all instances of this graph: nodes are ports / devices /
+// channel crossings, edges are channel segments guarded by valves. Algorithms
+// accept an optional edge mask so callers can query the subgraph induced by
+// "open" valves without copying the graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mfd::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// An undirected edge between two nodes.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  /// Returns the endpoint opposite to `from`.
+  [[nodiscard]] NodeId other(NodeId from) const {
+    MFD_REQUIRE(from == u || from == v, "other(): node not on edge");
+    return from == u ? v : u;
+  }
+};
+
+/// Compact undirected multigraph with integer node/edge identifiers and an
+/// adjacency index. Nodes and edges are append-only; algorithms that need to
+/// "remove" elements do so through masks.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int node_count) { add_nodes(node_count); }
+
+  /// Adds one node and returns its id.
+  NodeId add_node();
+
+  /// Adds `count` nodes; returns the id of the first.
+  NodeId add_nodes(int count);
+
+  /// Adds an undirected edge; parallel edges and self-loops are rejected
+  /// (neither occurs in a chip netlist, and allowing them would complicate
+  /// every downstream algorithm for no benefit).
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(adjacency_.size());
+  }
+  [[nodiscard]] int edge_count() const {
+    return static_cast<int>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    MFD_REQUIRE(e >= 0 && e < edge_count(), "edge id out of range");
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids incident to `n`.
+  [[nodiscard]] const std::vector<EdgeId>& incident_edges(NodeId n) const {
+    MFD_REQUIRE(n >= 0 && n < node_count(), "node id out of range");
+    return adjacency_[static_cast<std::size_t>(n)];
+  }
+
+  [[nodiscard]] int degree(NodeId n) const {
+    return static_cast<int>(incident_edges(n).size());
+  }
+
+  /// Returns the edge joining u and v, or kInvalidEdge if absent.
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] bool has_node(NodeId n) const {
+    return n >= 0 && n < node_count();
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+/// A mask over edges: empty() means "all edges enabled".
+class EdgeMask {
+ public:
+  EdgeMask() = default;
+
+  /// Builds a mask over `edge_count` edges, all set to `initial`.
+  EdgeMask(int edge_count, bool initial)
+      : bits_(static_cast<std::size_t>(edge_count), initial) {}
+
+  [[nodiscard]] bool enabled(EdgeId e) const {
+    if (bits_.empty()) return true;
+    MFD_REQUIRE(static_cast<std::size_t>(e) < bits_.size(),
+                "edge id out of mask range");
+    return bits_[static_cast<std::size_t>(e)] != 0;
+  }
+
+  void set(EdgeId e, bool value) {
+    MFD_REQUIRE(static_cast<std::size_t>(e) < bits_.size(),
+                "edge id out of mask range");
+    bits_[static_cast<std::size_t>(e)] = value;
+  }
+
+  [[nodiscard]] bool empty() const { return bits_.empty(); }
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+
+ private:
+  std::vector<char> bits_;
+};
+
+}  // namespace mfd::graph

@@ -1,0 +1,210 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/traversal.hpp"
+
+namespace mfd::graph {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Arc-based residual network for Dinic's algorithm. Arc 2k and 2k+1 are a
+// forward/backward pair. For an undirected edge both directions start with
+// the full capacity.
+class Dinic {
+ public:
+  Dinic(int node_count) : head_(static_cast<std::size_t>(node_count), -1) {}
+
+  void add_undirected(NodeId u, NodeId v, double cap, EdgeId origin) {
+    add_arc(u, v, cap, origin);
+    add_arc(v, u, cap, origin);
+  }
+
+  double run(NodeId s, NodeId t) {
+    double total = 0.0;
+    while (build_levels(s, t)) {
+      iter_ = head_;
+      while (true) {
+        const double pushed =
+            push(s, t, std::numeric_limits<double>::infinity());
+        if (pushed < kEps) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  /// Nodes reachable from s in the final residual network.
+  [[nodiscard]] std::vector<char> residual_reachable(NodeId s) const {
+    std::vector<char> seen(head_.size(), 0);
+    std::queue<NodeId> queue;
+    seen[static_cast<std::size_t>(s)] = 1;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId n = queue.front();
+      queue.pop();
+      for (int a = head_[static_cast<std::size_t>(n)]; a != -1;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.residual < kEps) continue;
+        if (!seen[static_cast<std::size_t>(arc.to)]) {
+          seen[static_cast<std::size_t>(arc.to)] = 1;
+          queue.push(arc.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+  /// Net flow across the original undirected edge with the given arc pair
+  /// base (positive in the direction of the first arc). Pushing f forward
+  /// leaves residuals (c - f, c + f), so the net is half their difference.
+  [[nodiscard]] double net_flow(int pair_base) const {
+    const double res_fwd = arcs_[static_cast<std::size_t>(pair_base)].residual;
+    const double res_bwd =
+        arcs_[static_cast<std::size_t>(pair_base) + 1].residual;
+    return (res_bwd - res_fwd) / 2.0;
+  }
+
+ private:
+  struct Arc {
+    NodeId to;
+    double residual;
+    int next;
+    EdgeId origin;
+  };
+
+  void add_arc(NodeId from, NodeId to, double cap, EdgeId origin) {
+    arcs_.push_back(Arc{to, cap, head_[static_cast<std::size_t>(from)],
+                        origin});
+    head_[static_cast<std::size_t>(from)] =
+        static_cast<int>(arcs_.size()) - 1;
+  }
+
+  bool build_levels(NodeId s, NodeId t) {
+    level_.assign(head_.size(), -1);
+    std::queue<NodeId> queue;
+    level_[static_cast<std::size_t>(s)] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId n = queue.front();
+      queue.pop();
+      for (int a = head_[static_cast<std::size_t>(n)]; a != -1;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.residual < kEps) continue;
+        if (level_[static_cast<std::size_t>(arc.to)] == -1) {
+          level_[static_cast<std::size_t>(arc.to)] =
+              level_[static_cast<std::size_t>(n)] + 1;
+          queue.push(arc.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] != -1;
+  }
+
+  double push(NodeId n, NodeId t, double limit) {
+    if (n == t) return limit;
+    for (int& a = iter_[static_cast<std::size_t>(n)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.residual < kEps) continue;
+      if (level_[static_cast<std::size_t>(arc.to)] !=
+          level_[static_cast<std::size_t>(n)] + 1) {
+        continue;
+      }
+      const double pushed =
+          push(arc.to, t, std::min(limit, arc.residual));
+      if (pushed > kEps) {
+        arc.residual -= pushed;
+        // Paired arc: even index pairs with +1, odd with -1.
+        const std::size_t paired = static_cast<std::size_t>(a) ^ 1u;
+        arcs_[paired].residual += pushed;
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace
+
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t,
+                       const std::vector<double>& capacity,
+                       const EdgeMask& mask) {
+  MFD_REQUIRE(g.has_node(s) && g.has_node(t), "max_flow(): unknown node");
+  MFD_REQUIRE(s != t, "max_flow(): source equals sink");
+  MFD_REQUIRE(capacity.size() == static_cast<std::size_t>(g.edge_count()),
+              "max_flow(): one capacity per edge required");
+
+  Dinic dinic(g.node_count());
+  // Arc pair base per original edge, kInvalidEdge when the edge is skipped.
+  std::vector<int> pair_base(static_cast<std::size_t>(g.edge_count()), -1);
+  int next_base = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const double cap = capacity[static_cast<std::size_t>(e)];
+    MFD_REQUIRE(cap >= 0.0, "max_flow(): negative capacity");
+    if (!mask.enabled(e) || cap < kEps) continue;
+    const Edge& edge = g.edge(e);
+    dinic.add_undirected(edge.u, edge.v, cap, e);
+    pair_base[static_cast<std::size_t>(e)] = next_base;
+    next_base += 2;
+  }
+
+  MaxFlowResult result;
+  result.value = dinic.run(s, t);
+  result.source_side = dinic.residual_reachable(s);
+  result.flow.assign(static_cast<std::size_t>(g.edge_count()), 0.0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const int base = pair_base[static_cast<std::size_t>(e)];
+    if (base == -1) continue;
+    result.flow[static_cast<std::size_t>(e)] = dinic.net_flow(base);
+    const Edge& edge = g.edge(e);
+    const bool u_side = result.source_side[static_cast<std::size_t>(edge.u)];
+    const bool v_side = result.source_side[static_cast<std::size_t>(edge.v)];
+    if (u_side != v_side) result.min_cut.push_back(e);
+  }
+  return result;
+}
+
+int edge_connectivity(const Graph& g, NodeId s, NodeId t,
+                      const EdgeMask& mask) {
+  std::vector<double> unit(static_cast<std::size_t>(g.edge_count()), 1.0);
+  const MaxFlowResult r = max_flow(g, s, t, unit, mask);
+  return static_cast<int>(r.value + 0.5);
+}
+
+std::vector<EdgeId> make_cut_minimal(const Graph& g, NodeId s, NodeId t,
+                                     std::vector<EdgeId> cut,
+                                     const EdgeMask& mask) {
+  EdgeMask open = mask.empty() ? EdgeMask(g.edge_count(), true) : mask;
+  for (EdgeId e : cut) open.set(e, false);
+  MFD_REQUIRE(!reachable(g, s, t, open),
+              "make_cut_minimal(): candidate does not separate s and t");
+
+  // Greedily re-open members that are not needed; a member is kept only when
+  // re-opening it reconnects s and t.
+  std::vector<EdgeId> minimal;
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    const EdgeId e = cut[i];
+    open.set(e, true);
+    if (reachable(g, s, t, open)) {
+      open.set(e, false);
+      minimal.push_back(e);
+    }
+    // Otherwise leave it open: it was redundant.
+  }
+  std::sort(minimal.begin(), minimal.end());
+  return minimal;
+}
+
+}  // namespace mfd::graph

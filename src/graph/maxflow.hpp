@@ -1,0 +1,48 @@
+// Dinic max-flow / min-cut over the undirected chip graph.
+//
+// Test-cut generation (Section 3 of the paper, the "complementary problem" of
+// path generation) is implemented as a weighted minimum s–t cut: valves whose
+// stuck-at-1 fault is still uncovered get low capacity, covered valves get
+// high capacity, so the minimum cut preferentially collects uncovered valves.
+// Every minimum cut under strictly positive capacities is inclusion-minimal,
+// which is exactly the property that makes each member's stuck-at-1 fault
+// observable (re-opening any single member reconnects source and meter).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfd::graph {
+
+struct MaxFlowResult {
+  /// Total flow value from source to sink.
+  double value = 0.0;
+  /// Signed flow per original edge: positive when flowing u -> v.
+  std::vector<double> flow;
+  /// Edges of the induced minimum cut (endpoints on different sides).
+  std::vector<EdgeId> min_cut;
+  /// Per node: 1 when on the source side of the residual partition.
+  std::vector<char> source_side;
+};
+
+/// Computes a maximum flow between s and t treating each enabled undirected
+/// edge as bidirectional with the given capacity. Capacities must be
+/// non-negative; disabled edges carry no flow.
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t,
+                       const std::vector<double>& capacity,
+                       const EdgeMask& mask = {});
+
+/// Number of edge-disjoint s–t paths in the enabled subgraph (unit-capacity
+/// max-flow).
+int edge_connectivity(const Graph& g, NodeId s, NodeId t,
+                      const EdgeMask& mask = {});
+
+/// Removes redundant members from a candidate s–t edge cut so that re-adding
+/// any remaining member reconnects s and t. The input must actually separate
+/// s from t; throws otherwise.
+std::vector<EdgeId> make_cut_minimal(const Graph& g, NodeId s, NodeId t,
+                                     std::vector<EdgeId> cut,
+                                     const EdgeMask& mask = {});
+
+}  // namespace mfd::graph

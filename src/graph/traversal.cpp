@@ -1,0 +1,229 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace mfd::graph {
+
+namespace {
+
+struct BfsResult {
+  std::vector<EdgeId> parent_edge;  // edge used to reach node, or kInvalidEdge
+  std::vector<char> visited;
+};
+
+BfsResult bfs(const Graph& g, NodeId source, const EdgeMask& mask,
+              NodeId stop_at = kInvalidNode) {
+  BfsResult r;
+  r.parent_edge.assign(static_cast<std::size_t>(g.node_count()), kInvalidEdge);
+  r.visited.assign(static_cast<std::size_t>(g.node_count()), 0);
+  std::queue<NodeId> queue;
+  r.visited[static_cast<std::size_t>(source)] = 1;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop();
+    if (n == stop_at) break;
+    for (EdgeId e : g.incident_edges(n)) {
+      if (!mask.enabled(e)) continue;
+      const NodeId m = g.edge(e).other(n);
+      if (r.visited[static_cast<std::size_t>(m)]) continue;
+      r.visited[static_cast<std::size_t>(m)] = 1;
+      r.parent_edge[static_cast<std::size_t>(m)] = e;
+      queue.push(m);
+    }
+  }
+  return r;
+}
+
+Path trace_back(const Graph& g, const std::vector<EdgeId>& parent_edge,
+                NodeId source, NodeId target) {
+  Path path;
+  NodeId n = target;
+  while (n != source) {
+    const EdgeId e = parent_edge[static_cast<std::size_t>(n)];
+    MFD_ASSERT(e != kInvalidEdge, "trace_back(): broken parent chain");
+    path.edges.push_back(e);
+    path.nodes.push_back(n);
+    n = g.edge(e).other(n);
+  }
+  path.nodes.push_back(source);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+}  // namespace
+
+bool reachable(const Graph& g, NodeId source, NodeId target,
+               const EdgeMask& mask) {
+  MFD_REQUIRE(g.has_node(source) && g.has_node(target),
+              "reachable(): unknown node");
+  if (source == target) return true;
+  const BfsResult r = bfs(g, source, mask, target);
+  return r.visited[static_cast<std::size_t>(target)] != 0;
+}
+
+std::vector<NodeId> reachable_set(const Graph& g, NodeId source,
+                                  const EdgeMask& mask) {
+  MFD_REQUIRE(g.has_node(source), "reachable_set(): unknown node");
+  const BfsResult r = bfs(g, source, mask);
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (r.visited[static_cast<std::size_t>(n)]) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId source, NodeId target,
+                                  const EdgeMask& mask) {
+  MFD_REQUIRE(g.has_node(source) && g.has_node(target),
+              "shortest_path(): unknown node");
+  if (source == target) return Path{{source}, {}};
+  const BfsResult r = bfs(g, source, mask, target);
+  if (!r.visited[static_cast<std::size_t>(target)]) return std::nullopt;
+  return trace_back(g, r.parent_edge, source, target);
+}
+
+std::optional<Path> shortest_path_weighted(const Graph& g, NodeId source,
+                                           NodeId target,
+                                           const std::vector<double>& weights,
+                                           const EdgeMask& mask) {
+  MFD_REQUIRE(g.has_node(source) && g.has_node(target),
+              "shortest_path_weighted(): unknown node");
+  MFD_REQUIRE(weights.size() == static_cast<std::size_t>(g.edge_count()),
+              "shortest_path_weighted(): one weight per edge required");
+  for (double w : weights) {
+    MFD_REQUIRE(w >= 0.0, "shortest_path_weighted(): negative weight");
+  }
+  if (source == target) return Path{{source}, {}};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(g.node_count()), kInf);
+  std::vector<EdgeId> parent(static_cast<std::size_t>(g.node_count()),
+                             kInvalidEdge);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, n] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(n)]) continue;
+    if (n == target) break;
+    for (EdgeId e : g.incident_edges(n)) {
+      if (!mask.enabled(e)) continue;
+      const NodeId m = g.edge(e).other(n);
+      const double nd = d + weights[static_cast<std::size_t>(e)];
+      if (nd < dist[static_cast<std::size_t>(m)]) {
+        dist[static_cast<std::size_t>(m)] = nd;
+        parent[static_cast<std::size_t>(m)] = e;
+        heap.emplace(nd, m);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(target)] == kInf) return std::nullopt;
+  return trace_back(g, parent, source, target);
+}
+
+std::vector<int> connected_components(const Graph& g, const EdgeMask& mask) {
+  std::vector<int> component(static_cast<std::size_t>(g.node_count()), -1);
+  int next = 0;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (component[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = next++;
+    std::queue<NodeId> queue;
+    component[static_cast<std::size_t>(start)] = id;
+    queue.push(start);
+    while (!queue.empty()) {
+      const NodeId n = queue.front();
+      queue.pop();
+      for (EdgeId e : g.incident_edges(n)) {
+        if (!mask.enabled(e)) continue;
+        const NodeId m = g.edge(e).other(n);
+        if (component[static_cast<std::size_t>(m)] == -1) {
+          component[static_cast<std::size_t>(m)] = id;
+          queue.push(m);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+bool edge_separates(const Graph& g, EdgeId bridge_candidate, NodeId source,
+                    NodeId target, const EdgeMask& mask) {
+  MFD_REQUIRE(bridge_candidate >= 0 && bridge_candidate < g.edge_count(),
+              "edge_separates(): unknown edge");
+  EdgeMask local = mask.empty() ? EdgeMask(g.edge_count(), true) : mask;
+  if (!local.enabled(bridge_candidate)) {
+    // Already disabled: removing it changes nothing.
+    return !reachable(g, source, target, local);
+  }
+  local.set(bridge_candidate, false);
+  return !reachable(g, source, target, local);
+}
+
+namespace {
+
+// Iterative lowlink computation for bridges (avoids recursion-depth limits on
+// long channel chains).
+struct BridgeFrame {
+  NodeId node;
+  EdgeId via_edge;
+  std::size_t next_index;
+};
+
+}  // namespace
+
+std::vector<EdgeId> bridges(const Graph& g, const EdgeMask& mask) {
+  const auto n_count = static_cast<std::size_t>(g.node_count());
+  std::vector<int> discovery(n_count, -1);
+  std::vector<int> low(n_count, -1);
+  std::vector<EdgeId> result;
+  int timer = 0;
+
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    if (discovery[static_cast<std::size_t>(root)] != -1) continue;
+    std::vector<BridgeFrame> stack;
+    stack.push_back({root, kInvalidEdge, 0});
+    discovery[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      BridgeFrame& frame = stack.back();
+      const auto& incident = g.incident_edges(frame.node);
+      if (frame.next_index < incident.size()) {
+        const EdgeId e = incident[frame.next_index++];
+        if (!mask.enabled(e) || e == frame.via_edge) continue;
+        const NodeId m = g.edge(e).other(frame.node);
+        if (discovery[static_cast<std::size_t>(m)] == -1) {
+          discovery[static_cast<std::size_t>(m)] =
+              low[static_cast<std::size_t>(m)] = timer++;
+          stack.push_back({m, e, 0});
+        } else {
+          low[static_cast<std::size_t>(frame.node)] =
+              std::min(low[static_cast<std::size_t>(frame.node)],
+                       discovery[static_cast<std::size_t>(m)]);
+        }
+      } else {
+        const BridgeFrame done = frame;
+        stack.pop_back();
+        if (!stack.empty()) {
+          const NodeId parent = stack.back().node;
+          low[static_cast<std::size_t>(parent)] =
+              std::min(low[static_cast<std::size_t>(parent)],
+                       low[static_cast<std::size_t>(done.node)]);
+          if (low[static_cast<std::size_t>(done.node)] >
+              discovery[static_cast<std::size_t>(parent)]) {
+            result.push_back(done.via_edge);
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace mfd::graph

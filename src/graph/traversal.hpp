@@ -1,0 +1,59 @@
+// Reachability, shortest paths, and connected components over masked graphs.
+//
+// Pressure propagation through a chip whose valves are in a given open/closed
+// state is exactly reachability over the subgraph of open edges, so these
+// routines are the core of the test simulator.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfd::graph {
+
+/// A path as an alternating description: the ordered node sequence and the
+/// ordered edge sequence (|edges| == |nodes| - 1).
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+  [[nodiscard]] int length() const { return static_cast<int>(edges.size()); }
+};
+
+/// True if `target` is reachable from `source` using enabled edges only.
+bool reachable(const Graph& g, NodeId source, NodeId target,
+               const EdgeMask& mask = {});
+
+/// All nodes reachable from `source` using enabled edges (including source).
+std::vector<NodeId> reachable_set(const Graph& g, NodeId source,
+                                  const EdgeMask& mask = {});
+
+/// Breadth-first shortest path (fewest edges) from source to target over
+/// enabled edges; nullopt when disconnected.
+std::optional<Path> shortest_path(const Graph& g, NodeId source, NodeId target,
+                                  const EdgeMask& mask = {});
+
+/// Dijkstra shortest path with non-negative per-edge weights over enabled
+/// edges; nullopt when disconnected.
+std::optional<Path> shortest_path_weighted(const Graph& g, NodeId source,
+                                           NodeId target,
+                                           const std::vector<double>& weights,
+                                           const EdgeMask& mask = {});
+
+/// Component id per node (-1 never appears); ids are dense starting at 0.
+std::vector<int> connected_components(const Graph& g,
+                                      const EdgeMask& mask = {});
+
+/// True if removing edge `bridge_candidate` disconnects `source` from
+/// `target` in the enabled subgraph. Used to decide whether a stuck-at-0
+/// fault on that edge is observable by a path vector.
+bool edge_separates(const Graph& g, EdgeId bridge_candidate, NodeId source,
+                    NodeId target, const EdgeMask& mask = {});
+
+/// All bridges of the enabled subgraph (edges whose removal increases the
+/// number of connected components).
+std::vector<EdgeId> bridges(const Graph& g, const EdgeMask& mask = {});
+
+}  // namespace mfd::graph

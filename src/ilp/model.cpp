@@ -1,0 +1,110 @@
+#include "ilp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mfd::ilp {
+
+double LinearExpr::evaluate(const std::vector<double>& values) const {
+  double total = constant_;
+  for (const LinearTerm& t : terms_) {
+    MFD_REQUIRE(t.var >= 0 && static_cast<std::size_t>(t.var) < values.size(),
+                "LinearExpr::evaluate(): variable out of range");
+    total += t.coeff * values[static_cast<std::size_t>(t.var)];
+  }
+  return total;
+}
+
+void LinearExpr::normalize() {
+  std::map<VarId, double> merged;
+  for (const LinearTerm& t : terms_) merged[t.var] += t.coeff;
+  terms_.clear();
+  for (const auto& [var, coeff] : merged) {
+    if (std::abs(coeff) > 0.0) terms_.push_back({var, coeff});
+  }
+}
+
+bool Constraint::satisfied(const std::vector<double>& values,
+                           double tol) const {
+  const double lhs = expr.evaluate(values);
+  switch (sense) {
+    case Sense::kLessEqual:
+      return lhs <= rhs + tol;
+    case Sense::kEqual:
+      return std::abs(lhs - rhs) <= tol;
+    case Sense::kGreaterEqual:
+      return lhs >= rhs - tol;
+  }
+  return false;
+}
+
+VarId Model::add_variable(VarType type, double lower, double upper,
+                          std::string name) {
+  MFD_REQUIRE(lower <= upper, "add_variable(): lower bound exceeds upper");
+  if (type == VarType::kBinary) {
+    MFD_REQUIRE(lower >= 0.0 && upper <= 1.0,
+                "add_variable(): binary bounds must lie in [0,1]");
+  }
+  variables_.push_back(Variable{type, lower, upper, std::move(name)});
+  return static_cast<VarId>(variables_.size()) - 1;
+}
+
+void Model::add_constraint(LinearExpr expr, Sense sense, double rhs) {
+  expr.normalize();
+  for (const LinearTerm& t : expr.terms()) {
+    MFD_REQUIRE(t.var >= 0 && t.var < variable_count(),
+                "add_constraint(): unknown variable");
+  }
+  const double folded_rhs = rhs - expr.constant();
+  LinearExpr without_constant;
+  for (const LinearTerm& t : expr.terms()) without_constant.add(t.var, t.coeff);
+  constraints_.push_back(Constraint{std::move(without_constant), sense,
+                                    folded_rhs});
+}
+
+void Model::set_objective(LinearExpr objective, bool minimize) {
+  objective.normalize();
+  for (const LinearTerm& t : objective.terms()) {
+    MFD_REQUIRE(t.var >= 0 && t.var < variable_count(),
+                "set_objective(): unknown variable");
+  }
+  objective_ = std::move(objective);
+  minimize_ = minimize;
+}
+
+void Model::set_branch_priority(VarId v, int priority) {
+  MFD_REQUIRE(v >= 0 && v < variable_count(),
+              "set_branch_priority(): id out of range");
+  variables_[static_cast<std::size_t>(v)].branch_priority = priority;
+}
+
+const Variable& Model::variable(VarId v) const {
+  MFD_REQUIRE(v >= 0 && v < variable_count(), "variable(): id out of range");
+  return variables_[static_cast<std::size_t>(v)];
+}
+
+bool Model::has_integer_variables() const {
+  return std::any_of(variables_.begin(), variables_.end(),
+                     [](const Variable& v) {
+                       return v.type != VarType::kContinuous;
+                     });
+}
+
+bool Model::feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != variables_.size()) return false;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const Variable& v = variables_[i];
+    if (values[i] < v.lower - tol || values[i] > v.upper + tol) return false;
+    if (v.type != VarType::kContinuous &&
+        std::abs(values[i] - std::round(values[i])) > tol) {
+      return false;
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    if (!c.satisfied(values, tol)) return false;
+  }
+  return true;
+}
+
+}  // namespace mfd::ilp

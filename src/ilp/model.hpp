@@ -1,0 +1,136 @@
+// Mixed 0-1 / linear model builder.
+//
+// The DFT augmentation problem (equations (1)-(6) of the paper) is expressed
+// against this interface and solved by the in-repo branch-and-bound solver.
+// The builder is deliberately small: sparse linear expressions, three
+// constraint senses, bounded variables, and a linear objective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mfd::ilp {
+
+using VarId = int;
+
+enum class VarType { kContinuous, kBinary, kInteger };
+
+enum class Sense { kLessEqual, kEqual, kGreaterEqual };
+
+/// One coefficient of a sparse linear expression.
+struct LinearTerm {
+  VarId var = -1;
+  double coeff = 0.0;
+};
+
+/// Sparse linear expression sum(coeff_i * var_i) + constant.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+
+  LinearExpr& add(VarId var, double coeff) {
+    terms_.push_back({var, coeff});
+    return *this;
+  }
+
+  LinearExpr& add_constant(double value) {
+    constant_ += value;
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<LinearTerm>& terms() const { return terms_; }
+  [[nodiscard]] double constant() const { return constant_; }
+
+  /// Evaluates the expression on a full assignment vector.
+  [[nodiscard]] double evaluate(const std::vector<double>& values) const;
+
+  /// Merges duplicate variables and drops zero coefficients.
+  void normalize();
+
+ private:
+  std::vector<LinearTerm> terms_;
+  double constant_ = 0.0;
+};
+
+/// A linear constraint expr (sense) rhs. The expression's constant is folded
+/// into the rhs by Model::add_constraint.
+struct Constraint {
+  LinearExpr expr;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+
+  [[nodiscard]] bool satisfied(const std::vector<double>& values,
+                               double tol = 1e-6) const;
+};
+
+struct Variable {
+  VarType type = VarType::kContinuous;
+  double lower = 0.0;
+  double upper = 0.0;
+  std::string name;
+  /// Branch-and-bound picks fractional variables of the highest priority
+  /// class first (structural decisions before dependent ones).
+  int branch_priority = 0;
+};
+
+/// An optimization model: minimize objective subject to linear constraints
+/// and variable bounds.
+class Model {
+ public:
+  /// Adds a variable with explicit bounds. Use +/-infinity for free bounds.
+  VarId add_variable(VarType type, double lower, double upper,
+                     std::string name = {});
+
+  /// Adds a 0-1 variable.
+  VarId add_binary(std::string name = {}) {
+    return add_variable(VarType::kBinary, 0.0, 1.0, std::move(name));
+  }
+
+  VarId add_continuous(double lower, double upper, std::string name = {}) {
+    return add_variable(VarType::kContinuous, lower, upper, std::move(name));
+  }
+
+  /// Adds expr (sense) rhs; the expression's constant is moved to the rhs.
+  void add_constraint(LinearExpr expr, Sense sense, double rhs);
+
+  /// Sets the branching priority of a variable (default 0; higher = branch
+  /// earlier).
+  void set_branch_priority(VarId v, int priority);
+
+  /// Sets the objective. The solver always minimizes; pass minimize=false to
+  /// maximize (the objective is negated internally and the reported objective
+  /// is negated back).
+  void set_objective(LinearExpr objective, bool minimize = true);
+
+  [[nodiscard]] int variable_count() const {
+    return static_cast<int>(variables_.size());
+  }
+  [[nodiscard]] int constraint_count() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const Variable& variable(VarId v) const;
+  [[nodiscard]] const std::vector<Variable>& variables() const {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] const LinearExpr& objective() const { return objective_; }
+  [[nodiscard]] bool minimize() const { return minimize_; }
+
+  [[nodiscard]] bool has_integer_variables() const;
+
+  /// True when the assignment satisfies every constraint and bound.
+  [[nodiscard]] bool feasible(const std::vector<double>& values,
+                              double tol = 1e-6) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  LinearExpr objective_;
+  bool minimize_ = true;
+};
+
+}  // namespace mfd::ilp

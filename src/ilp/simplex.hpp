@@ -1,0 +1,43 @@
+// Two-phase primal simplex with bounded variables.
+//
+// Solves the LP relaxations inside the branch-and-bound solver. Variables may
+// carry finite lower/upper bounds (the common case here: 0-1 relaxations), so
+// no extra rows are spent on bound constraints; nonbasic variables rest at
+// either bound and the ratio test supports bound flips. The basis inverse is
+// maintained densely with periodic refactorization, which is robust and more
+// than fast enough for the few-hundred-variable models the DFT formulation
+// produces.
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace mfd::ilp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Objective in the model's own orientation (min or max).
+  double objective = 0.0;
+  /// One value per model variable (structural variables only).
+  std::vector<double> values;
+  int iterations = 0;
+};
+
+struct LpOptions {
+  double tol = 1e-7;
+  /// 0 = automatic (scales with problem size).
+  int max_iterations = 0;
+};
+
+/// Solves the continuous relaxation of `model`. When `lower`/`upper` are
+/// non-empty they override the model's variable bounds (used by
+/// branch-and-bound to impose branching decisions); they must then have one
+/// entry per variable.
+LpResult solve_lp(const Model& model, const std::vector<double>& lower = {},
+                  const std::vector<double>& upper = {},
+                  const LpOptions& options = {});
+
+}  // namespace mfd::ilp

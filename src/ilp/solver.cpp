@@ -1,0 +1,181 @@
+#include "ilp/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace mfd::ilp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound = -kInf;  // LP bound in minimize orientation
+  int depth = 0;
+};
+
+struct NodeOrder {
+  // Best-first: smaller bound first; deeper first on ties (dives to find
+  // incumbents quickly).
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.depth < b.depth;
+  }
+};
+
+// Index of the fractional integer variable to branch on, or -1 when the
+// assignment is integral. Highest branch priority wins; most fractional
+// breaks ties within a priority class.
+int fractional_variable(const Model& model, const std::vector<double>& values,
+                        double tol) {
+  int best = -1;
+  int best_priority = 0;
+  double best_frac = 0.0;
+  for (VarId v = 0; v < model.variable_count(); ++v) {
+    const Variable& var = model.variable(v);
+    if (var.type == VarType::kContinuous) continue;
+    const double value = values[static_cast<std::size_t>(v)];
+    const double frac = std::abs(value - std::round(value));
+    if (frac <= tol) continue;
+    if (best == -1 || var.branch_priority > best_priority ||
+        (var.branch_priority == best_priority && frac > best_frac)) {
+      best = v;
+      best_priority = var.branch_priority;
+      best_frac = frac;
+    }
+  }
+  return best;
+}
+
+void round_integers(const Model& model, std::vector<double>& values) {
+  for (VarId v = 0; v < model.variable_count(); ++v) {
+    if (model.variable(v).type == VarType::kContinuous) continue;
+    values[static_cast<std::size_t>(v)] =
+        std::round(values[static_cast<std::size_t>(v)]);
+  }
+}
+
+}  // namespace
+
+Solution solve_ilp(const Model& model, const SolverOptions& options,
+                   const LazyConstraintCallback& lazy) {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // Working copy: lazy constraints are appended here as they are discovered.
+  Model work = model;
+  const double orient = model.minimize() ? 1.0 : -1.0;
+
+  Solution result;
+
+  std::vector<double> root_lower(
+      static_cast<std::size_t>(model.variable_count()));
+  std::vector<double> root_upper(
+      static_cast<std::size_t>(model.variable_count()));
+  for (VarId v = 0; v < model.variable_count(); ++v) {
+    root_lower[static_cast<std::size_t>(v)] = model.variable(v).lower;
+    root_upper[static_cast<std::size_t>(v)] = model.variable(v).upper;
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+
+  // Solve the root relaxation first to classify infeasible/unbounded models.
+  {
+    const LpResult root = solve_lp(work, root_lower, root_upper, options.lp);
+    ++result.nodes_explored;
+    if (root.status == LpStatus::kInfeasible ||
+        root.status == LpStatus::kIterationLimit) {
+      result.status = SolveStatus::kInfeasible;
+      result.runtime_seconds = elapsed();
+      return result;
+    }
+    if (root.status == LpStatus::kUnbounded) {
+      // With integer variables the IP could still be bounded, but every model
+      // in this library is bounded by construction; report honestly.
+      result.status = SolveStatus::kUnbounded;
+      result.runtime_seconds = elapsed();
+      return result;
+    }
+    Node node{root_lower, root_upper, orient * root.objective, 0};
+    open.push(std::move(node));
+  }
+
+  double incumbent_key = kInf;  // minimize orientation
+
+  while (!open.empty()) {
+    if (elapsed() > options.time_limit_seconds) {
+      result.status = SolveStatus::kTimeLimit;
+      result.runtime_seconds = elapsed();
+      return result;
+    }
+    if (result.nodes_explored >= options.max_nodes) {
+      result.status = SolveStatus::kNodeLimit;
+      result.runtime_seconds = elapsed();
+      return result;
+    }
+
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent_key - options.absolute_gap) continue;
+
+    const LpResult lp = solve_lp(work, node.lower, node.upper, options.lp);
+    ++result.nodes_explored;
+    if (lp.status != LpStatus::kOptimal) continue;  // infeasible subtree
+    const double key = orient * lp.objective;
+    if (key >= incumbent_key - options.absolute_gap) continue;
+
+    const int branch_var =
+        fractional_variable(work, lp.values, options.integrality_tol);
+    if (branch_var == -1) {
+      // Integral candidate. Give the lazy callback a chance to reject it.
+      std::vector<double> candidate = lp.values;
+      round_integers(work, candidate);
+      if (lazy) {
+        std::vector<Constraint> cuts = lazy(candidate);
+        if (!cuts.empty()) {
+          for (Constraint& cut : cuts) {
+            work.add_constraint(std::move(cut.expr), cut.sense, cut.rhs);
+            ++result.lazy_constraints_added;
+          }
+          // Re-solve the same node against the strengthened model.
+          node.bound = key;
+          open.push(std::move(node));
+          continue;
+        }
+      }
+      incumbent_key = key;
+      result.values = std::move(candidate);
+      result.objective = lp.objective;
+      continue;
+    }
+
+    // Branch on the fractional variable.
+    const double value = lp.values[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.upper[static_cast<std::size_t>(branch_var)] = std::floor(value);
+    down.bound = key;
+    down.depth = node.depth + 1;
+    Node up = std::move(node);
+    up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(value);
+    up.bound = key;
+    up.depth = down.depth;
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  result.status = result.has_solution() ? SolveStatus::kOptimal
+                                        : SolveStatus::kInfeasible;
+  result.runtime_seconds = elapsed();
+  return result;
+}
+
+}  // namespace mfd::ilp

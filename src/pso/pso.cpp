@@ -1,0 +1,100 @@
+#include "pso/pso.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mfd::pso {
+
+int decode_index(double coordinate, int count) {
+  MFD_REQUIRE(count > 0, "decode_index(): count must be positive");
+  const double clamped = std::clamp(coordinate, 0.0, 1.0);
+  const int index = static_cast<int>(clamped * count);
+  return std::min(index, count - 1);
+}
+
+PsoResult minimize(int dimensions, const Objective& objective,
+                   const PsoOptions& options,
+                   const std::vector<std::vector<double>>& seed_positions) {
+  MFD_REQUIRE(dimensions >= 0, "pso::minimize(): negative dimensionality");
+  MFD_REQUIRE(options.particles >= 1 && options.iterations >= 0,
+              "pso::minimize(): need at least one particle");
+
+  PsoResult result;
+  if (dimensions == 0) {
+    result.best_position = {};
+    result.best_value = objective({});
+    result.evaluations = 1;
+    result.best_per_iteration.assign(
+        static_cast<std::size_t>(options.iterations) + 1, result.best_value);
+    return result;
+  }
+
+  Rng rng(options.seed);
+  const std::size_t dim = static_cast<std::size_t>(dimensions);
+  const std::size_t swarm = static_cast<std::size_t>(options.particles);
+
+  std::vector<std::vector<double>> position(swarm, std::vector<double>(dim));
+  std::vector<std::vector<double>> velocity(swarm,
+                                            std::vector<double>(dim, 0.0));
+  std::vector<std::vector<double>> best_position(swarm);
+  std::vector<double> best_value(
+      swarm, std::numeric_limits<double>::infinity());
+
+  for (std::size_t p = 0; p < swarm; ++p) {
+    if (p < seed_positions.size()) {
+      MFD_REQUIRE(seed_positions[p].size() == dim,
+                  "pso::minimize(): seed position dimension mismatch");
+      position[p] = seed_positions[p];
+      for (std::size_t d = 0; d < dim; ++d) {
+        position[p][d] = std::clamp(position[p][d], 0.0, 1.0);
+        velocity[p][d] = rng.uniform(-options.vmax, options.vmax);
+      }
+    } else {
+      for (std::size_t d = 0; d < dim; ++d) {
+        position[p][d] = rng.uniform();
+        velocity[p][d] = rng.uniform(-options.vmax, options.vmax);
+      }
+    }
+    const double value = objective(position[p]);
+    ++result.evaluations;
+    best_position[p] = position[p];
+    best_value[p] = value;
+    if (value < result.best_value) {
+      result.best_value = value;
+      result.best_position = position[p];
+    }
+  }
+  result.best_per_iteration.push_back(result.best_value);
+
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    for (std::size_t p = 0; p < swarm; ++p) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double r1 = rng.uniform();
+        const double r2 = rng.uniform();
+        double v = options.omega * velocity[p][d] +
+                   options.c1 * r1 * (best_position[p][d] - position[p][d]);
+        if (!result.best_position.empty()) {
+          v += options.c2 * r2 * (result.best_position[d] - position[p][d]);
+        }
+        velocity[p][d] = std::clamp(v, -options.vmax, options.vmax);
+        position[p][d] =
+            std::clamp(position[p][d] + velocity[p][d], 0.0, 1.0);
+      }
+      const double value = objective(position[p]);
+      ++result.evaluations;
+      if (value < best_value[p]) {
+        best_value[p] = value;
+        best_position[p] = position[p];
+      }
+      if (value < result.best_value) {
+        result.best_value = value;
+        result.best_position = position[p];
+      }
+    }
+    result.best_per_iteration.push_back(result.best_value);
+  }
+  return result;
+}
+
+}  // namespace mfd::pso

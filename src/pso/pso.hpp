@@ -1,0 +1,60 @@
+// Generic particle swarm optimizer (Kennedy & Eberhart [20]).
+//
+// Minimizes an objective over the unit hypercube [0,1]^d. Callers decode a
+// position into their domain object (the codesign engine decodes valve-
+// sharing assignments and DFT-configuration choices). The implementation
+// uses the standard velocity update
+//     v <- w*v + c1*r1*(p_best - x) + c2*r2*(g_best - x)
+// (the paper's equation (7) prints the differences with the opposite sign,
+// which would repel particles from their best positions; we follow the
+// canonical formulation).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mfd::pso {
+
+struct PsoOptions {
+  int particles = 5;
+  int iterations = 100;
+  /// Inertia weight.
+  double omega = 0.72;
+  /// Cognitive (own-best) acceleration.
+  double c1 = 1.49;
+  /// Social (swarm-best) acceleration.
+  double c2 = 1.49;
+  /// Velocity clamp per dimension.
+  double vmax = 0.25;
+  std::uint64_t seed = 42;
+};
+
+struct PsoResult {
+  std::vector<double> best_position;
+  double best_value = std::numeric_limits<double>::infinity();
+  /// Swarm best after each iteration (index 0 = after initialization).
+  std::vector<double> best_per_iteration;
+  int evaluations = 0;
+};
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Runs PSO over [0,1]^dimensions and returns the best position found.
+/// Objectives may return +infinity for invalid positions. With dimensions ==
+/// 0 the objective is evaluated once on the empty position.
+/// `seed_positions` warm-start the first swarm slots (extra seeds are
+/// ignored); remaining particles start random. The two-level codesign uses
+/// this to initialize each sub-swarm at the outer particle's current
+/// valve-sharing vector, so sharing quality improves across outer iterations
+/// as in the paper's step (2).
+PsoResult minimize(int dimensions, const Objective& objective,
+                   const PsoOptions& options = {},
+                   const std::vector<std::vector<double>>& seed_positions = {});
+
+/// Decodes a coordinate in [0,1] into an integer index in [0, count).
+[[nodiscard]] int decode_index(double coordinate, int count);
+
+}  // namespace mfd::pso

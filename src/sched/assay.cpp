@@ -1,0 +1,149 @@
+#include "sched/assay.hpp"
+
+#include <numeric>
+
+namespace mfd::sched {
+
+const char* to_string(OpKind kind) {
+  return kind == OpKind::kMix ? "mix" : "detect";
+}
+
+OpId Assay::add_operation(OpKind kind, double duration, std::string name) {
+  MFD_REQUIRE(duration > 0.0, "add_operation(): duration must be positive");
+  if (name.empty()) {
+    name = std::string(to_string(kind)) + '_' +
+           std::to_string(operations_.size());
+  }
+  operations_.push_back(Operation{kind, duration, std::move(name)});
+  const OpId id = dag_.add_node();
+  MFD_ASSERT(static_cast<std::size_t>(id) + 1 == operations_.size(),
+             "assay dag out of sync with operation list");
+  return id;
+}
+
+void Assay::add_dependency(OpId from, OpId to) { dag_.add_arc(from, to); }
+
+const Operation& Assay::operation(OpId op) const {
+  MFD_REQUIRE(op >= 0 && op < operation_count(),
+              "operation(): id out of range");
+  return operations_[static_cast<std::size_t>(op)];
+}
+
+int Assay::input_count(OpId op) const {
+  return operation(op).kind == OpKind::kMix ? 2 : 1;
+}
+
+int Assay::reagent_count(OpId op) const {
+  const int from_predecessors = dag_.in_degree(op);
+  return std::max(0, input_count(op) - from_predecessors);
+}
+
+arch::DeviceKind Assay::required_device(OpKind kind) {
+  return kind == OpKind::kMix ? arch::DeviceKind::kMixer
+                              : arch::DeviceKind::kDetector;
+}
+
+bool Assay::validate(std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (operations_.empty()) return fail("assay has no operations");
+  if (!graph::is_dag(dag_)) return fail("sequencing graph has a cycle");
+  for (OpId op = 0; op < operation_count(); ++op) {
+    if (dag_.in_degree(op) > input_count(op)) {
+      return fail("operation " + operation(op).name +
+                  " has more predecessors than fluid inputs");
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+double Assay::total_work() const {
+  return std::accumulate(operations_.begin(), operations_.end(), 0.0,
+                         [](double acc, const Operation& op) {
+                           return acc + op.duration;
+                         });
+}
+
+Assay make_ivd_assay() {
+  Assay assay("IVD");
+  for (int chain = 0; chain < 6; ++chain) {
+    const OpId mix = assay.add_operation(
+        OpKind::kMix, kMixDuration, "mix_s" + std::to_string(chain / 2 + 1) +
+                                        "_r" + std::to_string(chain % 2 + 1));
+    const OpId det = assay.add_operation(
+        OpKind::kDetect, kDetectDuration,
+        "det_s" + std::to_string(chain / 2 + 1) + "_r" +
+            std::to_string(chain % 2 + 1));
+    assay.add_dependency(mix, det);
+  }
+  MFD_ASSERT(assay.operation_count() == 12, "IVD must have 12 operations");
+  return assay;
+}
+
+Assay make_pid_assay() {
+  Assay assay("PID");
+  OpId previous_mix = -1;
+  for (int stage = 0; stage < 19; ++stage) {
+    const OpId mix = assay.add_operation(OpKind::kMix, kMixDuration,
+                                         "dilute_" + std::to_string(stage));
+    const OpId det = assay.add_operation(OpKind::kDetect, kDetectDuration,
+                                         "read_" + std::to_string(stage));
+    if (previous_mix != -1) assay.add_dependency(previous_mix, mix);
+    assay.add_dependency(mix, det);
+    previous_mix = mix;
+  }
+  MFD_ASSERT(assay.operation_count() == 38, "PID must have 38 operations");
+  return assay;
+}
+
+Assay make_cpa_assay() {
+  Assay assay("CPA");
+  // Depth-4 binary dilution tree: 1 + 2 + 4 + 8 = 15 mixes.
+  std::vector<OpId> level = {assay.add_operation(OpKind::kMix, kMixDuration,
+                                                 "dilute_root")};
+  for (int depth = 1; depth <= 3; ++depth) {
+    std::vector<OpId> next;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (int child = 0; child < 2; ++child) {
+        const OpId mix = assay.add_operation(
+            OpKind::kMix, kMixDuration,
+            "dilute_d" + std::to_string(depth) + "_" +
+                std::to_string(2 * i + static_cast<std::size_t>(child)));
+        assay.add_dependency(level[i], mix);
+        next.push_back(mix);
+      }
+    }
+    level = std::move(next);
+  }
+  MFD_ASSERT(level.size() == 8, "CPA dilution tree must have 8 leaves");
+  // Per concentration: one Bradford-reagent mix, then 4 sequential kinetic
+  // reads: 8 mixes + 32 detects.
+  for (std::size_t sample = 0; sample < level.size(); ++sample) {
+    const OpId reagent_mix = assay.add_operation(
+        OpKind::kMix, kMixDuration, "bradford_" + std::to_string(sample));
+    assay.add_dependency(level[sample], reagent_mix);
+    OpId previous = reagent_mix;
+    for (int read = 0; read < 4; ++read) {
+      const OpId det = assay.add_operation(
+          OpKind::kDetect, kDetectDuration,
+          "read_" + std::to_string(sample) + "_" + std::to_string(read));
+      assay.add_dependency(previous, det);
+      previous = det;
+    }
+  }
+  MFD_ASSERT(assay.operation_count() == 55, "CPA must have 55 operations");
+  return assay;
+}
+
+std::vector<Assay> make_paper_assays() {
+  std::vector<Assay> assays;
+  assays.push_back(make_ivd_assay());
+  assays.push_back(make_pid_assay());
+  assays.push_back(make_cpa_assay());
+  return assays;
+}
+
+}  // namespace mfd::sched

@@ -1,0 +1,127 @@
+#include "sched/control_program.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace mfd::sched {
+
+namespace {
+
+struct Hold {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+}  // namespace
+
+bool ControlProgram::well_formed() const {
+  std::map<arch::ControlId, int> open_depth;
+  double previous = -1e300;
+  for (const Actuation& a : events) {
+    if (a.time < previous - 1e-9) return false;  // unsorted
+    previous = a.time;
+    int& depth = open_depth[a.control];
+    if (a.kind == ActuationKind::kVent) {
+      if (depth != 0) return false;  // double vent
+      depth = 1;
+    } else {
+      if (depth != 1) return false;  // pressurize without vent
+      depth = 0;
+    }
+  }
+  for (const auto& [control, depth] : open_depth) {
+    if (depth != 0) return false;  // never re-pressurized
+  }
+  return true;
+}
+
+std::vector<arch::ControlId> ControlProgram::open_controls_at(
+    double time) const {
+  std::map<arch::ControlId, bool> open;
+  for (const Actuation& a : events) {
+    if (a.time > time + 1e-9) break;
+    open[a.control] = a.kind == ActuationKind::kVent;
+  }
+  std::vector<arch::ControlId> result;
+  for (const auto& [control, is_open] : open) {
+    if (is_open) result.push_back(control);
+  }
+  return result;
+}
+
+ControlProgram compile_control_program(const arch::Biochip& chip,
+                                       const Schedule& schedule) {
+  MFD_REQUIRE(schedule.feasible,
+              "compile_control_program(): schedule must be feasible");
+
+  // Collect the hold interval each transport needs per control, then merge
+  // overlapping holds of the same control (valve sharing and back-to-back
+  // moves produce overlaps).
+  std::map<arch::ControlId, std::vector<Hold>> holds;
+  for (const TransportRecord& t : schedule.transports) {
+    for (graph::EdgeId e : t.path) {
+      const arch::ValveId v = chip.valve_on_edge(e);
+      MFD_REQUIRE(v != arch::kInvalidValve,
+                  "compile_control_program(): transport uses a free edge — "
+                  "schedule does not belong to this chip");
+      holds[chip.valve(v).control].push_back(Hold{t.start, t.end});
+    }
+  }
+
+  ControlProgram program;
+  program.vents_per_control.assign(
+      static_cast<std::size_t>(chip.control_count()), 0);
+  for (auto& [control, intervals] : holds) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Hold& a, const Hold& b) { return a.start < b.start; });
+    Hold current = intervals.front();
+    auto emit = [&](const Hold& hold) {
+      program.events.push_back(
+          Actuation{hold.start, control, ActuationKind::kVent});
+      program.events.push_back(
+          Actuation{hold.end, control, ActuationKind::kPressurize});
+      program.vents_per_control[static_cast<std::size_t>(control)] += 1;
+      program.longest_hold =
+          std::max(program.longest_hold, hold.end - hold.start);
+    };
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].start <= current.end + 1e-9) {
+        current.end = std::max(current.end, intervals[i].end);
+      } else {
+        emit(current);
+        current = intervals[i];
+      }
+    }
+    emit(current);
+  }
+
+  std::sort(program.events.begin(), program.events.end(),
+            [](const Actuation& a, const Actuation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) {
+                // Pressurizations before vents at equal instants keeps
+                // well_formed() happy for back-to-back holds... except holds
+                // were merged, so equal-time pairs belong to different
+                // controls; order by control id for determinism.
+                return a.kind == ActuationKind::kPressurize;
+              }
+              return a.control < b.control;
+            });
+  return program;
+}
+
+std::string render_control_program(const ControlProgram& program) {
+  std::ostringstream out;
+  out << "control program: " << program.actuation_count()
+      << " actuations, longest hold " << program.longest_hold << " s\n";
+  for (const Actuation& a : program.events) {
+    out << "  t=" << a.time << "  control " << a.control << ' '
+        << (a.kind == ActuationKind::kVent ? "vent (open valves)"
+                                           : "pressurize (close valves)")
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mfd::sched

@@ -1,0 +1,62 @@
+// Control-program generation: compile a schedule into the time-ordered
+// control-channel actuations a microcontroller would execute.
+//
+// Biochips are driven by pressurizing/venting control channels (Section 1 of
+// the paper); a schedule is only executable once it is lowered to that level.
+// The compiler emits, for every transport, the vent (open) events of its
+// path's controls at the start and the pressurize (close) events at the end,
+// merges overlapping holds on the same control, and reports actuation
+// statistics. Under valve sharing the same control may serve several
+// transports — the merge handles the overlap, and the statistics expose how
+// sharing changes the switching load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/biochip.hpp"
+#include "sched/scheduler.hpp"
+
+namespace mfd::sched {
+
+enum class ActuationKind {
+  kVent,        // depressurize: valves on this control open
+  kPressurize,  // pressurize: valves on this control close
+};
+
+struct Actuation {
+  double time = 0.0;
+  arch::ControlId control = arch::kInvalidControl;
+  ActuationKind kind = ActuationKind::kVent;
+};
+
+struct ControlProgram {
+  /// Events sorted by time (vents before pressurizations at equal times).
+  std::vector<Actuation> events;
+  /// Total switch events (= events.size()).
+  [[nodiscard]] int actuation_count() const {
+    return static_cast<int>(events.size());
+  }
+  /// Longest continuous open interval of any control.
+  double longest_hold = 0.0;
+  /// Per control: number of vent events.
+  std::vector<int> vents_per_control;
+
+  /// True when every vent has a matching later pressurization and no control
+  /// is vented twice without an intervening pressurization.
+  [[nodiscard]] bool well_formed() const;
+
+  /// Controls that are open at the given time.
+  [[nodiscard]] std::vector<arch::ControlId> open_controls_at(
+      double time) const;
+};
+
+/// Compiles the schedule's transports into a control program for the chip.
+/// The schedule must be feasible and must have been produced for this chip.
+ControlProgram compile_control_program(const arch::Biochip& chip,
+                                       const Schedule& schedule);
+
+/// Renders the program as a human-readable listing.
+std::string render_control_program(const ControlProgram& program);
+
+}  // namespace mfd::sched

@@ -1,0 +1,63 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mfd::sched {
+
+std::string render_gantt(const arch::Biochip& chip, const Assay& assay,
+                         const Schedule& schedule,
+                         const GanttOptions& options) {
+  MFD_REQUIRE(schedule.feasible, "render_gantt(): schedule must be feasible");
+  MFD_REQUIRE(options.width >= 20, "render_gantt(): width too small");
+  const double span = std::max(schedule.makespan, 1.0);
+  const double scale = static_cast<double>(options.width) / span;
+  auto column = [&](double t) {
+    return std::min(options.width - 1,
+                    std::max(0, static_cast<int>(t * scale)));
+  };
+
+  std::ostringstream out;
+  out << "makespan " << schedule.makespan << " s, one column = "
+      << span / options.width << " s\n";
+
+  for (arch::DeviceId d = 0; d < chip.device_count(); ++d) {
+    std::string row(static_cast<std::size_t>(options.width), '.');
+    for (const ScheduledOperation& op : schedule.operations) {
+      if (op.device != d) continue;
+      const int from = column(op.start);
+      const int to = std::max(from, column(op.end) - 1);
+      const char mark =
+          assay.operation(op.op).kind == OpKind::kMix ? 'M' : 'D';
+      for (int c = from; c <= to; ++c) {
+        row[static_cast<std::size_t>(c)] = mark;
+      }
+      // Label the start with the operation index (single digit best-effort).
+      row[static_cast<std::size_t>(from)] =
+          static_cast<char>('0' + op.op % 10);
+    }
+    out << "  " << chip.device(d).name;
+    out << std::string(
+        chip.device(d).name.size() < 10 ? 10 - chip.device(d).name.size() : 1,
+        ' ');
+    out << row << '\n';
+  }
+
+  if (options.show_transports && !schedule.transports.empty()) {
+    std::string row(static_cast<std::size_t>(options.width), '.');
+    for (const TransportRecord& t : schedule.transports) {
+      const char mark = t.purpose == TransportPurpose::kStore ? 'v' : '>';
+      const int from = column(t.start);
+      const int to = std::max(from, column(t.end) - 1);
+      for (int c = from; c <= to; ++c) {
+        if (row[static_cast<std::size_t>(c)] == '.') {
+          row[static_cast<std::size_t>(c)] = mark;
+        }
+      }
+    }
+    out << "  transports" << row << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mfd::sched

@@ -1,0 +1,27 @@
+// Text Gantt rendering of schedules: one row per device plus a transport
+// row, for logs, examples and debugging of contention patterns.
+#pragma once
+
+#include <string>
+
+#include "arch/biochip.hpp"
+#include "sched/assay.hpp"
+#include "sched/scheduler.hpp"
+
+namespace mfd::sched {
+
+struct GanttOptions {
+  /// Characters available for the time axis.
+  int width = 78;
+  /// Show transport rows (reagent/delivery/fetch/store) below the devices.
+  bool show_transports = true;
+};
+
+/// Renders the schedule as an ASCII Gantt chart. Device rows show operation
+/// execution windows labelled with the operation index; the transport row
+/// shows '>' (deliveries/reagents/fetches) and 'v' (store moves).
+std::string render_gantt(const arch::Biochip& chip, const Assay& assay,
+                         const Schedule& schedule,
+                         const GanttOptions& options = {});
+
+}  // namespace mfd::sched

@@ -1,0 +1,40 @@
+#include "sched/synthetic.hpp"
+
+namespace mfd::sched {
+
+Assay make_synthetic_assay(const SyntheticAssaySpec& spec, Rng& rng) {
+  MFD_REQUIRE(spec.operations >= 1, "synthetic assay needs operations");
+  Assay assay("synthetic");
+  std::vector<OpId> mixes;  // producers a later op may consume from
+
+  // The first operation is always a mix (detects need a predecessor).
+  mixes.push_back(assay.add_operation(OpKind::kMix, spec.mix_duration));
+
+  for (int i = 1; i < spec.operations; ++i) {
+    const bool detect = rng.flip(spec.detect_fraction) && !mixes.empty();
+    if (detect) {
+      const OpId d =
+          assay.add_operation(OpKind::kDetect, spec.detect_duration);
+      assay.add_dependency(mixes[rng.index(mixes.size())], d);
+    } else {
+      const OpId m = assay.add_operation(OpKind::kMix, spec.mix_duration);
+      if (!mixes.empty() && rng.flip(spec.chain_probability)) {
+        assay.add_dependency(mixes[rng.index(mixes.size())], m);
+        // Occasionally a second fluid input from another producer.
+        if (mixes.size() > 1 && rng.flip(0.3)) {
+          const OpId other = mixes[rng.index(mixes.size())];
+          if (!assay.dag().has_arc(other, m) &&
+              assay.dag().in_degree(m) < assay.input_count(m)) {
+            assay.add_dependency(other, m);
+          }
+        }
+      }
+      mixes.push_back(m);
+    }
+  }
+  std::string why;
+  MFD_ASSERT(assay.validate(&why), "synthetic assay invalid: " + why);
+  return assay;
+}
+
+}  // namespace mfd::sched

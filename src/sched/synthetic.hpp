@@ -1,0 +1,24 @@
+// Synthetic assay generation for property-based testing: random layered
+// sequencing graphs that always validate.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sched/assay.hpp"
+
+namespace mfd::sched {
+
+struct SyntheticAssaySpec {
+  int operations = 12;
+  /// Probability that a non-root mix keeps a dependency on an earlier op.
+  double chain_probability = 0.7;
+  /// Fraction of operations that are detections (the rest are mixes).
+  double detect_fraction = 0.4;
+  double mix_duration = kMixDuration;
+  double detect_duration = kDetectDuration;
+};
+
+/// Generates a valid random assay: a layered DAG where every detect has
+/// exactly one predecessor and every mix at most two.
+Assay make_synthetic_assay(const SyntheticAssaySpec& spec, Rng& rng);
+
+}  // namespace mfd::sched

@@ -1,0 +1,68 @@
+#include "sim/diagnosis.hpp"
+
+#include <algorithm>
+
+namespace mfd::sim {
+
+int DiagnosisTable::ambiguous_faults() const {
+  int total = 0;
+  for (const auto& [signature, faults] : classes) {
+    if (faults.size() > 1) total += static_cast<int>(faults.size());
+  }
+  return total;
+}
+
+bool DiagnosisTable::fully_detecting() const {
+  for (const auto& [signature, faults] : classes) {
+    if (signature.find('1') == Signature::npos) return false;
+  }
+  return true;
+}
+
+double DiagnosisTable::resolution() const {
+  if (signature_of_fault.empty()) return 1.0;
+  int unique = 0;
+  for (const auto& [signature, faults] : classes) {
+    if (faults.size() == 1) ++unique;
+  }
+  return static_cast<double>(unique) /
+         static_cast<double>(signature_of_fault.size());
+}
+
+DiagnosisTable build_diagnosis_table(const arch::Biochip& chip,
+                                     const std::vector<TestVector>& vectors,
+                                     FaultUniverse universe) {
+  const PressureSimulator simulator(chip);
+  DiagnosisTable table;
+  for (const Fault& fault : all_faults(chip, universe)) {
+    Signature signature;
+    signature.reserve(vectors.size());
+    for (const TestVector& v : vectors) {
+      signature += simulator.detects(v, fault) ? '1' : '0';
+    }
+    table.classes[signature].push_back(fault);
+    table.signature_of_fault.push_back(std::move(signature));
+  }
+  return table;
+}
+
+Signature observe_signature(const arch::Biochip& chip,
+                            const std::vector<TestVector>& vectors,
+                            const Fault& fault) {
+  const PressureSimulator simulator(chip);
+  Signature signature;
+  signature.reserve(vectors.size());
+  for (const TestVector& v : vectors) {
+    signature += simulator.detects(v, fault) ? '1' : '0';
+  }
+  return signature;
+}
+
+std::vector<Fault> diagnose(const DiagnosisTable& table,
+                            const Signature& observed) {
+  const auto hit = table.classes.find(observed);
+  if (hit == table.classes.end()) return {};
+  return hit->second;
+}
+
+}  // namespace mfd::sim

@@ -1,0 +1,61 @@
+// Fault diagnosis from test responses.
+//
+// Detection (the paper's goal) asks whether *some* vector flips its reading
+// under a fault; diagnosis asks which fault produced an observed set of
+// readings. Each single fault induces a response signature — the bit vector
+// of which test vectors flip — and the achievable diagnostic resolution is
+// the partition of the fault universe into equal-signature classes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/pressure.hpp"
+
+namespace mfd::sim {
+
+/// Signature of a fault under a vector set: bit i set iff vector i detects
+/// the fault. Stored as a string of '0'/'1' for cheap map keys and display.
+using Signature = std::string;
+
+struct DiagnosisTable {
+  /// Signature per fault, aligned with all_faults(chip).
+  std::vector<Signature> signature_of_fault;
+  /// Equivalence classes: faults sharing a signature are indistinguishable.
+  std::map<Signature, std::vector<Fault>> classes;
+
+  /// Number of distinct signatures (including the all-zero class if some
+  /// fault is undetected).
+  [[nodiscard]] int distinct_signatures() const {
+    return static_cast<int>(classes.size());
+  }
+
+  /// Faults whose signature is shared with at least one other fault.
+  [[nodiscard]] int ambiguous_faults() const;
+
+  /// True when every fault is detected (no all-zero signature).
+  [[nodiscard]] bool fully_detecting() const;
+
+  /// Fraction of faults uniquely identified by their signature.
+  [[nodiscard]] double resolution() const;
+};
+
+/// Builds the diagnosis table of a chip under a vector set, over the chosen
+/// fault universe (stuck-at only, or including leakage).
+DiagnosisTable build_diagnosis_table(
+    const arch::Biochip& chip, const std::vector<TestVector>& vectors,
+    FaultUniverse universe = FaultUniverse::kStuckAt);
+
+/// Observes the signature an (injected) fault produces on the chip — what a
+/// physical test run would measure.
+Signature observe_signature(const arch::Biochip& chip,
+                            const std::vector<TestVector>& vectors,
+                            const Fault& fault);
+
+/// Candidate faults consistent with an observed signature (empty when the
+/// signature matches no single fault — e.g. a multiple fault).
+std::vector<Fault> diagnose(const DiagnosisTable& table,
+                            const Signature& observed);
+
+}  // namespace mfd::sim

@@ -1,0 +1,39 @@
+#include "sim/fault.hpp"
+
+namespace mfd::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAt0:
+      return "stuck-at-0";
+    case FaultKind::kStuckAt1:
+      return "stuck-at-1";
+    case FaultKind::kLeakage:
+      return "leakage";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Fault& fault) {
+  return "valve " + std::to_string(fault.valve) + " " + to_string(fault.kind);
+}
+
+std::vector<Fault> all_faults(const arch::Biochip& chip,
+                              FaultUniverse universe) {
+  std::vector<Fault> faults;
+  const bool leakage = universe == FaultUniverse::kStuckAtAndLeakage;
+  faults.reserve(static_cast<std::size_t>(chip.valve_count()) *
+                 (leakage ? 3 : 2));
+  for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
+    faults.push_back(Fault{v, FaultKind::kStuckAt0});
+    faults.push_back(Fault{v, FaultKind::kStuckAt1});
+  }
+  if (leakage) {
+    for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
+      faults.push_back(Fault{v, FaultKind::kLeakage});
+    }
+  }
+  return faults;
+}
+
+}  // namespace mfd::sim

@@ -1,0 +1,50 @@
+// Fault model for manufactured continuous-flow biochips.
+//
+// Following [15] and Section 2 of the paper, the defect classes per testable
+// element (a valve together with its channel segment) are:
+//   stuck-at-0 — the valve cannot open / the channel is blocked,
+//   stuck-at-1 — the valve cannot close (pressure leaks through),
+//   leakage    — the flow channel leaks into the valve's control channel
+//                (misaligned layers); observable as unexpected pressure at
+//                the control port when the valve site is pressurized while
+//                its control channel is unpressurized.
+// The paper demonstrates its DFT method with the stuck-at classes only, so
+// leakage faults are opt-in here; the generated stuck-at test suites cover
+// them for free (every valve lies on some open test path).
+//
+// Faults are physical: they pin one valve's behaviour regardless of its
+// control channel, so under valve sharing the partner valves still follow
+// the control.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/biochip.hpp"
+
+namespace mfd::sim {
+
+enum class FaultKind { kStuckAt0, kStuckAt1, kLeakage };
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct Fault {
+  arch::ValveId valve = arch::kInvalidValve;
+  FaultKind kind = FaultKind::kStuckAt0;
+
+  [[nodiscard]] bool operator==(const Fault&) const = default;
+};
+
+[[nodiscard]] std::string to_string(const Fault& fault);
+
+/// Which defect classes a fault universe spans.
+enum class FaultUniverse { kStuckAt, kStuckAtAndLeakage };
+
+/// The complete single-fault universe of a chip, in (valve, kind) order:
+/// both stuck-at kinds per valve, plus (optionally) one leakage fault per
+/// valve appended after them.
+std::vector<Fault> all_faults(
+    const arch::Biochip& chip,
+    FaultUniverse universe = FaultUniverse::kStuckAt);
+
+}  // namespace mfd::sim

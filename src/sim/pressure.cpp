@@ -1,0 +1,109 @@
+#include "sim/pressure.hpp"
+
+#include "graph/traversal.hpp"
+
+namespace mfd::sim {
+
+PressureSimulator::PressureSimulator(const arch::Biochip& chip)
+    : chip_(&chip) {
+  for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
+    MFD_REQUIRE(chip.valve(v).control != arch::kInvalidControl,
+                "PressureSimulator: valve without control channel");
+  }
+}
+
+std::vector<char> PressureSimulator::valve_states(
+    const std::vector<char>& control_open,
+    const std::optional<Fault>& fault) const {
+  MFD_REQUIRE(control_open.size() ==
+                  static_cast<std::size_t>(chip_->control_count()),
+              "valve_states(): one state per control channel required");
+  std::vector<char> open(static_cast<std::size_t>(chip_->valve_count()), 0);
+  for (arch::ValveId v = 0; v < chip_->valve_count(); ++v) {
+    const arch::ControlId c = chip_->valve(v).control;
+    open[static_cast<std::size_t>(v)] =
+        control_open[static_cast<std::size_t>(c)];
+  }
+  if (fault.has_value() && fault->kind != FaultKind::kLeakage) {
+    MFD_REQUIRE(fault->valve >= 0 && fault->valve < chip_->valve_count(),
+                "valve_states(): fault on unknown valve");
+    open[static_cast<std::size_t>(fault->valve)] =
+        fault->kind == FaultKind::kStuckAt1 ? 1 : 0;
+  }
+  return open;
+}
+
+graph::EdgeMask PressureSimulator::open_mask(
+    const std::vector<char>& valve_open) const {
+  graph::EdgeMask mask(chip_->grid().graph().edge_count(), false);
+  for (arch::ValveId v = 0; v < chip_->valve_count(); ++v) {
+    if (valve_open[static_cast<std::size_t>(v)]) {
+      mask.set(chip_->valve(v).edge, true);
+    }
+  }
+  return mask;
+}
+
+bool PressureSimulator::measure(const TestVector& vector,
+                                const std::optional<Fault>& fault) const {
+  MFD_REQUIRE(vector.source >= 0 && vector.source < chip_->port_count() &&
+                  vector.meter >= 0 && vector.meter < chip_->port_count(),
+              "measure(): vector references unknown port");
+  const std::vector<char> valves = valve_states(vector.control_open, fault);
+  const graph::EdgeMask mask = open_mask(valves);
+  return graph::reachable(chip_->grid().graph(),
+                          chip_->port(vector.source).node,
+                          chip_->port(vector.meter).node, mask);
+}
+
+bool PressureSimulator::control_port_pressure(const TestVector& vector,
+                                              const Fault& fault) const {
+  if (fault.kind != FaultKind::kLeakage) return false;
+  MFD_REQUIRE(fault.valve >= 0 && fault.valve < chip_->valve_count(),
+              "control_port_pressure(): fault on unknown valve");
+  const arch::Valve& valve = chip_->valve(fault.valve);
+  // Pressurized control = closed valve = the control channel already holds
+  // pressure; a leak cannot be told apart then.
+  if (!vector.control_open[static_cast<std::size_t>(valve.control)]) {
+    return false;
+  }
+  const std::vector<char> states = valve_states(vector.control_open);
+  const graph::EdgeMask mask = open_mask(states);
+  const graph::Edge& edge = chip_->grid().graph().edge(valve.edge);
+  const graph::NodeId source = chip_->port(vector.source).node;
+  return graph::reachable(chip_->grid().graph(), source, edge.u, mask) ||
+         graph::reachable(chip_->grid().graph(), source, edge.v, mask);
+}
+
+bool PressureSimulator::detects(const TestVector& vector,
+                                const Fault& fault) const {
+  if (fault.kind == FaultKind::kLeakage) {
+    return control_port_pressure(vector, fault);
+  }
+  return measure(vector, fault) != measure(vector);
+}
+
+CoverageReport evaluate_coverage(const arch::Biochip& chip,
+                                 const std::vector<TestVector>& vectors,
+                                 FaultUniverse universe) {
+  const PressureSimulator simulator(chip);
+  CoverageReport report;
+  for (const Fault& fault : all_faults(chip, universe)) {
+    ++report.total_faults;
+    bool detected = false;
+    for (const TestVector& vector : vectors) {
+      if (simulator.detects(vector, fault)) {
+        detected = true;
+        break;
+      }
+    }
+    if (detected) {
+      ++report.detected_faults;
+    } else {
+      report.undetected.push_back(fault);
+    }
+  }
+  return report;
+}
+
+}  // namespace mfd::sim

@@ -1,0 +1,85 @@
+// Pressure-propagation simulator.
+//
+// Air pressure applied at the source port propagates through every channel
+// whose valve is open; the meter reads pressure iff it is connected to the
+// source through open valves. This is the paper's (and [15]'s) test model:
+// measurement = s–t reachability over the open subgraph.
+#pragma once
+
+#include <optional>
+
+#include "arch/biochip.hpp"
+#include "sim/fault.hpp"
+#include "sim/test_vector.hpp"
+
+namespace mfd::sim {
+
+/// Simulates meter readings for test vectors, optionally with a single
+/// injected fault. The chip must have every valve attached to a control
+/// channel (chips still missing a sharing scheme cannot be simulated).
+class PressureSimulator {
+ public:
+  explicit PressureSimulator(const arch::Biochip& chip);
+
+  /// Valve open/closed states induced by a control assignment, with an
+  /// optional fault pinning one valve.
+  [[nodiscard]] std::vector<char> valve_states(
+      const std::vector<char>& control_open,
+      const std::optional<Fault>& fault = std::nullopt) const;
+
+  /// Edge mask over the grid enabling exactly the open channels.
+  [[nodiscard]] graph::EdgeMask open_mask(
+      const std::vector<char>& valve_open) const;
+
+  /// Meter reading (true = pressure measured) for a vector, with an optional
+  /// injected fault. Leakage faults do not alter the flow-layer reading (the
+  /// binary pressure model keeps the flow network conducting); they are
+  /// observed at the control port instead, see control_port_pressure().
+  [[nodiscard]] bool measure(const TestVector& vector,
+                             const std::optional<Fault>& fault =
+                                 std::nullopt) const;
+
+  /// Reading at the faulty valve's control port: true when a leakage fault
+  /// lets flow-layer pressure escape into the control channel — which
+  /// requires the control to be unpressurized (valve open) and the valve
+  /// site to be reachable from the pressure source. Fault-free chips (and
+  /// stuck-at faults) never pressurize a control port from the flow layer.
+  [[nodiscard]] bool control_port_pressure(const TestVector& vector,
+                                           const Fault& fault) const;
+
+  /// True when the vector's reading on the faulty chip differs from the
+  /// fault-free reading — at the meter for stuck-at faults, at the control
+  /// port for leakage faults.
+  [[nodiscard]] bool detects(const TestVector& vector, const Fault& fault) const;
+
+  /// Fault-free reading; must equal vector.expected_pressure for a valid
+  /// vector.
+  [[nodiscard]] bool vector_consistent(const TestVector& vector) const {
+    return measure(vector) == vector.expected_pressure;
+  }
+
+  [[nodiscard]] const arch::Biochip& chip() const { return *chip_; }
+
+ private:
+  const arch::Biochip* chip_;
+};
+
+/// Coverage of a vector set over the full single-fault universe.
+struct CoverageReport {
+  int total_faults = 0;
+  int detected_faults = 0;
+  std::vector<Fault> undetected;
+
+  [[nodiscard]] bool complete() const { return undetected.empty(); }
+  [[nodiscard]] double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(detected_faults) / total_faults;
+  }
+};
+
+CoverageReport evaluate_coverage(
+    const arch::Biochip& chip, const std::vector<TestVector>& vectors,
+    FaultUniverse universe = FaultUniverse::kStuckAt);
+
+}  // namespace mfd::sim

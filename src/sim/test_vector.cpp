@@ -1,0 +1,39 @@
+#include "sim/test_vector.hpp"
+
+#include <sstream>
+
+namespace mfd::sim {
+
+const char* to_string(VectorKind kind) {
+  return kind == VectorKind::kPath ? "path" : "cut";
+}
+
+std::vector<char> controls_closed_except(
+    const arch::Biochip& chip,
+    const std::vector<arch::ControlId>& open_controls) {
+  std::vector<char> state(static_cast<std::size_t>(chip.control_count()), 0);
+  for (arch::ControlId c : open_controls) {
+    MFD_REQUIRE(c >= 0 && c < chip.control_count(),
+                "controls_closed_except(): control out of range");
+    state[static_cast<std::size_t>(c)] = 1;
+  }
+  return state;
+}
+
+std::string describe(const TestVector& vector, const arch::Biochip& chip) {
+  std::ostringstream oss;
+  oss << to_string(vector.kind) << " vector, source "
+      << chip.port(vector.source).name << " -> meter "
+      << chip.port(vector.meter).name << ", open controls {";
+  bool first = true;
+  for (arch::ControlId c = 0; c < chip.control_count(); ++c) {
+    if (!vector.control_is_open(c)) continue;
+    if (!first) oss << ',';
+    oss << c;
+    first = false;
+  }
+  oss << "}, expect " << (vector.expected_pressure ? "pressure" : "silence");
+  return oss.str();
+}
+
+}  // namespace mfd::sim

@@ -1,0 +1,49 @@
+// Test vectors in control space.
+//
+// During test, air pressure is applied to control ports; a pressurized
+// control channel closes every valve it drives. A test vector is therefore a
+// combination of *control* states (not valve states): under valve sharing a
+// single control switches several valves at once, which is exactly the
+// interference the validation of Section 4.1 must catch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/biochip.hpp"
+
+namespace mfd::sim {
+
+enum class VectorKind {
+  kPath,  // opens a source->meter path; expects pressure at the meter
+  kCut,   // closes a separating valve set; expects no pressure at the meter
+};
+
+[[nodiscard]] const char* to_string(VectorKind kind);
+
+struct TestVector {
+  VectorKind kind = VectorKind::kPath;
+  /// Per control channel: true = depressurized = valves open.
+  std::vector<char> control_open;
+  /// Port connected to the pressure source.
+  arch::PortId source = -1;
+  /// Port connected to the pressure meter.
+  arch::PortId meter = -1;
+  /// Meter reading on a defect-free chip.
+  bool expected_pressure = false;
+
+  [[nodiscard]] bool control_is_open(arch::ControlId c) const {
+    return control_open[static_cast<std::size_t>(c)] != 0;
+  }
+};
+
+/// Builds an all-closed control assignment for the chip, then opens the
+/// given controls.
+std::vector<char> controls_closed_except(const arch::Biochip& chip,
+                                         const std::vector<arch::ControlId>&
+                                             open_controls);
+
+/// Human-readable one-line summary (for logs and examples).
+std::string describe(const TestVector& vector, const arch::Biochip& chip);
+
+}  // namespace mfd::sim

@@ -1,0 +1,127 @@
+#include "testgen/minimize.hpp"
+
+#include <algorithm>
+
+#include "ilp/solver.hpp"
+
+namespace mfd::testgen {
+
+namespace {
+
+// detection[v][f] = vector v detects fault f.
+std::vector<std::vector<char>> detection_matrix(
+    const arch::Biochip& chip, const std::vector<sim::TestVector>& vectors,
+    const std::vector<sim::Fault>& faults) {
+  const sim::PressureSimulator simulator(chip);
+  std::vector<std::vector<char>> matrix(
+      vectors.size(), std::vector<char>(faults.size(), 0));
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      matrix[v][f] = simulator.detects(vectors[v], faults[f]) ? 1 : 0;
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::size_t> greedy_cover(
+    const std::vector<std::vector<char>>& matrix, std::size_t fault_count) {
+  std::vector<char> covered(fault_count, 0);
+  std::vector<char> used(matrix.size(), 0);
+  std::vector<std::size_t> chosen;
+  std::size_t remaining = fault_count;
+  while (remaining > 0) {
+    std::size_t best = matrix.size();
+    int best_gain = 0;
+    for (std::size_t v = 0; v < matrix.size(); ++v) {
+      if (used[v]) continue;
+      int gain = 0;
+      for (std::size_t f = 0; f < fault_count; ++f) {
+        if (!covered[f] && matrix[v][f]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    MFD_ASSERT(best < matrix.size(),
+               "greedy_cover(): input does not cover all faults");
+    used[best] = 1;
+    chosen.push_back(best);
+    for (std::size_t f = 0; f < fault_count; ++f) {
+      if (matrix[best][f] && !covered[f]) {
+        covered[f] = 1;
+        --remaining;
+      }
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::optional<std::vector<std::size_t>> exact_cover(
+    const std::vector<std::vector<char>>& matrix, std::size_t fault_count,
+    double time_limit) {
+  ilp::Model model;
+  std::vector<ilp::VarId> pick(matrix.size());
+  ilp::LinearExpr objective;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    pick[v] = model.add_binary("t" + std::to_string(v));
+    objective.add(pick[v], 1.0);
+  }
+  for (std::size_t f = 0; f < fault_count; ++f) {
+    ilp::LinearExpr cover;
+    for (std::size_t v = 0; v < matrix.size(); ++v) {
+      if (matrix[v][f]) cover.add(pick[v], 1.0);
+    }
+    model.add_constraint(std::move(cover), ilp::Sense::kGreaterEqual, 1.0);
+  }
+  model.set_objective(std::move(objective));
+
+  ilp::SolverOptions options;
+  options.time_limit_seconds = time_limit;
+  options.absolute_gap = 0.5;  // objective is integral
+  const ilp::Solution solution = ilp::solve_ilp(model, options);
+  if (solution.status != ilp::SolveStatus::kOptimal) return std::nullopt;
+  std::vector<std::size_t> chosen;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    if (solution.binary_value(pick[v])) chosen.push_back(v);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+TestSuite minimize_test_suite(const arch::Biochip& chip,
+                              const TestSuite& suite,
+                              const MinimizeOptions& options,
+                              MinimizeStats* stats) {
+  MFD_REQUIRE(suite.coverage.complete(),
+              "minimize_test_suite(): input suite must have full coverage");
+  const std::vector<sim::Fault> faults = sim::all_faults(chip);
+  const auto matrix = detection_matrix(chip, suite.vectors, faults);
+
+  std::vector<std::size_t> chosen;
+  bool exact = false;
+  if (static_cast<int>(suite.vectors.size()) <= options.exact_threshold) {
+    if (auto solved = exact_cover(matrix, faults.size(),
+                                  options.ilp_time_limit_seconds)) {
+      chosen = std::move(*solved);
+      exact = true;
+    }
+  }
+  if (chosen.empty()) chosen = greedy_cover(matrix, faults.size());
+
+  TestSuite minimized;
+  for (std::size_t v : chosen) minimized.vectors.push_back(suite.vectors[v]);
+  minimized.coverage = sim::evaluate_coverage(chip, minimized.vectors);
+  MFD_ASSERT(minimized.coverage.complete(),
+             "minimize_test_suite(): minimized set lost coverage");
+  if (stats != nullptr) {
+    stats->vectors_before = suite.size();
+    stats->vectors_after = minimized.size();
+    stats->exact = exact;
+  }
+  return minimized;
+}
+
+}  // namespace mfd::testgen

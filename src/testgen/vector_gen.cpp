@@ -1,0 +1,280 @@
+#include "testgen/vector_gen.hpp"
+
+#include <algorithm>
+
+#include "graph/maxflow.hpp"
+#include "graph/traversal.hpp"
+
+namespace mfd::testgen {
+
+namespace {
+
+using arch::Biochip;
+using arch::ControlId;
+using arch::PortId;
+using arch::ValveId;
+using sim::Fault;
+using sim::FaultKind;
+using sim::PressureSimulator;
+using sim::TestVector;
+using sim::VectorKind;
+
+// Capacity for valves whose stuck-at-1 fault is already covered: high enough
+// that minimum cuts prefer uncovered valves, low enough to stay numerically
+// benign.
+constexpr double kCoveredCapacity = 64.0;
+
+std::vector<ControlId> controls_of_edges(
+    const Biochip& chip, const std::vector<graph::EdgeId>& edges) {
+  std::vector<ControlId> controls;
+  for (graph::EdgeId e : edges) {
+    const ValveId v = chip.valve_on_edge(e);
+    MFD_ASSERT(v != arch::kInvalidValve, "path edge without valve");
+    controls.push_back(chip.valve(v).control);
+  }
+  std::sort(controls.begin(), controls.end());
+  controls.erase(std::unique(controls.begin(), controls.end()),
+                 controls.end());
+  return controls;
+}
+
+class VectorSearch {
+ public:
+  VectorSearch(const Biochip& chip,
+               std::vector<std::pair<PortId, PortId>> pairs,
+               const VectorGenOptions& options)
+      : chip_(chip),
+        simulator_(chip),
+        pairs_(std::move(pairs)),
+        options_(options),
+        rng_(options.seed),
+        channel_mask_(chip.channel_mask()) {}
+
+  std::optional<TestSuite> run() {
+    faults_ = sim::all_faults(chip_);
+    covered_.assign(faults_.size(), 0);
+
+    seed_with_plan_paths();
+    if (options_.use_bulk_cuts) bulk_cut_stage();
+    if (!per_fault_stage()) return std::nullopt;
+
+    TestSuite suite;
+    suite.vectors = std::move(vectors_);
+    suite.coverage = sim::evaluate_coverage(chip_, suite.vectors);
+    MFD_ASSERT(suite.coverage.complete(),
+               "vector generation claimed full coverage but recheck failed");
+    return suite;
+  }
+
+ private:
+  TestVector make_path_vector(const std::vector<graph::EdgeId>& path_edges,
+                              PortId source, PortId meter) const {
+    TestVector vec;
+    vec.kind = VectorKind::kPath;
+    vec.source = source;
+    vec.meter = meter;
+    vec.control_open =
+        sim::controls_closed_except(chip_, controls_of_edges(chip_,
+                                                             path_edges));
+    vec.expected_pressure = true;
+    return vec;
+  }
+
+  // Cut vector: everything closed except the controls of the given open
+  // edges (typically a broken test path).
+  TestVector make_cut_vector(const std::vector<graph::EdgeId>& open_edges,
+                             PortId source, PortId meter) const {
+    TestVector vec;
+    vec.kind = VectorKind::kCut;
+    vec.source = source;
+    vec.meter = meter;
+    vec.control_open =
+        sim::controls_closed_except(chip_, controls_of_edges(chip_,
+                                                             open_edges));
+    vec.expected_pressure = false;
+    return vec;
+  }
+
+  // Marks every still-uncovered fault the vector detects; returns the count.
+  int absorb(const TestVector& vec) {
+    int newly = 0;
+    for (std::size_t f = 0; f < faults_.size(); ++f) {
+      if (covered_[f]) continue;
+      if (simulator_.detects(vec, faults_[f])) {
+        covered_[f] = 1;
+        ++newly;
+      }
+    }
+    if (newly > 0) vectors_.push_back(vec);
+    return newly;
+  }
+
+  void seed_with_plan_paths() {
+    if (options_.plan == nullptr || !options_.plan->feasible) return;
+    for (const auto& path : options_.plan->paths) {
+      const TestVector vec = make_path_vector(path, options_.plan->source,
+                                              options_.plan->meter);
+      if (simulator_.vector_consistent(vec)) absorb(vec);
+    }
+  }
+
+  void bulk_cut_stage() {
+    const graph::Graph& grid = chip_.grid().graph();
+    for (const auto& [source, meter] : pairs_) {
+      const graph::NodeId s = chip_.port(source).node;
+      const graph::NodeId t = chip_.port(meter).node;
+      while (true) {
+        std::vector<double> capacity(
+            static_cast<std::size_t>(grid.edge_count()), 0.0);
+        bool any_uncovered = false;
+        for (ValveId v = 0; v < chip_.valve_count(); ++v) {
+          const std::size_t fault_index = static_cast<std::size_t>(v) * 2 + 1;
+          const bool uncovered = covered_[fault_index] == 0;
+          any_uncovered = any_uncovered || uncovered;
+          capacity[static_cast<std::size_t>(chip_.valve(v).edge)] =
+              uncovered ? 1.0 : kCoveredCapacity;
+        }
+        if (!any_uncovered) return;
+        const graph::MaxFlowResult flow =
+            graph::max_flow(grid, s, t, capacity, channel_mask_);
+        if (flow.min_cut.empty()) break;  // ports disconnected; next pair
+
+        // Open everything except the cut: vector = complement of the cut.
+        std::vector<graph::EdgeId> open_edges;
+        for (graph::EdgeId e : chip_.channel_edges()) {
+          if (std::find(flow.min_cut.begin(), flow.min_cut.end(), e) ==
+              flow.min_cut.end()) {
+            open_edges.push_back(e);
+          }
+        }
+        TestVector vec = make_cut_vector(open_edges, source, meter);
+        if (!simulator_.vector_consistent(vec) || absorb(vec) == 0) break;
+      }
+    }
+  }
+
+  bool per_fault_stage() {
+    bool all_covered = true;
+    for (std::size_t f = 0; f < faults_.size(); ++f) {
+      if (covered_[f]) continue;
+      if (!cover_single_fault(faults_[f])) all_covered = false;
+    }
+    return all_covered;
+  }
+
+  bool cover_single_fault(const Fault& fault) {
+    for (int attempt = 0; attempt < options_.attempts_per_fault; ++attempt) {
+      const auto& [source, meter] = pairs_[rng_.index(pairs_.size())];
+      const auto path = random_path_through(fault.valve, source, meter,
+                                            attempt % 2 == 1);
+      if (!path.has_value()) continue;
+      TestVector vec =
+          fault.kind == FaultKind::kStuckAt0
+              ? make_path_vector(*path, source, meter)
+              : make_cut_vector(remove_edge(*path,
+                                            chip_.valve(fault.valve).edge),
+                                source, meter);
+      if (!simulator_.vector_consistent(vec)) continue;
+      if (!simulator_.detects(vec, fault)) continue;
+      absorb(vec);
+      return true;
+    }
+    return false;
+  }
+
+  static std::vector<graph::EdgeId> remove_edge(
+      std::vector<graph::EdgeId> edges, graph::EdgeId edge) {
+    edges.erase(std::remove(edges.begin(), edges.end(), edge), edges.end());
+    return edges;
+  }
+
+  // A random simple source->meter path through the valve's channel segment,
+  // or nullopt when this attempt failed. Randomized edge weights vary the
+  // route between attempts.
+  std::optional<std::vector<graph::EdgeId>> random_path_through(
+      ValveId valve, PortId source, PortId meter, bool swap_orientation) {
+    const graph::Graph& grid = chip_.grid().graph();
+    const graph::EdgeId via = chip_.valve(valve).edge;
+    graph::NodeId a = grid.edge(via).u;
+    graph::NodeId b = grid.edge(via).v;
+    if (swap_orientation) std::swap(a, b);
+    const graph::NodeId s = chip_.port(source).node;
+    const graph::NodeId t = chip_.port(meter).node;
+
+    std::vector<double> weights(static_cast<std::size_t>(grid.edge_count()));
+    for (double& w : weights) w = rng_.uniform(0.05, 1.0);
+
+    graph::EdgeMask mask = channel_mask_;
+    mask.set(via, false);
+    const auto first = graph::shortest_path_weighted(grid, s, a, weights, mask);
+    if (!first.has_value()) return std::nullopt;
+    // Keep the path simple: block every node the first segment visited
+    // (except the joint a, which only carries `via`).
+    for (graph::NodeId n : first->nodes) {
+      if (n == a) continue;
+      if (n == b || n == t) return std::nullopt;  // would revisit
+      for (graph::EdgeId e : grid.incident_edges(n)) mask.set(e, false);
+    }
+    const auto second =
+        graph::shortest_path_weighted(grid, b, t, weights, mask);
+    if (!second.has_value()) return std::nullopt;
+
+    std::vector<graph::EdgeId> edges = first->edges;
+    edges.push_back(via);
+    edges.insert(edges.end(), second->edges.begin(), second->edges.end());
+    return edges;
+  }
+
+  const Biochip& chip_;
+  PressureSimulator simulator_;
+  std::vector<std::pair<PortId, PortId>> pairs_;
+  VectorGenOptions options_;
+  Rng rng_;
+  graph::EdgeMask channel_mask_;
+
+  std::vector<Fault> faults_;
+  std::vector<char> covered_;
+  std::vector<TestVector> vectors_;
+};
+
+}  // namespace
+
+int TestSuite::path_vector_count() const {
+  return static_cast<int>(std::count_if(
+      vectors.begin(), vectors.end(), [](const sim::TestVector& v) {
+        return v.kind == sim::VectorKind::kPath;
+      }));
+}
+
+int TestSuite::cut_vector_count() const {
+  return static_cast<int>(std::count_if(
+      vectors.begin(), vectors.end(), [](const sim::TestVector& v) {
+        return v.kind == sim::VectorKind::kCut;
+      }));
+}
+
+std::optional<TestSuite> generate_test_suite(const arch::Biochip& chip,
+                                             arch::PortId source,
+                                             arch::PortId meter,
+                                             const VectorGenOptions& options) {
+  MFD_REQUIRE(source != meter,
+              "generate_test_suite(): source and meter must differ");
+  VectorSearch search(chip, {{source, meter}}, options);
+  return search.run();
+}
+
+std::optional<TestSuite> generate_test_suite_multiport(
+    const arch::Biochip& chip, const VectorGenOptions& options) {
+  std::vector<std::pair<arch::PortId, arch::PortId>> pairs;
+  for (arch::PortId a = 0; a < chip.port_count(); ++a) {
+    for (arch::PortId b = a + 1; b < chip.port_count(); ++b) {
+      pairs.emplace_back(a, b);
+    }
+  }
+  MFD_REQUIRE(!pairs.empty(),
+              "generate_test_suite_multiport(): chip needs >= 2 ports");
+  VectorSearch search(chip, std::move(pairs), options);
+  return search.run();
+}
+
+}  // namespace mfd::testgen

@@ -1,0 +1,65 @@
+// Test-vector generation: paths for stuck-at-0, cuts for stuck-at-1.
+//
+// Vectors are generated in *control space*, so a valve-sharing scheme (DFT
+// valves driven by original control channels) is honoured: opening a control
+// opens every valve it drives, and the generator must find vectors whose
+// expanded open/closed sets still expose each fault at the meter — exactly
+// the validation problem of Section 4.1. A sharing scheme is valid iff this
+// generator achieves 100% fault coverage.
+//
+// Cut vectors are found in two stages: a bulk stage using weighted minimum
+// s-t cuts (uncovered valves get low capacity, so the min cut collects them;
+// minimum cuts under positive capacities are inclusion-minimal, making every
+// member's stuck-at-1 fault observable), then a per-fault fallback that
+// blocks an s-t path at the target valve, per the paper's observation that
+// blocking test paths individually always yields cuts.
+#pragma once
+
+#include <optional>
+
+#include "arch/biochip.hpp"
+#include "common/rng.hpp"
+#include "sim/pressure.hpp"
+#include "testgen/path_ilp.hpp"
+
+namespace mfd::testgen {
+
+struct VectorGenOptions {
+  /// Randomized path retries per fault before declaring it uncoverable.
+  int attempts_per_fault = 48;
+  /// Seed for the randomized path searches.
+  std::uint64_t seed = 1;
+  /// Seed ILP plan paths as initial stuck-at-0 vectors when provided.
+  const PathPlan* plan = nullptr;
+  /// Enable the bulk weighted-min-cut stage (the "complementary problem"
+  /// solver). Disabled only by the ablation benchmark, which compares it
+  /// against per-fault cut construction alone.
+  bool use_bulk_cuts = true;
+};
+
+struct TestSuite {
+  std::vector<sim::TestVector> vectors;
+  sim::CoverageReport coverage;
+
+  [[nodiscard]] int path_vector_count() const;
+  [[nodiscard]] int cut_vector_count() const;
+  [[nodiscard]] int size() const { return static_cast<int>(vectors.size()); }
+};
+
+/// Generates a complete single-source single-meter test suite for the chip
+/// (all valves must have control channels). Returns nullopt when some fault
+/// is undetectable under the chip's control-sharing scheme — the paper's
+/// criterion for rejecting a sharing scheme.
+std::optional<TestSuite> generate_test_suite(const arch::Biochip& chip,
+                                             arch::PortId source,
+                                             arch::PortId meter,
+                                             const VectorGenOptions& options =
+                                                 {});
+
+/// Multi-port baseline used on *original* chips (Figure 8): every port pair
+/// may serve as source/meter, one pair per vector. Returns nullopt when some
+/// fault is undetectable even with free port choice.
+std::optional<TestSuite> generate_test_suite_multiport(
+    const arch::Biochip& chip, const VectorGenOptions& options = {});
+
+}  // namespace mfd::testgen

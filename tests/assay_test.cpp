@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "graph/dag.hpp"
+#include "sched/assay.hpp"
+
+namespace mfd::sched {
+namespace {
+
+TEST(AssayTest, OperationsAndDependencies) {
+  Assay assay("toy");
+  const OpId mix = assay.add_operation(OpKind::kMix, 50.0, "m");
+  const OpId det = assay.add_operation(OpKind::kDetect, 40.0, "d");
+  assay.add_dependency(mix, det);
+  EXPECT_EQ(assay.operation_count(), 2);
+  EXPECT_EQ(assay.operation(mix).kind, OpKind::kMix);
+  EXPECT_TRUE(assay.dag().has_arc(mix, det));
+  std::string why;
+  EXPECT_TRUE(assay.validate(&why)) << why;
+}
+
+TEST(AssayTest, RejectsNonPositiveDuration) {
+  Assay assay("toy");
+  EXPECT_THROW(assay.add_operation(OpKind::kMix, 0.0), Error);
+  EXPECT_THROW(assay.add_operation(OpKind::kMix, -5.0), Error);
+}
+
+TEST(AssayTest, InputAndReagentCounts) {
+  Assay assay("toy");
+  const OpId m0 = assay.add_operation(OpKind::kMix, 10.0);
+  const OpId m1 = assay.add_operation(OpKind::kMix, 10.0);
+  const OpId m2 = assay.add_operation(OpKind::kMix, 10.0);
+  const OpId d = assay.add_operation(OpKind::kDetect, 10.0);
+  assay.add_dependency(m0, m2);
+  assay.add_dependency(m1, m2);
+  assay.add_dependency(m2, d);
+  EXPECT_EQ(assay.input_count(m0), 2);
+  EXPECT_EQ(assay.reagent_count(m0), 2);  // no preds: both inputs fresh
+  EXPECT_EQ(assay.reagent_count(m2), 0);  // two preds fill both inputs
+  EXPECT_EQ(assay.input_count(d), 1);
+  EXPECT_EQ(assay.reagent_count(d), 0);
+}
+
+TEST(AssayTest, ValidateRejectsTooManyPredecessors) {
+  Assay assay("toy");
+  const OpId a = assay.add_operation(OpKind::kMix, 1.0);
+  const OpId b = assay.add_operation(OpKind::kMix, 1.0);
+  const OpId d = assay.add_operation(OpKind::kDetect, 1.0);
+  const OpId c = assay.add_operation(OpKind::kMix, 1.0);
+  assay.add_dependency(a, d);
+  assay.add_dependency(b, d);  // detect takes one input only
+  assay.add_dependency(c, d);
+  std::string why;
+  EXPECT_FALSE(assay.validate(&why));
+  EXPECT_NE(why.find("more predecessors"), std::string::npos);
+}
+
+TEST(AssayTest, RequiredDeviceMapping) {
+  EXPECT_EQ(Assay::required_device(OpKind::kMix), arch::DeviceKind::kMixer);
+  EXPECT_EQ(Assay::required_device(OpKind::kDetect),
+            arch::DeviceKind::kDetector);
+}
+
+TEST(AssayTest, TotalWorkSumsDurations) {
+  Assay assay("toy");
+  assay.add_operation(OpKind::kMix, 10.0);
+  assay.add_operation(OpKind::kDetect, 5.5);
+  EXPECT_DOUBLE_EQ(assay.total_work(), 15.5);
+}
+
+// ---- paper benchmarks --------------------------------------------------------
+
+struct AssaySpec {
+  const char* name;
+  int ops;
+  int mixes;
+  int detects;
+};
+
+class PaperAssayTest : public ::testing::TestWithParam<AssaySpec> {};
+
+Assay make_by_name(const std::string& name) {
+  if (name == "IVD") return make_ivd_assay();
+  if (name == "PID") return make_pid_assay();
+  return make_cpa_assay();
+}
+
+TEST_P(PaperAssayTest, MatchesPublishedOperationCount) {
+  const AssaySpec spec = GetParam();
+  const Assay assay = make_by_name(spec.name);
+  EXPECT_EQ(assay.name(), spec.name);
+  EXPECT_EQ(assay.operation_count(), spec.ops);
+  int mixes = 0;
+  int detects = 0;
+  for (const Operation& op : assay.operations()) {
+    (op.kind == OpKind::kMix ? mixes : detects) += 1;
+  }
+  EXPECT_EQ(mixes, spec.mixes);
+  EXPECT_EQ(detects, spec.detects);
+  std::string why;
+  EXPECT_TRUE(assay.validate(&why)) << why;
+}
+
+TEST_P(PaperAssayTest, SequencingGraphIsAcyclic) {
+  const Assay assay = make_by_name(GetParam().name);
+  EXPECT_TRUE(graph::is_dag(assay.dag()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAssays, PaperAssayTest,
+    ::testing::Values(AssaySpec{"IVD", 12, 6, 6},
+                      AssaySpec{"PID", 38, 19, 19},
+                      AssaySpec{"CPA", 55, 23, 32}),
+    [](const ::testing::TestParamInfo<AssaySpec>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(PaperAssayTest, IvdChainsAreIndependent) {
+  const Assay assay = make_ivd_assay();
+  // Six sources, six sinks, all arcs mix -> detect.
+  int sources = 0;
+  for (OpId o = 0; o < assay.operation_count(); ++o) {
+    if (assay.dag().in_degree(o) == 0) ++sources;
+  }
+  EXPECT_EQ(sources, 6);
+}
+
+TEST(PaperAssayTest, PidIsASerialChain) {
+  const Assay assay = make_pid_assay();
+  // The critical path spans all 19 dilution stages.
+  std::vector<double> durations;
+  for (const Operation& op : assay.operations()) {
+    durations.push_back(op.duration);
+  }
+  const auto lengths = graph::critical_path_lengths(assay.dag(), durations);
+  const double longest = *std::max_element(lengths.begin(), lengths.end());
+  EXPECT_GE(longest, 19 * kMixDuration);
+}
+
+TEST(PaperAssayTest, CpaHasKineticReadChains) {
+  const Assay assay = make_cpa_assay();
+  // 8 chains of 4 sequential detects: at least one detect depends on a
+  // detect.
+  bool detect_after_detect = false;
+  for (OpId o = 0; o < assay.operation_count(); ++o) {
+    if (assay.operation(o).kind != OpKind::kDetect) continue;
+    for (OpId p : assay.dag().predecessors(o)) {
+      if (assay.operation(p).kind == OpKind::kDetect) {
+        detect_after_detect = true;
+      }
+    }
+  }
+  EXPECT_TRUE(detect_after_detect);
+}
+
+}  // namespace
+}  // namespace mfd::sched

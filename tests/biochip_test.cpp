@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "arch/biochip.hpp"
+#include "arch/chips.hpp"
+#include "graph/traversal.hpp"
+
+namespace mfd::arch {
+namespace {
+
+Biochip small_chip() {
+  Biochip chip(ConnectionGrid(4, 3), "small");
+  chip.add_port(0, 1, "P0");
+  chip.add_port(3, 1, "P1");
+  chip.add_device(DeviceKind::kMixer, 1, 1, "M1");
+  chip.add_device(DeviceKind::kDetector, 2, 1, "D1");
+  chip.add_channel(0, 1, 1, 1);
+  chip.add_channel(1, 1, 2, 1);
+  chip.add_channel(2, 1, 3, 1);
+  return chip;
+}
+
+TEST(BiochipTest, BasicInventory) {
+  const Biochip chip = small_chip();
+  EXPECT_EQ(chip.port_count(), 2);
+  EXPECT_EQ(chip.device_count(), 2);
+  EXPECT_EQ(chip.device_count(DeviceKind::kMixer), 1);
+  EXPECT_EQ(chip.device_count(DeviceKind::kDetector), 1);
+  EXPECT_EQ(chip.valve_count(), 3);
+  EXPECT_EQ(chip.dft_valve_count(), 0);
+  EXPECT_EQ(chip.control_count(), 3);  // one control per original valve
+}
+
+TEST(BiochipTest, NodesOccupiedOnce) {
+  Biochip chip = small_chip();
+  EXPECT_THROW(chip.add_device(DeviceKind::kMixer, 1, 1), Error);
+  EXPECT_THROW(chip.add_port(0, 1), Error);
+}
+
+TEST(BiochipTest, ChannelsOccupyEdgesOnce) {
+  Biochip chip = small_chip();
+  EXPECT_THROW(chip.add_channel(0, 1, 1, 1), Error);
+}
+
+TEST(BiochipTest, ValveOnEdgeLookup) {
+  const Biochip chip = small_chip();
+  const graph::EdgeId e = chip.grid().edge_between(1, 1, 2, 1);
+  const ValveId v = chip.valve_on_edge(e);
+  ASSERT_NE(v, kInvalidValve);
+  EXPECT_EQ(chip.valve(v).edge, e);
+  const graph::EdgeId free_edge = chip.grid().edge_between(0, 0, 1, 0);
+  EXPECT_EQ(chip.valve_on_edge(free_edge), kInvalidValve);
+  EXPECT_FALSE(chip.edge_occupied(free_edge));
+}
+
+TEST(BiochipTest, DeviceAndPortLookupByNode) {
+  const Biochip chip = small_chip();
+  EXPECT_TRUE(chip.node_is_port(chip.grid().node_at(0, 1)));
+  EXPECT_TRUE(chip.node_is_device(chip.grid().node_at(1, 1)));
+  EXPECT_FALSE(chip.node_is_device(chip.grid().node_at(0, 0)));
+  EXPECT_EQ(*chip.device_at(chip.grid().node_at(2, 1)), 1);
+  EXPECT_EQ(*chip.port_at(chip.grid().node_at(3, 1)), 1);
+}
+
+TEST(BiochipTest, DftChannelStartsWithoutControl) {
+  Biochip chip = small_chip();
+  const graph::EdgeId free_edge = chip.grid().edge_between(1, 0, 2, 0);
+  const ValveId v = chip.add_dft_channel(free_edge);
+  EXPECT_TRUE(chip.valve(v).is_dft);
+  EXPECT_EQ(chip.valve(v).control, kInvalidControl);
+  EXPECT_EQ(chip.dft_valve_count(), 1);
+  std::string why;
+  EXPECT_FALSE(chip.validate(&why));  // control-less valve
+  EXPECT_NE(why.find("control"), std::string::npos);
+}
+
+TEST(BiochipTest, DedicatedControlAssignment) {
+  Biochip chip = small_chip();
+  const ValveId v =
+      chip.add_dft_channel(chip.grid().edge_between(1, 0, 2, 0));
+  const int controls_before = chip.control_count();
+  chip.assign_dedicated_control(v);
+  EXPECT_EQ(chip.control_count(), controls_before + 1);
+  EXPECT_EQ(chip.valve(v).control, controls_before);
+}
+
+TEST(BiochipTest, SharedControlSwitchesTogether) {
+  Biochip chip = small_chip();
+  const ValveId dft =
+      chip.add_dft_channel(chip.grid().edge_between(1, 0, 2, 0));
+  chip.share_control(dft, 0);
+  EXPECT_EQ(chip.valve(dft).control, chip.valve(0).control);
+  const auto group = chip.valves_of_control(chip.valve(0).control);
+  EXPECT_EQ(group.size(), 2u);
+}
+
+TEST(BiochipTest, ShareRejectsSelfAndControlLessPartner) {
+  Biochip chip = small_chip();
+  const ValveId a =
+      chip.add_dft_channel(chip.grid().edge_between(1, 0, 2, 0));
+  const ValveId b =
+      chip.add_dft_channel(chip.grid().edge_between(2, 0, 3, 0));
+  EXPECT_THROW(chip.share_control(a, a), Error);
+  EXPECT_THROW(chip.share_control(a, b), Error);  // b has no control yet
+}
+
+TEST(BiochipTest, ClearControlOnlyForDftValves) {
+  Biochip chip = small_chip();
+  const ValveId dft =
+      chip.add_dft_channel(chip.grid().edge_between(1, 0, 2, 0));
+  chip.share_control(dft, 1);
+  chip.clear_control(dft);
+  EXPECT_EQ(chip.valve(dft).control, kInvalidControl);
+  EXPECT_THROW(chip.clear_control(0), Error);
+}
+
+TEST(BiochipTest, ValidateChecksConnectivity) {
+  Biochip chip(ConnectionGrid(4, 3), "broken");
+  chip.add_port(0, 1, "P0");
+  chip.add_port(3, 1, "P1");
+  chip.add_channel(0, 1, 1, 1);  // P1 not connected
+  std::string why;
+  EXPECT_FALSE(chip.validate(&why));
+  EXPECT_NE(why.find("P1"), std::string::npos);
+}
+
+TEST(BiochipTest, ChannelMaskMatchesOccupancy) {
+  const Biochip chip = small_chip();
+  const graph::EdgeMask mask = chip.channel_mask();
+  int enabled = 0;
+  for (graph::EdgeId e = 0; e < chip.grid().graph().edge_count(); ++e) {
+    if (mask.enabled(e)) {
+      ++enabled;
+      EXPECT_TRUE(chip.edge_occupied(e));
+    }
+  }
+  EXPECT_EQ(enabled, chip.valve_count());
+}
+
+TEST(BiochipTest, AutoNamesAreUnique) {
+  Biochip chip(ConnectionGrid(4, 3), "auto");
+  const DeviceId m1 = chip.add_device(DeviceKind::kMixer, 0, 0);
+  const DeviceId m2 = chip.add_device(DeviceKind::kMixer, 1, 0);
+  EXPECT_NE(chip.device(m1).name, chip.device(m2).name);
+}
+
+// ---- paper benchmark chips ---------------------------------------------------
+
+struct ChipSpec {
+  const char* name;
+  int mixers;
+  int detectors;
+  int valves;
+  int min_ports;
+};
+
+class PaperChipTest : public ::testing::TestWithParam<ChipSpec> {};
+
+TEST_P(PaperChipTest, MatchesPublishedInventory) {
+  const ChipSpec spec = GetParam();
+  Biochip chip = [&] {
+    if (std::string(spec.name) == "IVD_chip") return make_ivd_chip();
+    if (std::string(spec.name) == "RA30_chip") return make_ra30_chip();
+    return make_mrna_chip();
+  }();
+  EXPECT_EQ(chip.name(), spec.name);
+  EXPECT_EQ(chip.device_count(DeviceKind::kMixer), spec.mixers);
+  EXPECT_EQ(chip.device_count(DeviceKind::kDetector), spec.detectors);
+  EXPECT_EQ(chip.valve_count(), spec.valves);
+  EXPECT_GE(chip.port_count(), spec.min_ports);
+  std::string why;
+  EXPECT_TRUE(chip.validate(&why)) << why;
+}
+
+TEST_P(PaperChipTest, ChannelNetworkIsConnected) {
+  const ChipSpec spec = GetParam();
+  Biochip chip = [&] {
+    if (std::string(spec.name) == "IVD_chip") return make_ivd_chip();
+    if (std::string(spec.name) == "RA30_chip") return make_ra30_chip();
+    return make_mrna_chip();
+  }();
+  const graph::EdgeMask mask = chip.channel_mask();
+  for (const Port& p : chip.ports()) {
+    for (const Device& d : chip.devices()) {
+      EXPECT_TRUE(graph::reachable(chip.grid().graph(), p.node, d.node, mask))
+          << p.name << " -> " << d.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperChips, PaperChipTest,
+    ::testing::Values(ChipSpec{"IVD_chip", 3, 2, 12, 3},
+                      ChipSpec{"RA30_chip", 2, 3, 16, 3},
+                      ChipSpec{"mRNA_chip", 3, 1, 28, 4}),
+    [](const ::testing::TestParamInfo<ChipSpec>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(Figure4ChipTest, ThreePortsSixValves) {
+  const Biochip chip = make_figure4_chip();
+  EXPECT_EQ(chip.port_count(), 3);
+  EXPECT_EQ(chip.valve_count(), 6);
+  EXPECT_EQ(chip.device_count(), 0);
+  std::string why;
+  EXPECT_TRUE(chip.validate(&why)) << why;
+}
+
+}  // namespace
+}  // namespace mfd::arch

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/text_table.hpp"
+
+namespace mfd {
+namespace {
+
+// ---- error machinery -------------------------------------------------------
+
+TEST(ErrorTest, RequirePassesOnTrueCondition) {
+  EXPECT_NO_THROW(MFD_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorTest, RequireThrowsWithMessage) {
+  try {
+    MFD_REQUIRE(false, "expected failure text");
+    FAIL() << "MFD_REQUIRE(false) did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected failure text"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, AssertThrowsWithInvariantKind) {
+  try {
+    MFD_ASSERT(false, "broken invariant");
+    FAIL() << "MFD_ASSERT(false) did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ErrorIsARuntimeError) {
+  static_assert(std::is_base_of_v<std::runtime_error, Error>);
+}
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen, (std::set<int>{2, 3, 4, 5}));
+}
+
+TEST(RngTest, UniformIntRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 2), Error);
+}
+
+TEST(RngTest, FlipProbabilityZeroAndOne) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.flip(0.0));
+    EXPECT_TRUE(rng.flip(1.0));
+  }
+}
+
+TEST(RngTest, FlipRejectsNonProbability) {
+  Rng rng(3);
+  EXPECT_THROW(rng.flip(1.5), Error);
+  EXPECT_THROW(rng.flip(-0.1), Error);
+}
+
+TEST(RngTest, IndexStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+}
+
+TEST(RngTest, IndexRejectsEmptyRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent_again(42);
+  parent_again.fork();
+  EXPECT_DOUBLE_EQ(parent.uniform(), parent_again.uniform());
+  (void)child;
+}
+
+// ---- text table -------------------------------------------------------------
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table;
+  table.set_header({"chip", "valves"});
+  table.add_row({"IVD", "12"});
+  table.add_row({"RA30", "16"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("chip"), std::string::npos);
+  EXPECT_NE(out.find("RA30"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, RowWidthMustMatchHeader) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), Error);
+}
+
+TEST(TextTableTest, EmptyTableRendersEmpty) {
+  TextTable table;
+  EXPECT_TRUE(table.str().empty());
+}
+
+TEST(TextTableTest, ColumnsAlignToWidestCell) {
+  TextTable table;
+  table.set_header({"x"});
+  table.add_row({"wide-cell-content"});
+  const std::string out = table.str();
+  // Every line has the same length.
+  std::size_t expected = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTableTest, RuleInsertsSeparator) {
+  TextTable table;
+  table.set_header({"n"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  const std::string out = table.str();
+  // header rule + top + bottom + mid-rule = 4 '+---+' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(FormatDoubleTest, RespectsDecimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace mfd

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/chips.hpp"
+#include "core/codesign.hpp"
+#include "sched/control_program.hpp"
+#include "testgen/path_ilp.hpp"
+
+namespace mfd::sched {
+namespace {
+
+Schedule ivd_schedule(const arch::Biochip& chip) {
+  const Schedule s = schedule_assay(chip, make_ivd_assay());
+  EXPECT_TRUE(s.feasible);
+  return s;
+}
+
+TEST(ControlProgramTest, WellFormedForPaperChips) {
+  for (const arch::Biochip& chip : arch::make_paper_chips()) {
+    const Schedule schedule = ivd_schedule(chip);
+    const ControlProgram program = compile_control_program(chip, schedule);
+    EXPECT_TRUE(program.well_formed()) << chip.name();
+    EXPECT_GT(program.actuation_count(), 0);
+    // Vents and pressurizations balance.
+    int vents = 0;
+    int closes = 0;
+    for (const Actuation& a : program.events) {
+      (a.kind == ActuationKind::kVent ? vents : closes) += 1;
+    }
+    EXPECT_EQ(vents, closes);
+  }
+}
+
+TEST(ControlProgramTest, EventsWithinScheduleSpan) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const Schedule schedule = ivd_schedule(chip);
+  const ControlProgram program = compile_control_program(chip, schedule);
+  for (const Actuation& a : program.events) {
+    EXPECT_GE(a.time, 0.0);
+    EXPECT_LE(a.time, schedule.makespan + 1e-9);
+    EXPECT_GE(a.control, 0);
+    EXPECT_LT(a.control, chip.control_count());
+  }
+}
+
+TEST(ControlProgramTest, OpenControlsMatchActiveTransports) {
+  const arch::Biochip chip = arch::make_ra30_chip();
+  const Schedule schedule = ivd_schedule(chip);
+  const ControlProgram program = compile_control_program(chip, schedule);
+  // Probe the midpoint of each transport: its path controls must be open.
+  for (const TransportRecord& t : schedule.transports) {
+    const double mid = (t.start + t.end) / 2.0;
+    const auto open = program.open_controls_at(mid);
+    for (graph::EdgeId e : t.path) {
+      const arch::ControlId c =
+          chip.valve(chip.valve_on_edge(e)).control;
+      EXPECT_NE(std::find(open.begin(), open.end(), c), open.end())
+          << "control " << c << " closed mid-transport at t=" << mid;
+    }
+  }
+}
+
+TEST(ControlProgramTest, NothingOpenAfterCompletion) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const Schedule schedule = ivd_schedule(chip);
+  const ControlProgram program = compile_control_program(chip, schedule);
+  EXPECT_TRUE(program.open_controls_at(schedule.makespan + 1.0).empty());
+}
+
+TEST(ControlProgramTest, LongestHoldIsPositiveAndBounded) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const Schedule schedule = ivd_schedule(chip);
+  const ControlProgram program = compile_control_program(chip, schedule);
+  EXPECT_GT(program.longest_hold, 0.0);
+  EXPECT_LE(program.longest_hold, schedule.makespan);
+}
+
+TEST(ControlProgramTest, SharingMergesHoldsOntoFewerControls) {
+  // With valve sharing, DFT valves ride original controls: the program must
+  // stay well-formed and use only the original control ids.
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const testgen::PathPlan plan = testgen::plan_dft_paths(chip);
+  ASSERT_TRUE(plan.feasible);
+  arch::Biochip shared = testgen::apply_plan(chip, plan);
+  for (arch::ValveId v = 0; v < shared.valve_count(); ++v) {
+    if (shared.valve(v).is_dft) shared.share_control(v, v % chip.valve_count());
+  }
+  const Schedule schedule = schedule_assay(shared, make_ivd_assay());
+  ASSERT_TRUE(schedule.feasible);
+  const ControlProgram program = compile_control_program(shared, schedule);
+  EXPECT_TRUE(program.well_formed());
+  for (const Actuation& a : program.events) {
+    EXPECT_LT(a.control, chip.control_count());  // no new control ports
+  }
+}
+
+TEST(ControlProgramTest, RejectsInfeasibleSchedule) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  Schedule infeasible;
+  EXPECT_THROW(compile_control_program(chip, infeasible), Error);
+}
+
+TEST(ControlProgramTest, RejectsForeignSchedule) {
+  // A schedule produced on one chip cannot be compiled for another with a
+  // different channel occupation.
+  const arch::Biochip ivd = arch::make_ivd_chip();
+  const arch::Biochip ra30 = arch::make_ra30_chip();
+  const Schedule schedule = ivd_schedule(ivd);
+  EXPECT_THROW(compile_control_program(ra30, schedule), Error);
+}
+
+TEST(ControlProgramTest, RenderMentionsActuations) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const ControlProgram program =
+      compile_control_program(chip, ivd_schedule(chip));
+  const std::string text = render_control_program(program);
+  EXPECT_NE(text.find("actuations"), std::string::npos);
+  EXPECT_NE(text.find("vent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfd::sched

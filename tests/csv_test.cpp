@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace mfd {
+namespace {
+
+TEST(CsvTest, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"x", "y"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"text"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"has\nnewline"});
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(CsvTest, NumericRows) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row_numeric({1.5, 2.25}, 2);
+  EXPECT_EQ(csv.str(), "x,y\n1.50,2.25\n");
+}
+
+TEST(CsvTest, RowWidthMustMatch) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), Error);
+  EXPECT_THROW(csv.add_row_numeric({1.0, 2.0, 3.0}), Error);
+}
+
+TEST(CsvTest, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter({}), Error);
+}
+
+TEST(CsvTest, SaveAndReload) {
+  const std::string path = "csv_test_tmp.csv";
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"answer", "42"});
+  csv.save(path);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(file, line);
+  EXPECT_EQ(line, "answer,42");
+  file.close();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SaveToInvalidPathThrows) {
+  CsvWriter csv({"a"});
+  EXPECT_THROW(csv.save("/nonexistent-dir-xyz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace mfd

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dag.hpp"
+
+namespace mfd::graph {
+namespace {
+
+Digraph diamond() {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 3);
+  g.add_arc(2, 3);
+  return g;
+}
+
+TEST(DigraphTest, ArcsAndDegrees) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(3), 2);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(DigraphTest, RejectsDuplicateArcsAndSelfLoops) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  EXPECT_THROW(g.add_arc(0, 1), Error);
+  EXPECT_THROW(g.add_arc(2, 2), Error);
+}
+
+TEST(DigraphTest, PredecessorsTracked) {
+  const Digraph g = diamond();
+  const auto& preds = g.predecessors(3);
+  EXPECT_EQ(preds.size(), 2u);
+  EXPECT_NE(std::find(preds.begin(), preds.end(), 1), preds.end());
+  EXPECT_NE(std::find(preds.begin(), preds.end(), 2), preds.end());
+}
+
+TEST(TopologicalOrderTest, RespectsArcs) {
+  const Digraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> position(4);
+  for (int i = 0; i < 4; ++i) {
+    position[static_cast<std::size_t>((*order)[static_cast<std::size_t>(i)])] =
+        i;
+  }
+  EXPECT_LT(position[0], position[1]);
+  EXPECT_LT(position[0], position[2]);
+  EXPECT_LT(position[1], position[3]);
+  EXPECT_LT(position[2], position[3]);
+}
+
+TEST(TopologicalOrderTest, DetectsCycle) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(TopologicalOrderTest, EmptyGraphIsDag) {
+  Digraph g;
+  EXPECT_TRUE(is_dag(g));
+  EXPECT_TRUE(topological_order(g)->empty());
+}
+
+TEST(CriticalPathTest, ChainSumsDurations) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  const auto lengths = critical_path_lengths(g, {5.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(lengths[0], 10.0);
+  EXPECT_DOUBLE_EQ(lengths[1], 5.0);
+  EXPECT_DOUBLE_EQ(lengths[2], 2.0);
+}
+
+TEST(CriticalPathTest, DiamondTakesLongerBranch) {
+  const Digraph g = diamond();
+  const auto lengths = critical_path_lengths(g, {1.0, 10.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(lengths[0], 12.0);  // 0 -> 1 -> 3
+  EXPECT_DOUBLE_EQ(lengths[3], 1.0);
+}
+
+TEST(CriticalPathTest, SourcePriorityDominatesSuccessors) {
+  const Digraph g = diamond();
+  const auto lengths = critical_path_lengths(g, {1.0, 1.0, 1.0, 1.0});
+  for (NodeId n = 0; n < 4; ++n) {
+    for (NodeId m : g.successors(n)) {
+      EXPECT_GT(lengths[static_cast<std::size_t>(n)],
+                lengths[static_cast<std::size_t>(m)]);
+    }
+  }
+}
+
+TEST(CriticalPathTest, ThrowsOnCycle) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  EXPECT_THROW(critical_path_lengths(g, {1.0, 1.0}), Error);
+}
+
+TEST(CriticalPathTest, RequiresOneWeightPerNode) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  EXPECT_THROW(critical_path_lengths(g, {1.0}), Error);
+}
+
+}  // namespace
+}  // namespace mfd::graph

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "arch/chips.hpp"
+#include "sim/diagnosis.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace mfd::sim {
+namespace {
+
+std::vector<TestVector> full_suite(const arch::Biochip& chip) {
+  const auto suite = testgen::generate_test_suite_multiport(chip);
+  EXPECT_TRUE(suite.has_value());
+  return suite->vectors;
+}
+
+TEST(DiagnosisTest, TableCoversWholeFaultUniverse) {
+  const arch::Biochip chip = arch::make_figure4_chip();
+  const auto vectors = full_suite(chip);
+  const DiagnosisTable table = build_diagnosis_table(chip, vectors);
+  EXPECT_EQ(table.signature_of_fault.size(),
+            static_cast<std::size_t>(chip.valve_count()) * 2);
+  std::size_t grouped = 0;
+  for (const auto& [signature, faults] : table.classes) {
+    grouped += faults.size();
+  }
+  EXPECT_EQ(grouped, table.signature_of_fault.size());
+}
+
+TEST(DiagnosisTest, FullCoverageMeansFullyDetecting) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const auto vectors = full_suite(chip);
+  const DiagnosisTable table = build_diagnosis_table(chip, vectors);
+  EXPECT_TRUE(table.fully_detecting());
+}
+
+TEST(DiagnosisTest, EmptyVectorSetHasOneClass) {
+  const arch::Biochip chip = arch::make_figure4_chip();
+  const DiagnosisTable table = build_diagnosis_table(chip, {});
+  EXPECT_EQ(table.distinct_signatures(), 1);
+  EXPECT_FALSE(table.fully_detecting());
+  EXPECT_DOUBLE_EQ(table.resolution(), 0.0);
+}
+
+TEST(DiagnosisTest, ObservedSignatureMatchesTableEntry) {
+  const arch::Biochip chip = arch::make_figure4_chip();
+  const auto vectors = full_suite(chip);
+  const DiagnosisTable table = build_diagnosis_table(chip, vectors);
+  const Fault injected{2, FaultKind::kStuckAt0};
+  const Signature observed = observe_signature(chip, vectors, injected);
+  const auto candidates = diagnose(table, observed);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), injected),
+            candidates.end());
+}
+
+TEST(DiagnosisTest, UnknownSignatureYieldsNoCandidates) {
+  const arch::Biochip chip = arch::make_figure4_chip();
+  const auto vectors = full_suite(chip);
+  const DiagnosisTable table = build_diagnosis_table(chip, vectors);
+  // A signature longer than any real one cannot exist in the table.
+  const auto candidates =
+      diagnose(table, Signature(vectors.size() + 3, '1'));
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(DiagnosisTest, ResolutionAndAmbiguityConsistent) {
+  const arch::Biochip chip = arch::make_ra30_chip();
+  const auto vectors = full_suite(chip);
+  const DiagnosisTable table = build_diagnosis_table(chip, vectors);
+  const int total = chip.valve_count() * 2;
+  const int unique =
+      static_cast<int>(table.resolution() * total + 0.5);
+  EXPECT_EQ(unique + table.ambiguous_faults(), total);
+  EXPECT_GE(table.resolution(), 0.0);
+  EXPECT_LE(table.resolution(), 1.0);
+}
+
+TEST(DiagnosisTest, MoreVectorsNeverReduceResolution) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const auto vectors = full_suite(chip);
+  const std::vector<TestVector> half(vectors.begin(),
+                                     vectors.begin() +
+                                         static_cast<std::ptrdiff_t>(
+                                             vectors.size() / 2));
+  const DiagnosisTable small = build_diagnosis_table(chip, half);
+  const DiagnosisTable big = build_diagnosis_table(chip, vectors);
+  EXPECT_GE(big.distinct_signatures(), small.distinct_signatures());
+  EXPECT_GE(big.resolution(), small.resolution());
+}
+
+}  // namespace
+}  // namespace mfd::sim

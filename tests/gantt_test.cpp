@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/chips.hpp"
+#include "sched/gantt.hpp"
+
+namespace mfd::sched {
+namespace {
+
+TEST(GanttTest, RendersDeviceRowsAndMakespan) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const Assay assay = make_ivd_assay();
+  const Schedule schedule = schedule_assay(chip, assay);
+  ASSERT_TRUE(schedule.feasible);
+  const std::string chart = render_gantt(chip, assay, schedule);
+  for (const arch::Device& device : chip.devices()) {
+    EXPECT_NE(chart.find(device.name), std::string::npos) << device.name;
+  }
+  EXPECT_NE(chart.find("makespan"), std::string::npos);
+  EXPECT_NE(chart.find('M'), std::string::npos);  // some mix bar
+  EXPECT_NE(chart.find('D'), std::string::npos);  // some detect bar
+}
+
+TEST(GanttTest, TransportRowOptional) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const Assay assay = make_ivd_assay();
+  const Schedule schedule = schedule_assay(chip, assay);
+  GanttOptions with;
+  GanttOptions without;
+  without.show_transports = false;
+  EXPECT_NE(render_gantt(chip, assay, schedule, with).find("transports"),
+            std::string::npos);
+  EXPECT_EQ(render_gantt(chip, assay, schedule, without).find("transports"),
+            std::string::npos);
+}
+
+TEST(GanttTest, RowsHaveUniformWidth) {
+  const arch::Biochip chip = arch::make_ra30_chip();
+  const Assay assay = make_pid_assay();
+  const Schedule schedule = schedule_assay(chip, assay);
+  ASSERT_TRUE(schedule.feasible);
+  GanttOptions options;
+  options.width = 60;
+  const std::string chart = render_gantt(chip, assay, schedule, options);
+  // Every device row ends exactly width characters after its label padding.
+  std::istringstream lines(chart);
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) {
+    EXPECT_GE(line.size(), 60u);
+  }
+}
+
+TEST(GanttTest, RejectsInfeasibleScheduleAndTinyWidth) {
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const Assay assay = make_ivd_assay();
+  Schedule infeasible;
+  EXPECT_THROW(render_gantt(chip, assay, infeasible), Error);
+  const Schedule schedule = schedule_assay(chip, assay);
+  GanttOptions tiny;
+  tiny.width = 5;
+  EXPECT_THROW(render_gantt(chip, assay, schedule, tiny), Error);
+}
+
+}  // namespace
+}  // namespace mfd::sched

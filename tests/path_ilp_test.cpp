@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arch/chips.hpp"
+#include "testgen/path_ilp.hpp"
+
+namespace mfd::testgen {
+namespace {
+
+using arch::Biochip;
+
+// Validates the structural properties a plan promises: each path is a
+// connected source->meter walk over grid edges; the union of paths covers
+// every original channel; added edges were previously free.
+void check_plan(const Biochip& chip, const PathPlan& plan) {
+  ASSERT_TRUE(plan.feasible);
+  const graph::Graph& grid = chip.grid().graph();
+  const graph::NodeId s = chip.port(plan.source).node;
+  const graph::NodeId t = chip.port(plan.meter).node;
+
+  std::set<graph::EdgeId> covered;
+  for (const auto& path : plan.paths) {
+    ASSERT_FALSE(path.empty());
+    graph::NodeId at = s;
+    std::set<graph::NodeId> visited{s};
+    for (graph::EdgeId e : path) {
+      at = grid.edge(e).other(at);  // throws if disconnected walk
+      EXPECT_TRUE(visited.insert(at).second) << "path revisits node " << at;
+      covered.insert(e);
+    }
+    EXPECT_EQ(at, t);
+  }
+  for (graph::EdgeId e = 0; e < grid.edge_count(); ++e) {
+    if (chip.edge_occupied(e)) {
+      EXPECT_TRUE(covered.count(e) > 0) << "original channel " << e
+                                        << " uncovered";
+    }
+  }
+  for (graph::EdgeId e : plan.added_edges) {
+    EXPECT_FALSE(chip.edge_occupied(e));
+    EXPECT_TRUE(covered.count(e) > 0) << "added edge " << e << " unused";
+  }
+}
+
+TEST(SelectTestPortsTest, PicksMaximumDistancePair) {
+  const Biochip chip = arch::make_ivd_chip();
+  const auto [a, b] = select_test_ports(chip);
+  // P0 (0,1) and P1 (4,1) are distance 4 apart, the maximum.
+  EXPECT_EQ(chip.port(a).name, "P0");
+  EXPECT_EQ(chip.port(b).name, "P1");
+}
+
+TEST(SelectTestPortsTest, RequiresTwoPorts) {
+  Biochip chip(arch::ConnectionGrid(3, 3), "lonely");
+  chip.add_port(0, 0, "only");
+  EXPECT_THROW(select_test_ports(chip), Error);
+}
+
+TEST(PathIlpTest, Figure4ChipBecomesTestable) {
+  const Biochip chip = arch::make_figure4_chip();
+  const PathPlan plan = plan_dft_paths(chip);
+  check_plan(chip, plan);
+  EXPECT_GE(plan.paths_used, 2);
+  EXPECT_GT(plan.added_edges.size(), 0u);  // the Y needs augmentation
+}
+
+TEST(PathIlpTest, IvdChipPlan) {
+  const Biochip chip = arch::make_ivd_chip();
+  const PathPlan plan = plan_dft_paths(chip);
+  check_plan(chip, plan);
+}
+
+TEST(PathIlpTest, ApplyPlanAddsDftValves) {
+  const Biochip chip = arch::make_figure4_chip();
+  const PathPlan plan = plan_dft_paths(chip);
+  ASSERT_TRUE(plan.feasible);
+  const Biochip augmented = apply_plan(chip, plan);
+  EXPECT_EQ(augmented.valve_count(),
+            chip.valve_count() + static_cast<int>(plan.added_edges.size()));
+  EXPECT_EQ(augmented.dft_valve_count(),
+            static_cast<int>(plan.added_edges.size()));
+  for (graph::EdgeId e : plan.added_edges) {
+    const arch::ValveId v = augmented.valve_on_edge(e);
+    ASSERT_NE(v, arch::kInvalidValve);
+    EXPECT_TRUE(augmented.valve(v).is_dft);
+    EXPECT_EQ(augmented.valve(v).control, arch::kInvalidControl);
+  }
+}
+
+TEST(PathIlpTest, ApplyPlanRejectsInfeasible) {
+  const Biochip chip = arch::make_figure4_chip();
+  PathPlan plan;  // default: infeasible
+  EXPECT_THROW(apply_plan(chip, plan), Error);
+}
+
+TEST(PathIlpTest, AlreadyTestableChipNeedsNoEdges) {
+  // A plain corridor between two ports is already coverable by one path, so
+  // |P|=2 paths (both the corridor) add nothing.
+  Biochip chip(arch::ConnectionGrid(4, 2), "corridor");
+  chip.add_port(0, 0, "L");
+  chip.add_port(3, 0, "R");
+  chip.add_channel(0, 0, 1, 0);
+  chip.add_channel(1, 0, 2, 0);
+  chip.add_channel(2, 0, 3, 0);
+  const PathPlan plan = plan_dft_paths(chip);
+  check_plan(chip, plan);
+  EXPECT_TRUE(plan.added_edges.empty());
+}
+
+TEST(PathIlpTest, WeightsSteerEdgeChoiceWithoutChangingCount) {
+  const Biochip chip = arch::make_figure4_chip();
+  const PathPlan base = plan_dft_paths(chip);
+  ASSERT_TRUE(base.feasible);
+
+  PathPlanOptions options;
+  options.edge_weights.assign(
+      static_cast<std::size_t>(chip.grid().graph().edge_count()), 0.0);
+  // Make the base plan's added edges expensive.
+  for (graph::EdgeId e : base.added_edges) {
+    options.edge_weights[static_cast<std::size_t>(e)] = 1.0;
+  }
+  const PathPlan biased = plan_dft_paths(chip, options);
+  check_plan(chip, biased);
+  // Lexicographic: the channel count must not grow.
+  EXPECT_EQ(biased.added_edges.size(), base.added_edges.size());
+}
+
+TEST(PathIlpTest, ForbiddenSetsEnumerateDistinctConfigs) {
+  const Biochip chip = arch::make_figure4_chip();
+  const PathPlan first = plan_dft_paths(chip);
+  ASSERT_TRUE(first.feasible);
+
+  PathPlanOptions options;
+  options.forbidden_added_sets.push_back(first.added_edges);
+  const PathPlan second = plan_dft_paths(chip, options);
+  if (second.feasible) {
+    EXPECT_NE(second.added_edges, first.added_edges);
+    check_plan(chip, second);
+  }
+}
+
+TEST(PathIlpTest, InfeasibleWhenPathBudgetTooSmall) {
+  // max_paths = 1 cannot cover a chip with a branch off the s-t axis.
+  const Biochip chip = arch::make_figure4_chip();
+  PathPlanOptions options;
+  options.initial_paths = 1;
+  options.max_paths = 1;
+  const PathPlan plan = plan_dft_paths(chip, options);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(PathIlpTest, PathsStartAndEndAtSelectedPorts) {
+  const Biochip chip = arch::make_ra30_chip();
+  const PathPlan plan = plan_dft_paths(chip);
+  ASSERT_TRUE(plan.feasible);
+  const auto [a, b] = select_test_ports(chip);
+  EXPECT_EQ(plan.source, a);
+  EXPECT_EQ(plan.meter, b);
+  check_plan(chip, plan);
+}
+
+}  // namespace
+}  // namespace mfd::testgen

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pso/pso.hpp"
+
+namespace mfd::pso {
+namespace {
+
+double sphere(const std::vector<double>& x) {
+  double total = 0.0;
+  for (double v : x) total += (v - 0.5) * (v - 0.5);
+  return total;
+}
+
+TEST(DecodeIndexTest, MapsUnitIntervalToBuckets) {
+  EXPECT_EQ(decode_index(0.0, 4), 0);
+  EXPECT_EQ(decode_index(0.24, 4), 0);
+  EXPECT_EQ(decode_index(0.26, 4), 1);
+  EXPECT_EQ(decode_index(0.99, 4), 3);
+  EXPECT_EQ(decode_index(1.0, 4), 3);  // boundary clamps into range
+}
+
+TEST(DecodeIndexTest, ClampsOutOfRangeCoordinates) {
+  EXPECT_EQ(decode_index(-0.5, 3), 0);
+  EXPECT_EQ(decode_index(1.5, 3), 2);
+}
+
+TEST(DecodeIndexTest, RejectsEmptyRange) {
+  EXPECT_THROW(decode_index(0.5, 0), Error);
+}
+
+TEST(PsoTest, MinimizesSphere) {
+  PsoOptions options;
+  options.particles = 10;
+  options.iterations = 60;
+  const PsoResult r = minimize(4, sphere, options);
+  EXPECT_LT(r.best_value, 0.01);
+  for (double x : r.best_position) {
+    EXPECT_NEAR(x, 0.5, 0.2);
+  }
+}
+
+TEST(PsoTest, BestPerIterationIsMonotoneNonIncreasing) {
+  PsoOptions options;
+  options.particles = 6;
+  options.iterations = 30;
+  const PsoResult r = minimize(3, sphere, options);
+  ASSERT_EQ(r.best_per_iteration.size(), 31u);
+  for (std::size_t i = 1; i < r.best_per_iteration.size(); ++i) {
+    EXPECT_LE(r.best_per_iteration[i], r.best_per_iteration[i - 1] + 1e-12);
+  }
+}
+
+TEST(PsoTest, DeterministicForFixedSeed) {
+  PsoOptions options;
+  options.seed = 77;
+  const PsoResult a = minimize(3, sphere, options);
+  const PsoResult b = minimize(3, sphere, options);
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.best_position, b.best_position);
+}
+
+TEST(PsoTest, DifferentSeedsExploreDifferently) {
+  PsoOptions a_options;
+  a_options.seed = 1;
+  a_options.iterations = 5;
+  PsoOptions b_options = a_options;
+  b_options.seed = 2;
+  const PsoResult a = minimize(5, sphere, a_options);
+  const PsoResult b = minimize(5, sphere, b_options);
+  EXPECT_NE(a.best_position, b.best_position);
+}
+
+TEST(PsoTest, ZeroDimensionsEvaluatesOnce) {
+  int calls = 0;
+  const PsoResult r = minimize(
+      0,
+      [&](const std::vector<double>& x) {
+        ++calls;
+        EXPECT_TRUE(x.empty());
+        return 42.0;
+      },
+      PsoOptions{});
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(r.best_value, 42.0);
+  EXPECT_EQ(r.evaluations, 1);
+}
+
+TEST(PsoTest, HandlesAllInfiniteObjectives) {
+  PsoOptions options;
+  options.particles = 4;
+  options.iterations = 5;
+  const PsoResult r = minimize(
+      2,
+      [](const std::vector<double>&) {
+        return std::numeric_limits<double>::infinity();
+      },
+      options);
+  EXPECT_TRUE(std::isinf(r.best_value));
+}
+
+TEST(PsoTest, SeedPositionsAreEvaluatedFirst) {
+  // Seed the known optimum; it must be found immediately.
+  PsoOptions options;
+  options.particles = 5;
+  options.iterations = 0;
+  const std::vector<double> optimum(3, 0.5);
+  const PsoResult r = minimize(3, sphere, options, {optimum});
+  EXPECT_NEAR(r.best_value, 0.0, 1e-12);
+  EXPECT_EQ(r.best_position, optimum);
+}
+
+TEST(PsoTest, SeedPositionsClampedIntoUnitCube) {
+  PsoOptions options;
+  options.particles = 2;
+  options.iterations = 0;
+  const PsoResult r = minimize(
+      2,
+      [](const std::vector<double>& x) {
+        for (double v : x) {
+          EXPECT_GE(v, 0.0);
+          EXPECT_LE(v, 1.0);
+        }
+        return 0.0;
+      },
+      options, {{-3.0, 9.0}});
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+}
+
+TEST(PsoTest, SeedDimensionMismatchRejected) {
+  EXPECT_THROW(minimize(3, sphere, PsoOptions{}, {{0.5}}), Error);
+}
+
+TEST(PsoTest, EvaluationCountMatchesBudget) {
+  PsoOptions options;
+  options.particles = 7;
+  options.iterations = 9;
+  const PsoResult r = minimize(2, sphere, options);
+  EXPECT_EQ(r.evaluations, 7 * (1 + 9));
+}
+
+TEST(PsoTest, PositionsStayInUnitCube) {
+  PsoOptions options;
+  options.particles = 5;
+  options.iterations = 40;
+  options.vmax = 0.9;
+  minimize(3,
+           [](const std::vector<double>& x) {
+             for (double v : x) {
+               EXPECT_GE(v, 0.0);
+               EXPECT_LE(v, 1.0);
+             }
+             return -x[0];  // push against the boundary
+           },
+           options);
+}
+
+}  // namespace
+}  // namespace mfd::pso

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/chips.hpp"
+#include "arch/serialize.hpp"
+
+namespace mfd::arch {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesInventory) {
+  for (const Biochip& original : make_paper_chips()) {
+    const Biochip parsed = chip_from_string(chip_to_string(original));
+    EXPECT_EQ(parsed.name(), original.name());
+    EXPECT_EQ(parsed.grid().width(), original.grid().width());
+    EXPECT_EQ(parsed.grid().height(), original.grid().height());
+    EXPECT_EQ(parsed.port_count(), original.port_count());
+    EXPECT_EQ(parsed.device_count(), original.device_count());
+    EXPECT_EQ(parsed.valve_count(), original.valve_count());
+    for (ValveId v = 0; v < original.valve_count(); ++v) {
+      EXPECT_EQ(parsed.valve(v).edge, original.valve(v).edge);
+      EXPECT_EQ(parsed.valve(v).is_dft, original.valve(v).is_dft);
+    }
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesSharing) {
+  Biochip chip = make_ivd_chip();
+  const graph::EdgeId free1 = chip.grid().edge_between(1, 0, 2, 0);
+  const graph::EdgeId free2 = chip.grid().edge_between(2, 0, 3, 0);
+  const ValveId a = chip.add_dft_channel(free1);
+  const ValveId b = chip.add_dft_channel(free2);
+  chip.share_control(a, 3);
+  chip.assign_dedicated_control(b);
+
+  const Biochip parsed = chip_from_string(chip_to_string(chip));
+  EXPECT_TRUE(parsed.valve(a).is_dft);
+  EXPECT_EQ(parsed.valve(a).control, parsed.valve(3).control);
+  // Dedicated control is its own group.
+  EXPECT_EQ(parsed.valves_of_control(parsed.valve(b).control).size(), 1u);
+}
+
+TEST(SerializeTest, ParsesMinimalChip) {
+  const std::string text = R"(
+# toy chip
+chip toy
+grid 3 2
+port P0 0 0
+port P1 2 0
+device mixer M 1 0
+channel 0 0 1 0
+channel 1 0 2 0
+)";
+  const Biochip chip = chip_from_string(text);
+  EXPECT_EQ(chip.name(), "toy");
+  EXPECT_EQ(chip.valve_count(), 2);
+  EXPECT_EQ(chip.device_count(DeviceKind::kMixer), 1);
+  std::string why;
+  EXPECT_TRUE(chip.validate(&why)) << why;
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "chip c\n\n# comment line\ngrid 2 2\n"
+      "port P0 0 0  # trailing comment\nport P1 1 0\nchannel 0 0 1 0\n";
+  const Biochip chip = chip_from_string(text);
+  EXPECT_EQ(chip.port_count(), 2);
+  EXPECT_EQ(chip.valve_count(), 1);
+}
+
+TEST(SerializeTest, GridLineRequired) {
+  EXPECT_THROW(chip_from_string("chip c\nport P0 0 0\n"), Error);
+}
+
+TEST(SerializeTest, UnknownKeywordRejected) {
+  EXPECT_THROW(chip_from_string("grid 2 2\nfrobnicate 1 2\n"), Error);
+}
+
+TEST(SerializeTest, UnknownDeviceKindRejected) {
+  EXPECT_THROW(chip_from_string("grid 3 3\ndevice teleporter T 0 0\n"),
+               Error);
+}
+
+TEST(SerializeTest, MalformedChannelRejected) {
+  EXPECT_THROW(chip_from_string("grid 3 3\nchannel 0 0 1\n"), Error);
+}
+
+TEST(SerializeTest, EmptyInputRejected) {
+  EXPECT_THROW(chip_from_string("   \n  \n"), Error);
+}
+
+TEST(AsciiRenderTest, ShowsPortsDevicesAndDftChannels) {
+  Biochip chip = make_ivd_chip();
+  chip.add_dft_channel(chip.grid().edge_between(1, 0, 2, 0));
+  const std::string art = render_chip_ascii(chip);
+  EXPECT_NE(art.find('P'), std::string::npos);
+  EXPECT_NE(art.find('M'), std::string::npos);
+  EXPECT_NE(art.find('D'), std::string::npos);
+  EXPECT_NE(art.find('+'), std::string::npos);  // DFT marker
+  EXPECT_NE(art.find('-'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfd::arch

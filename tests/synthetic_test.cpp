@@ -1,0 +1,119 @@
+// Property tests over randomly generated chips and assays: the generators
+// must always produce valid artifacts, and the full DFT pipeline must hold
+// its invariants on them — not just on the three hand-built paper chips.
+#include <gtest/gtest.h>
+
+#include "arch/chips.hpp"
+#include "arch/synthetic.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/synthetic.hpp"
+#include "testgen/path_ilp.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace mfd {
+namespace {
+
+class SyntheticChipTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticChipTest, GeneratedChipIsValid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 11);
+  arch::SyntheticChipSpec spec;
+  spec.grid_width = 5 + GetParam() % 3;
+  spec.grid_height = 4 + GetParam() % 2;
+  spec.ports = 2 + GetParam() % 3;
+  spec.mixers = 1 + GetParam() % 2;
+  spec.detectors = 1;
+  spec.extra_channels = GetParam() % 5;
+  const arch::Biochip chip = arch::make_synthetic_chip(spec, rng);
+  std::string why;
+  EXPECT_TRUE(chip.validate(&why)) << why;
+  EXPECT_EQ(chip.port_count(), spec.ports);
+  EXPECT_EQ(chip.device_count(arch::DeviceKind::kMixer), spec.mixers);
+  EXPECT_EQ(chip.device_count(arch::DeviceKind::kDetector), spec.detectors);
+  EXPECT_GT(chip.valve_count(), 0);
+}
+
+TEST_P(SyntheticChipTest, MultiportTestGenerationSucceeds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 1);
+  arch::SyntheticChipSpec spec;
+  spec.extra_channels = 3;
+  const arch::Biochip chip = arch::make_synthetic_chip(spec, rng);
+  const auto suite = testgen::generate_test_suite_multiport(chip);
+  // Chips with dead-end branches may be untestable without DFT — that is
+  // exactly the paper's motivation — but when a suite exists it must be
+  // complete and consistent.
+  if (suite.has_value()) {
+    EXPECT_TRUE(suite->coverage.complete());
+    const sim::PressureSimulator simulator(chip);
+    for (const sim::TestVector& v : suite->vectors) {
+      EXPECT_TRUE(simulator.vector_consistent(v));
+    }
+  }
+}
+
+TEST_P(SyntheticChipTest, DftPipelineOnRandomChips) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 9);
+  arch::SyntheticChipSpec spec;
+  spec.grid_width = 5;
+  spec.grid_height = 4;
+  spec.extra_channels = 2;
+  const arch::Biochip chip = arch::make_synthetic_chip(spec, rng);
+
+  testgen::PathPlanOptions options;
+  options.time_limit_seconds = 20.0;
+  const testgen::PathPlan plan = testgen::plan_dft_paths(chip, options);
+  if (!plan.feasible) GTEST_SKIP() << "no plan within limits";
+
+  arch::Biochip augmented = testgen::apply_plan(chip, plan);
+  for (arch::ValveId v = 0; v < augmented.valve_count(); ++v) {
+    if (augmented.valve(v).is_dft) augmented.assign_dedicated_control(v);
+  }
+  testgen::VectorGenOptions vopt;
+  vopt.plan = &plan;
+  const auto suite = testgen::generate_test_suite(augmented, plan.source,
+                                                  plan.meter, vopt);
+  ASSERT_TRUE(suite.has_value());
+  EXPECT_TRUE(suite->coverage.complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticChipTest, ::testing::Range(1, 13));
+
+class SyntheticAssayTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticAssayTest, GeneratedAssayIsValid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 577 + 3);
+  sched::SyntheticAssaySpec spec;
+  spec.operations = 5 + GetParam() * 2;
+  const sched::Assay assay = sched::make_synthetic_assay(spec, rng);
+  std::string why;
+  EXPECT_TRUE(assay.validate(&why)) << why;
+  EXPECT_EQ(assay.operation_count(), spec.operations);
+}
+
+TEST_P(SyntheticAssayTest, SchedulesOnPaperChips) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 577 + 3);
+  sched::SyntheticAssaySpec spec;
+  spec.operations = 6 + GetParam();
+  const sched::Assay assay = sched::make_synthetic_assay(spec, rng);
+  const arch::Biochip chip = arch::make_ivd_chip();
+  const sched::Schedule s = sched::schedule_assay(chip, assay);
+  ASSERT_TRUE(s.feasible);
+  // Precedence holds.
+  std::vector<const sched::ScheduledOperation*> by_op(
+      static_cast<std::size_t>(assay.operation_count()), nullptr);
+  for (const sched::ScheduledOperation& op : s.operations) {
+    by_op[static_cast<std::size_t>(op.op)] = &op;
+  }
+  for (sched::OpId o = 0; o < assay.operation_count(); ++o) {
+    ASSERT_NE(by_op[static_cast<std::size_t>(o)], nullptr);
+    for (sched::OpId p : assay.dag().predecessors(o)) {
+      EXPECT_GE(by_op[static_cast<std::size_t>(o)]->start,
+                by_op[static_cast<std::size_t>(p)]->end - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticAssayTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace mfd
