@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_chip.dir/custom_chip.cpp.o"
+  "CMakeFiles/custom_chip.dir/custom_chip.cpp.o.d"
+  "custom_chip"
+  "custom_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

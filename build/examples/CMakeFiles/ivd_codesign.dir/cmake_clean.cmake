@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivd_codesign.dir/ivd_codesign.cpp.o"
+  "CMakeFiles/ivd_codesign.dir/ivd_codesign.cpp.o.d"
+  "ivd_codesign"
+  "ivd_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivd_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

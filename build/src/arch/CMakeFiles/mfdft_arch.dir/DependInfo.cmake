@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/biochip.cpp" "src/arch/CMakeFiles/mfdft_arch.dir/biochip.cpp.o" "gcc" "src/arch/CMakeFiles/mfdft_arch.dir/biochip.cpp.o.d"
+  "/root/repo/src/arch/chips.cpp" "src/arch/CMakeFiles/mfdft_arch.dir/chips.cpp.o" "gcc" "src/arch/CMakeFiles/mfdft_arch.dir/chips.cpp.o.d"
+  "/root/repo/src/arch/grid.cpp" "src/arch/CMakeFiles/mfdft_arch.dir/grid.cpp.o" "gcc" "src/arch/CMakeFiles/mfdft_arch.dir/grid.cpp.o.d"
+  "/root/repo/src/arch/serialize.cpp" "src/arch/CMakeFiles/mfdft_arch.dir/serialize.cpp.o" "gcc" "src/arch/CMakeFiles/mfdft_arch.dir/serialize.cpp.o.d"
+  "/root/repo/src/arch/synthetic.cpp" "src/arch/CMakeFiles/mfdft_arch.dir/synthetic.cpp.o" "gcc" "src/arch/CMakeFiles/mfdft_arch.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mfdft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mfdft_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_arch.dir/biochip.cpp.o"
+  "CMakeFiles/mfdft_arch.dir/biochip.cpp.o.d"
+  "CMakeFiles/mfdft_arch.dir/chips.cpp.o"
+  "CMakeFiles/mfdft_arch.dir/chips.cpp.o.d"
+  "CMakeFiles/mfdft_arch.dir/grid.cpp.o"
+  "CMakeFiles/mfdft_arch.dir/grid.cpp.o.d"
+  "CMakeFiles/mfdft_arch.dir/serialize.cpp.o"
+  "CMakeFiles/mfdft_arch.dir/serialize.cpp.o.d"
+  "CMakeFiles/mfdft_arch.dir/synthetic.cpp.o"
+  "CMakeFiles/mfdft_arch.dir/synthetic.cpp.o.d"
+  "libmfdft_arch.a"
+  "libmfdft_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

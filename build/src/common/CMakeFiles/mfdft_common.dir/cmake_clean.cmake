@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_common.dir/csv.cpp.o"
+  "CMakeFiles/mfdft_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mfdft_common.dir/error.cpp.o"
+  "CMakeFiles/mfdft_common.dir/error.cpp.o.d"
+  "CMakeFiles/mfdft_common.dir/text_table.cpp.o"
+  "CMakeFiles/mfdft_common.dir/text_table.cpp.o.d"
+  "libmfdft_common.a"
+  "libmfdft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_core.dir/codesign.cpp.o"
+  "CMakeFiles/mfdft_core.dir/codesign.cpp.o.d"
+  "CMakeFiles/mfdft_core.dir/report.cpp.o"
+  "CMakeFiles/mfdft_core.dir/report.cpp.o.d"
+  "libmfdft_core.a"
+  "libmfdft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfdft_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_graph.dir/dag.cpp.o"
+  "CMakeFiles/mfdft_graph.dir/dag.cpp.o.d"
+  "CMakeFiles/mfdft_graph.dir/graph.cpp.o"
+  "CMakeFiles/mfdft_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mfdft_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/mfdft_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/mfdft_graph.dir/traversal.cpp.o"
+  "CMakeFiles/mfdft_graph.dir/traversal.cpp.o.d"
+  "libmfdft_graph.a"
+  "libmfdft_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_ilp.dir/model.cpp.o"
+  "CMakeFiles/mfdft_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/mfdft_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/mfdft_ilp.dir/simplex.cpp.o.d"
+  "CMakeFiles/mfdft_ilp.dir/solver.cpp.o"
+  "CMakeFiles/mfdft_ilp.dir/solver.cpp.o.d"
+  "libmfdft_ilp.a"
+  "libmfdft_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

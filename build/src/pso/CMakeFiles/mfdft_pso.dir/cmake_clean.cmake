@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_pso.dir/pso.cpp.o"
+  "CMakeFiles/mfdft_pso.dir/pso.cpp.o.d"
+  "libmfdft_pso.a"
+  "libmfdft_pso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

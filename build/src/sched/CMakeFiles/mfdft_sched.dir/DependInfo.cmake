@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/assay.cpp" "src/sched/CMakeFiles/mfdft_sched.dir/assay.cpp.o" "gcc" "src/sched/CMakeFiles/mfdft_sched.dir/assay.cpp.o.d"
+  "/root/repo/src/sched/control_program.cpp" "src/sched/CMakeFiles/mfdft_sched.dir/control_program.cpp.o" "gcc" "src/sched/CMakeFiles/mfdft_sched.dir/control_program.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/mfdft_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/mfdft_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/mfdft_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mfdft_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/synthetic.cpp" "src/sched/CMakeFiles/mfdft_sched.dir/synthetic.cpp.o" "gcc" "src/sched/CMakeFiles/mfdft_sched.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mfdft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mfdft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mfdft_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

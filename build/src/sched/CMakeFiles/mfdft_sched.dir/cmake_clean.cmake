@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_sched.dir/assay.cpp.o"
+  "CMakeFiles/mfdft_sched.dir/assay.cpp.o.d"
+  "CMakeFiles/mfdft_sched.dir/control_program.cpp.o"
+  "CMakeFiles/mfdft_sched.dir/control_program.cpp.o.d"
+  "CMakeFiles/mfdft_sched.dir/gantt.cpp.o"
+  "CMakeFiles/mfdft_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/mfdft_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/mfdft_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mfdft_sched.dir/synthetic.cpp.o"
+  "CMakeFiles/mfdft_sched.dir/synthetic.cpp.o.d"
+  "libmfdft_sched.a"
+  "libmfdft_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

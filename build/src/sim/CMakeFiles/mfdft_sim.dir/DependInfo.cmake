@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/diagnosis.cpp" "src/sim/CMakeFiles/mfdft_sim.dir/diagnosis.cpp.o" "gcc" "src/sim/CMakeFiles/mfdft_sim.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/mfdft_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/mfdft_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/pressure.cpp" "src/sim/CMakeFiles/mfdft_sim.dir/pressure.cpp.o" "gcc" "src/sim/CMakeFiles/mfdft_sim.dir/pressure.cpp.o.d"
+  "/root/repo/src/sim/test_vector.cpp" "src/sim/CMakeFiles/mfdft_sim.dir/test_vector.cpp.o" "gcc" "src/sim/CMakeFiles/mfdft_sim.dir/test_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mfdft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mfdft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mfdft_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

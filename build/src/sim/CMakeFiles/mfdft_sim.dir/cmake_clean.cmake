@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_sim.dir/diagnosis.cpp.o"
+  "CMakeFiles/mfdft_sim.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/mfdft_sim.dir/fault.cpp.o"
+  "CMakeFiles/mfdft_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/mfdft_sim.dir/pressure.cpp.o"
+  "CMakeFiles/mfdft_sim.dir/pressure.cpp.o.d"
+  "CMakeFiles/mfdft_sim.dir/test_vector.cpp.o"
+  "CMakeFiles/mfdft_sim.dir/test_vector.cpp.o.d"
+  "libmfdft_sim.a"
+  "libmfdft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdft_testgen.dir/minimize.cpp.o"
+  "CMakeFiles/mfdft_testgen.dir/minimize.cpp.o.d"
+  "CMakeFiles/mfdft_testgen.dir/path_ilp.cpp.o"
+  "CMakeFiles/mfdft_testgen.dir/path_ilp.cpp.o.d"
+  "CMakeFiles/mfdft_testgen.dir/vector_gen.cpp.o"
+  "CMakeFiles/mfdft_testgen.dir/vector_gen.cpp.o.d"
+  "libmfdft_testgen.a"
+  "libmfdft_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdft_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

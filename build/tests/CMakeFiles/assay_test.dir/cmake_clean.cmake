@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assay_test.dir/assay_test.cpp.o"
+  "CMakeFiles/assay_test.dir/assay_test.cpp.o.d"
+  "assay_test"
+  "assay_test.pdb"
+  "assay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biochip_test.dir/biochip_test.cpp.o"
+  "CMakeFiles/biochip_test.dir/biochip_test.cpp.o.d"
+  "biochip_test"
+  "biochip_test.pdb"
+  "biochip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biochip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

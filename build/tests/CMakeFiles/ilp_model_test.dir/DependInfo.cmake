@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ilp_model_test.cpp" "tests/CMakeFiles/ilp_model_test.dir/ilp_model_test.cpp.o" "gcc" "tests/CMakeFiles/ilp_model_test.dir/ilp_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mfdft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/mfdft_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mfdft_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfdft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mfdft_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mfdft_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mfdft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pso/CMakeFiles/mfdft_pso.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mfdft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

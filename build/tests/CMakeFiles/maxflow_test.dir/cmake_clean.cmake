@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxflow_test.dir/maxflow_test.cpp.o"
+  "CMakeFiles/maxflow_test.dir/maxflow_test.cpp.o.d"
+  "maxflow_test"
+  "maxflow_test.pdb"
+  "maxflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

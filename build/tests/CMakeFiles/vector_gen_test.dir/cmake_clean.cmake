@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_gen_test.dir/vector_gen_test.cpp.o"
+  "CMakeFiles/vector_gen_test.dir/vector_gen_test.cpp.o.d"
+  "vector_gen_test"
+  "vector_gen_test.pdb"
+  "vector_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
