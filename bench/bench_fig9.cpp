@@ -5,14 +5,21 @@
 // Expected shape: non-increasing curves that flatten well before the last
 // iteration (the paper reports stability from ~iteration 80 of 100).
 //
+// Every combination runs twice — threads=1 (exact serial pipeline) and the
+// configured thread count — and the two convergence traces must be
+// bit-identical; the bench reports the wall-clock speedup and the
+// fitness-cache hit rate alongside the curves.
+//
 // Environment: MFDFT_BENCH_FULL=1 runs the paper's 100 iterations; the
-// default is 40 to keep the bench suite fast.
+// default is 40 to keep the bench suite fast. MFDFT_BENCH_THREADS sets the
+// parallel thread count (default: all hardware threads).
 #include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/text_table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/codesign.hpp"
 
 int main() {
@@ -20,8 +27,12 @@ int main() {
   const int iterations = bench::env_flag("MFDFT_BENCH_FULL")
                              ? 100
                              : bench::env_int("MFDFT_BENCH_ITERATIONS", 25);
-  std::printf("Figure 9: PSO convergence (%d outer iterations)\n\n",
-              iterations);
+  const int threads = bench::bench_threads() == 0
+                          ? ThreadPool::hardware_threads()
+                          : bench::bench_threads();
+  std::printf("Figure 9: PSO convergence (%d outer iterations, "
+              "threads=1 vs threads=%d)\n\n",
+              iterations, threads);
 
   struct Combo {
     arch::Biochip chip;
@@ -33,17 +44,39 @@ int main() {
   combos.push_back({arch::make_mrna_chip(), sched::make_cpa_assay()});
 
   bool all_monotone = true;
+  bool all_identical = true;
   CsvWriter csv({"combination", "iteration", "best_execution_time_s"});
   for (Combo& combo : combos) {
     core::CodesignOptions options;
     options.outer_iterations = iterations;
     options.config_pool_size = 3;
+
+    options.threads = 1;
+    const core::CodesignResult serial =
+        core::run_codesign(combo.chip, combo.assay, options);
+    options.threads = threads;
     const core::CodesignResult r =
         core::run_codesign(combo.chip, combo.assay, options);
     std::printf("%s / %s:%s\n", combo.chip.name().c_str(),
                 combo.assay.name().c_str(),
                 r.success ? "" : (" FAILED: " + r.failure_reason).c_str());
     if (!r.success) continue;
+
+    if (serial.convergence != r.convergence ||
+        serial.sharing.partner != r.sharing.partner) {
+      all_identical = false;
+      std::printf("  MISMATCH: threads=%d diverged from the serial run\n",
+                  threads);
+    }
+    std::printf(
+        "  threads=1: %.1fs   threads=%d: %.1fs   speedup: %.2fx   "
+        "cache hit rate: %.0f%% (%lld evals, %lld hits)\n",
+        serial.runtime_seconds, r.threads_used, r.runtime_seconds,
+        r.runtime_seconds > 0 ? serial.runtime_seconds / r.runtime_seconds
+                              : 0.0,
+        100.0 * r.stats.hit_rate(),
+        static_cast<long long>(r.stats.evaluations),
+        static_cast<long long>(r.stats.cache_hits));
 
     // Print the series, then a sparkline-style view.
     std::printf("  iteration: best execution time [s]\n");
@@ -74,5 +107,8 @@ int main() {
   std::printf("shape check: curves are %s and flatten before the final "
               "iteration.\n",
               all_monotone ? "monotone non-increasing" : "NOT monotone (bug)");
-  return all_monotone ? 0 : 1;
+  std::printf("determinism check: parallel runs are %s to the serial "
+              "pipeline.\n",
+              all_identical ? "bit-identical" : "NOT identical (bug)");
+  return all_monotone && all_identical ? 0 : 1;
 }

@@ -27,13 +27,20 @@ double seconds_since(const std::chrono::steady_clock::time_point& start) {
 
 int main() {
   using namespace mfd;
-  std::printf("Scalability: DFT flow stages on synthetic chips\n\n");
+  std::printf("Scalability: DFT flow stages on synthetic chips "
+              "(MFDFT_BENCH_THREADS=%s)\n\n",
+              bench::bench_threads() == 0
+                  ? "hw"
+                  : std::to_string(bench::bench_threads()).c_str());
 
+  const int threads = bench::bench_threads();
   TextTable table;
   table.set_header({"grid", "valves", "plan [s]", "added", "testgen [s]",
-                    "vectors", "schedule [s]", "makespan"});
+                    "vectors", "schedule [s]", "makespan", "codesign [s]",
+                    "hit rate"});
   CsvWriter csv({"grid_w", "grid_h", "valves", "plan_s", "added", "testgen_s",
-                 "vectors", "schedule_s", "makespan"});
+                 "vectors", "schedule_s", "makespan", "codesign_s",
+                 "cache_hit_rate"});
 
   Rng rng(31337);
   struct Size {
@@ -81,6 +88,22 @@ int main() {
     const sched::Schedule schedule = sched::schedule_assay(augmented, assay);
     const double schedule_seconds = seconds_since(t0);
 
+    // End-to-end codesign (few iterations) with the batched parallel
+    // evaluation pipeline.
+    core::CodesignOptions codesign_options;
+    codesign_options.outer_iterations = 3;
+    codesign_options.config_pool_size = 2;
+    codesign_options.unoptimized_attempts = 30;
+    codesign_options.threads = threads;
+    t0 = std::chrono::steady_clock::now();
+    const core::CodesignResult codesign =
+        core::run_codesign(chip, assay, codesign_options);
+    const double codesign_seconds = seconds_since(t0);
+    const std::string hit_rate =
+        codesign.success
+            ? format_double(100.0 * codesign.stats.hit_rate(), 0) + "%"
+            : "-";
+
     table.add_row(
         {std::to_string(size.w) + "x" + std::to_string(size.h),
          std::to_string(chip.valve_count()), format_double(plan_seconds, 2),
@@ -88,7 +111,8 @@ int main() {
          format_double(testgen_seconds, 3),
          suite.has_value() ? std::to_string(suite->size()) : "-",
          format_double(schedule_seconds, 3),
-         schedule.feasible ? format_double(schedule.makespan, 0) : "inf"});
+         schedule.feasible ? format_double(schedule.makespan, 0) : "inf",
+         format_double(codesign_seconds, 2), hit_rate});
     csv.add_row({std::to_string(size.w), std::to_string(size.h),
                  std::to_string(chip.valve_count()),
                  format_double(plan_seconds, 3),
@@ -97,7 +121,11 @@ int main() {
                  suite.has_value() ? std::to_string(suite->size()) : "-1",
                  format_double(schedule_seconds, 3),
                  schedule.feasible ? format_double(schedule.makespan, 1)
-                                   : "-1"});
+                                   : "-1",
+                 format_double(codesign_seconds, 3),
+                 codesign.success
+                     ? format_double(codesign.stats.hit_rate(), 3)
+                     : "-1"});
   }
   std::printf("%s\n", table.str().c_str());
   csv.save("scalability.csv");

@@ -10,7 +10,8 @@
 // and the PSO recovers the sharing-induced slowdown (column 3 <= column 2).
 //
 // Environment: MFDFT_BENCH_ITERATIONS (outer PSO iterations, default 12),
-// MFDFT_BENCH_FULL=1 (paper's 100 iterations).
+// MFDFT_BENCH_FULL=1 (paper's 100 iterations), MFDFT_BENCH_THREADS
+// (evaluation threads, default all hardware threads; results identical).
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -49,20 +50,23 @@ PaperRow paper_reference(const std::string& chip, const std::string& assay) {
 int main() {
   using namespace mfd;
   const int iterations = bench::outer_iterations(12);
+  const int threads = bench::bench_threads();
   std::printf("Table 1: Results of DFT Augmentation "
-              "(outer PSO iterations = %d)\n\n",
-              iterations);
+              "(outer PSO iterations = %d, threads = %s)\n\n",
+              iterations,
+              threads == 0 ? "hw" : std::to_string(threads).c_str());
 
   TextTable table;
   table.set_header({"chip", "assay", "DFT valves", "shared", "runtime [s]",
                     "exec orig", "exec DFT no-PSO", "exec DFT PSO",
-                    "paper (orig/noPSO/PSO)"});
+                    "paper (orig/noPSO/PSO)", "evals", "hit rate"});
 
   bool all_ok = true;
   for (bench::Combination& combo : bench::paper_combinations()) {
     core::CodesignOptions options;
     options.outer_iterations = iterations;
     options.config_pool_size = 3;
+    options.threads = threads;
     const core::CodesignResult r =
         core::run_codesign(combo.chip, combo.assay, options);
     const PaperRow paper =
@@ -70,7 +74,7 @@ int main() {
     if (!r.success) {
       all_ok = false;
       table.add_row({combo.chip.name(), combo.assay.name(), "FAILED",
-                     r.failure_reason, "", "", "", "", ""});
+                     r.failure_reason, "", "", "", "", "", "", ""});
       continue;
     }
     table.add_row(
@@ -82,7 +86,9 @@ int main() {
          format_double(r.exec_dft_optimized, 0),
          std::to_string(static_cast<int>(paper.exec_original)) + "/" +
              std::to_string(static_cast<int>(paper.exec_unopt)) + "/" +
-             std::to_string(static_cast<int>(paper.exec_opt))});
+             std::to_string(static_cast<int>(paper.exec_opt)),
+         std::to_string(r.stats.evaluations),
+         format_double(100.0 * r.stats.hit_rate(), 0) + "%"});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("shape checks: all combinations %s; PSO column <= no-PSO "

@@ -35,6 +35,16 @@ inline int outer_iterations(int reduced_default) {
   return env_int("MFDFT_BENCH_ITERATIONS", reduced_default);
 }
 
+/// Evaluation threads for codesign benches: MFDFT_BENCH_THREADS, where 0
+/// (the default) means all hardware threads. Results are identical for every
+/// value; only the wall clock changes.
+inline int bench_threads() {
+  const char* value = std::getenv("MFDFT_BENCH_THREADS");
+  if (value == nullptr) return 0;
+  const int parsed = std::atoi(value);
+  return parsed >= 0 ? parsed : 0;
+}
+
 struct Combination {
   arch::Biochip chip;
   sched::Assay assay;

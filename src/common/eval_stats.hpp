@@ -1,0 +1,73 @@
+// Counters and stage timers for the fitness-evaluation pipeline.
+//
+// EvalStats is a plain value reported through CodesignResult; the codesign
+// engine aggregates per-worker instances after every batch, so all counters
+// are deterministic for a fixed seed regardless of the thread count (wall
+// times excepted, of course).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mfd {
+
+struct EvalStats {
+  /// Distinct fitness evaluations actually computed (cache misses).
+  std::int64_t evaluations = 0;
+  /// Evaluation requests served from the memoized cache (including
+  /// duplicates folded within a single batch).
+  std::int64_t cache_hits = 0;
+  /// List-scheduler executions (one per computed evaluation, plus any
+  /// baseline schedules the caller attributes here).
+  std::int64_t scheduler_runs = 0;
+  /// Test-suite generations (only feasible schedules reach this stage).
+  std::int64_t testgen_runs = 0;
+  /// Outer-level PSO objective calls (each runs one inner sub-swarm).
+  std::int64_t outer_evaluations = 0;
+  /// Inner-level PSO positions evaluated across all sub-swarms.
+  std::int64_t inner_evaluations = 0;
+  /// Wall time spent in the scheduler / test generator / whole evaluations.
+  /// Summed across workers, so with threads > 1 these can exceed the
+  /// end-to-end wall clock.
+  double schedule_seconds = 0.0;
+  double testgen_seconds = 0.0;
+  double eval_seconds = 0.0;
+
+  EvalStats& operator+=(const EvalStats& other) {
+    evaluations += other.evaluations;
+    cache_hits += other.cache_hits;
+    scheduler_runs += other.scheduler_runs;
+    testgen_runs += other.testgen_runs;
+    outer_evaluations += other.outer_evaluations;
+    inner_evaluations += other.inner_evaluations;
+    schedule_seconds += other.schedule_seconds;
+    testgen_seconds += other.testgen_seconds;
+    eval_seconds += other.eval_seconds;
+    return *this;
+  }
+
+  /// Fraction of evaluation requests served from the cache.
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t requests = evaluations + cache_hits;
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cache_hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Wall-clock stopwatch for one pipeline stage.
+class StageTimer {
+ public:
+  StageTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mfd

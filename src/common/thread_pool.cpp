@@ -1,0 +1,115 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mfd {
+
+ThreadPool::ThreadPool(int threads) {
+  worker_count_ = std::max(threads, 1) - 1;
+  workers_.reserve(static_cast<std::size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MFD_REQUIRE(task != nullptr, "ThreadPool::submit(): empty task");
+  if (worker_count_ == 0) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return unfinished_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = first_exception_;
+    first_exception_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const auto runners = static_cast<std::size_t>(thread_count());
+  if (worker_count_ == 0 || count <= 1) {
+    for (std::size_t item = 0; item < count; ++item) body(item, 0);
+    return;
+  }
+  for (std::size_t slot = 1; slot < runners && slot < count; ++slot) {
+    submit([&body, slot, runners, count] {
+      for (std::size_t item = slot; item < count; item += runners) {
+        body(item, slot);
+      }
+    });
+  }
+  // The calling thread runs slot 0's share, then drains the rest.
+  try {
+    for (std::size_t item = 0; item < count; item += runners) body(item, 0);
+  } catch (...) {
+    record_exception();
+  }
+  wait();
+}
+
+void ThreadPool::record_exception() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_exception_) first_exception_ = std::current_exception();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      idle = --unfinished_ == 0;
+    }
+    if (idle) all_idle_.notify_all();
+  }
+}
+
+}  // namespace mfd

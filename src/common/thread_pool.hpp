@@ -1,0 +1,71 @@
+// Fixed-size thread pool for the batched evaluation pipeline.
+//
+// The pool is deliberately small: submit/wait plus an indexed parallel_for,
+// no futures, no work stealing, no external dependencies. Fitness batches in
+// the codesign engine are a few dozen independent evaluations each, so a
+// static stride partition keeps the dispatch overhead negligible while the
+// slot index lets every runner own a private EvaluationContext.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mfd {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total number of runners, including the calling thread:
+  /// a pool of size 1 (or 0) spawns no workers and runs everything inline,
+  /// so `threads == 1` is the exact serial pipeline. 0 or negative values are
+  /// clamped to 1.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total runner count (workers + the calling thread); always >= 1.
+  [[nodiscard]] int thread_count() const { return worker_count_ + 1; }
+
+  /// Best guess at the machine's hardware concurrency; always >= 1.
+  static int hardware_threads();
+
+  /// Enqueues a task (runs inline when the pool has no workers). The first
+  /// exception a task throws is captured and rethrown from the next wait().
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// captured task exception.
+  void wait();
+
+  /// Runs body(item, slot) for every item in [0, count). Items are statically
+  /// strided over the runners; `slot` identifies the runner (0 = calling
+  /// thread, 1..workers), so callers can keep one scratch context per slot
+  /// (never used concurrently). Blocks until the loop completes; item order
+  /// within a slot is ascending but slots interleave arbitrarily.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t item,
+                                             std::size_t slot)>& body);
+
+ private:
+  void worker_loop();
+  void record_exception();
+
+  int worker_count_ = 0;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::size_t unfinished_ = 0;
+  std::exception_ptr first_exception_;
+  bool stopping_ = false;
+};
+
+}  // namespace mfd

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
 
 #include "common/rng.hpp"
 
@@ -11,72 +10,6 @@ namespace mfd::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Cached evaluation of one (configuration, sharing) candidate.
-struct Evaluation {
-  double makespan = kInf;
-  bool schedule_ok = false;
-  bool tests_ok = false;
-};
-
-// Evaluates a candidate per Section 4.1/4.2: quality is the execution time,
-// or infinity when the sharing breaks the schedule or the test vectors.
-class Evaluator {
- public:
-  Evaluator(const sched::Assay& assay, const CodesignOptions& options)
-      : assay_(assay), options_(options) {}
-
-  void add_config(const arch::Biochip& augmented,
-                  const testgen::PathPlan& plan) {
-    configs_.push_back(&augmented);
-    plans_.push_back(&plan);
-  }
-
-  [[nodiscard]] int config_count() const {
-    return static_cast<int>(configs_.size());
-  }
-  [[nodiscard]] const arch::Biochip& config(int index) const {
-    return *configs_[static_cast<std::size_t>(index)];
-  }
-  [[nodiscard]] const testgen::PathPlan& plan(int index) const {
-    return *plans_[static_cast<std::size_t>(index)];
-  }
-
-  const Evaluation& evaluate(int config_index, const SharingScheme& scheme) {
-    const auto key = std::make_pair(config_index, scheme.partner);
-    const auto cached = cache_.find(key);
-    if (cached != cache_.end()) {
-      ++cache_hits;
-      return cached->second;
-    }
-    ++evaluations;
-
-    Evaluation eval;
-    const arch::Biochip shared = apply_sharing(config(config_index), scheme);
-    const sched::Schedule schedule =
-        sched::schedule_assay(shared, assay_, options_.sched);
-    eval.schedule_ok = schedule.feasible;
-    if (schedule.feasible) {
-      testgen::VectorGenOptions vopt = options_.vectors;
-      vopt.plan = plans_[static_cast<std::size_t>(config_index)];
-      const auto suite = testgen::generate_test_suite(
-          shared, plan(config_index).source, plan(config_index).meter, vopt);
-      eval.tests_ok = suite.has_value();
-      if (eval.tests_ok) eval.makespan = schedule.makespan;
-    }
-    return cache_.emplace(key, eval).first->second;
-  }
-
-  int evaluations = 0;
-  int cache_hits = 0;
-
- private:
-  const sched::Assay& assay_;
-  const CodesignOptions& options_;
-  std::vector<const arch::Biochip*> configs_;
-  std::vector<const testgen::PathPlan*> plans_;
-  std::map<std::pair<int, std::vector<arch::ValveId>>, Evaluation> cache_;
-};
 
 // Original (non-DFT) valve ids of a chip, the sharing-partner candidates.
 std::vector<arch::ValveId> original_valves(const arch::Biochip& chip) {
@@ -173,12 +106,22 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   };
 
   CodesignResult result;
+  // Baseline schedules and the final artifact assembly run outside the
+  // evaluator; their scheduler/testgen executions are attributed here.
+  EvalStats baseline;
 
   // Baseline: the unmodified chip.
-  const sched::Schedule original_schedule =
-      sched::schedule_assay(chip, assay, options.sched);
+  const sched::Schedule original_schedule = [&] {
+    const StageTimer timer;
+    sched::Schedule schedule = sched::schedule_assay(chip, assay,
+                                                     options.sched);
+    baseline.schedule_seconds += timer.seconds();
+    ++baseline.scheduler_runs;
+    return schedule;
+  }();
   if (!original_schedule.feasible) {
     result.failure_reason = "assay cannot be scheduled on the original chip";
+    result.stats = baseline;
     result.runtime_seconds = elapsed();
     return result;
   }
@@ -191,6 +134,7 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   if (result.pool.empty()) {
     result.failure_reason =
         "no single-source single-meter configuration found within |P| limit";
+    result.stats = baseline;
     result.runtime_seconds = elapsed();
     return result;
   }
@@ -207,11 +151,15 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   // Figure 7 baseline: DFT valves with their own control ports.
   const sched::Schedule independent_schedule = sched::schedule_assay(
       with_dedicated_controls(augmented.front()), assay, options.sched);
+  ++baseline.scheduler_runs;
   result.exec_dft_independent = independent_schedule.feasible
                                     ? independent_schedule.makespan
                                     : kInf;
 
-  Evaluator evaluator(assay, options);
+  ThreadPool pool(options.threads == 0 ? ThreadPool::hardware_threads()
+                                       : options.threads);
+  result.threads_used = pool.thread_count();
+  Evaluator evaluator(assay, options.sched, options.vectors, pool);
   for (std::size_t i = 0; i < augmented.size(); ++i) {
     evaluator.add_config(augmented[i],
                          result.pool[i]);
@@ -232,7 +180,7 @@ CodesignResult run_codesign(const arch::Biochip& chip,
         scheme.partner.push_back(
             originals[rng.index(originals.size())]);
       }
-      const Evaluation& eval = evaluator.evaluate(0, scheme);
+      const Evaluation eval = evaluator.evaluate(0, scheme);
       if (eval.makespan < kInf) {
         result.exec_dft_unoptimized = eval.makespan;
         break;
@@ -247,6 +195,10 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   // particle's current X^s (paper step (2)); the sub-PSO's best X^s is
   // written back into the particle (step (3)), so sharing quality improves
   // across outer iterations and Figure 9's convergence emerges.
+  //
+  // The outer loop itself stays serial (it owns the RNG streams and the
+  // inner-seed sequence); parallelism lives inside the inner sub-swarm's
+  // batched fitness evaluation.
   const int pool_size = evaluator.config_count();
   int max_dft = 0;
   for (int c = 0; c < pool_size; ++c) {
@@ -271,6 +223,7 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   int best_config = 0;
 
   std::uint64_t inner_seed = options.seed * 7919u + 13u;
+  std::vector<SharingScheme> batch_schemes;
   auto outer_evaluate = [&](OuterParticle& particle) {
     const auto selector_begin = particle.position.begin();
     const int config_index =
@@ -285,7 +238,9 @@ CodesignResult run_codesign(const arch::Biochip& chip,
     const int config_dft = static_cast<int>(
         evaluator.plan(config_index).added_edges.size());
 
-    // Sub-PSO over X^s, warm-started at the particle's current X^s.
+    // Sub-PSO over X^s, warm-started at the particle's current X^s. The
+    // whole sub-swarm is scored per iteration as one batch, which the
+    // evaluator spreads over the thread pool.
     std::vector<double> sharing_seed(
         particle.position.begin() +
             static_cast<std::ptrdiff_t>(selector_dims),
@@ -295,12 +250,18 @@ CodesignResult run_codesign(const arch::Biochip& chip,
     inner.seed = inner_seed++;
     const pso::PsoResult inner_result = pso::minimize(
         config_dft,
-        [&](const std::vector<double>& inner_position) {
-          const SharingScheme scheme =
-              decode_sharing(evaluator.config(config_index), inner_position);
-          return evaluator.evaluate(config_index, scheme).makespan;
+        [&](std::span<const std::vector<double>> positions,
+            std::span<double> values) {
+          batch_schemes.clear();
+          for (const std::vector<double>& inner_position : positions) {
+            batch_schemes.push_back(decode_sharing(
+                evaluator.config(config_index), inner_position));
+          }
+          evaluator.evaluate_batch(config_index, batch_schemes, values);
         },
         inner, {sharing_seed});
+    ++evaluator.stats().outer_evaluations;
+    evaluator.stats().inner_evaluations += inner_result.evaluations;
 
     // Step (3): adopt the sub-PSO's best sharing vector.
     if (!inner_result.best_position.empty()) {
@@ -360,11 +321,16 @@ CodesignResult run_codesign(const arch::Biochip& chip,
     result.convergence.push_back(global_best);
   }
 
-  result.evaluations = evaluator.evaluations;
-  result.cache_hits = evaluator.cache_hits;
+  auto finalize_stats = [&] {
+    result.stats = evaluator.stats();
+    result.stats += baseline;
+    result.evaluations = static_cast<int>(result.stats.evaluations);
+    result.cache_hits = static_cast<int>(result.stats.cache_hits);
+  };
 
   if (global_best == kInf) {
     result.failure_reason = "no valid valve-sharing scheme found";
+    finalize_stats();
     result.runtime_seconds = elapsed();
     return result;
   }
@@ -380,14 +346,17 @@ CodesignResult run_codesign(const arch::Biochip& chip,
       augmented[static_cast<std::size_t>(best_config)], best_scheme);
   result.exec_dft_optimized = global_best;
   result.schedule = sched::schedule_assay(result.chip, assay, options.sched);
+  ++baseline.scheduler_runs;
   testgen::VectorGenOptions vopt = options.vectors;
   vopt.plan = &result.plan;
   auto suite = testgen::generate_test_suite(result.chip, result.plan.source,
                                             result.plan.meter, vopt);
+  ++baseline.testgen_runs;
   MFD_ASSERT(suite.has_value(),
              "optimized sharing scheme failed final test regeneration");
   result.tests = std::move(*suite);
   result.success = true;
+  finalize_stats();
   result.runtime_seconds = elapsed();
   return result;
 }

@@ -19,26 +19,13 @@
 #pragma once
 
 #include "arch/biochip.hpp"
+#include "core/evaluation.hpp"
 #include "pso/pso.hpp"
 #include "sched/scheduler.hpp"
 #include "testgen/path_ilp.hpp"
 #include "testgen/vector_gen.hpp"
 
 namespace mfd::core {
-
-/// A valve-sharing scheme: for each DFT valve (in valve-id order), the
-/// original valve whose control channel it shares.
-struct SharingScheme {
-  std::vector<arch::ValveId> partner;
-
-  [[nodiscard]] bool operator==(const SharingScheme&) const = default;
-};
-
-/// Applies a sharing scheme to a copy of the augmented chip. The chip's DFT
-/// valves must be control-less; `partner` entries must reference original
-/// (non-DFT) valves.
-arch::Biochip apply_sharing(const arch::Biochip& augmented,
-                            const SharingScheme& scheme);
 
 /// Gives every DFT valve its own dedicated control channel (the
 /// "independent control ports available" scenario of Section 2 / Figure 7).
@@ -61,6 +48,10 @@ struct CodesignOptions {
   /// Random-scheme attempts for the "DFT without PSO" baseline.
   int unoptimized_attempts = 200;
   std::uint64_t seed = 2024;
+  /// Total evaluation threads (workers + the calling thread) for the batched
+  /// fitness pipeline; 0 uses the hardware concurrency, 1 runs the exact
+  /// serial pipeline. Results are bit-identical for every value.
+  int threads = 0;
 };
 
 struct CodesignResult {
@@ -94,6 +85,12 @@ struct CodesignResult {
   int dft_valve_count = 0;
   int shared_valve_count = 0;
   double runtime_seconds = 0.0;
+  /// Pipeline counters and stage timings (identical for every thread count
+  /// with a fixed seed, wall times excepted).
+  EvalStats stats;
+  /// Evaluation threads actually used (resolved from CodesignOptions::threads).
+  int threads_used = 1;
+  /// Legacy mirrors of stats.evaluations / stats.cache_hits.
   int evaluations = 0;
   int cache_hits = 0;
 

@@ -1,0 +1,140 @@
+#include "core/evaluation.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace mfd::core {
+
+Evaluator::Evaluator(const sched::Assay& assay,
+                     const sched::ScheduleOptions& sched_options,
+                     const testgen::VectorGenOptions& vector_options,
+                     ThreadPool& pool)
+    : assay_(assay),
+      sched_options_(sched_options),
+      vector_options_(vector_options),
+      pool_(pool),
+      contexts_(static_cast<std::size_t>(pool.thread_count())),
+      slot_stats_(static_cast<std::size_t>(pool.thread_count())) {}
+
+void Evaluator::add_config(const arch::Biochip& augmented,
+                           const testgen::PathPlan& plan) {
+  configs_.push_back(&augmented);
+  plans_.push_back(&plan);
+}
+
+Evaluation Evaluator::compute(int config_index, const SharingScheme& scheme,
+                              std::size_t slot, EvalStats& stats) {
+  const StageTimer total;
+  Evaluation eval;
+  const arch::Biochip shared = apply_sharing(config(config_index), scheme);
+  {
+    const StageTimer timer;
+    const sched::Schedule schedule = sched::schedule_assay(
+        shared, assay_, sched_options_, contexts_[slot]);
+    stats.schedule_seconds += timer.seconds();
+    ++stats.scheduler_runs;
+    eval.schedule_ok = schedule.feasible;
+    if (schedule.feasible) eval.makespan = schedule.makespan;
+  }
+  if (eval.schedule_ok) {
+    testgen::VectorGenOptions vopt = vector_options_;
+    vopt.plan = plans_[static_cast<std::size_t>(config_index)];
+    const StageTimer timer;
+    const auto suite = testgen::generate_test_suite(
+        shared, plan(config_index).source, plan(config_index).meter, vopt);
+    stats.testgen_seconds += timer.seconds();
+    ++stats.testgen_runs;
+    eval.tests_ok = suite.has_value();
+  }
+  if (!eval.tests_ok) {
+    eval.makespan = std::numeric_limits<double>::infinity();
+  }
+  ++stats.evaluations;
+  stats.eval_seconds += total.seconds();
+  return eval;
+}
+
+Evaluation Evaluator::evaluate(int config_index, const SharingScheme& scheme) {
+  CacheKey key{config_index, scheme.partner};
+  {
+    const std::shared_lock lock(cache_mutex_);
+    const auto cached = cache_.find(key);
+    if (cached != cache_.end()) {
+      ++stats_.cache_hits;
+      return cached->second;
+    }
+  }
+  const Evaluation eval = compute(config_index, scheme, 0, stats_);
+  const std::unique_lock lock(cache_mutex_);
+  return cache_.emplace(std::move(key), eval).first->second;
+}
+
+void Evaluator::evaluate_batch(int config_index,
+                               std::span<const SharingScheme> schemes,
+                               std::span<double> makespans) {
+  MFD_REQUIRE(schemes.size() == makespans.size(),
+              "evaluate_batch(): one output slot per scheme required");
+
+  // Phase 1 (serial, batch order): resolve cache hits and collapse in-batch
+  // duplicates. Fixes every counter before any parallel work starts, so the
+  // numbers cannot depend on the thread count.
+  constexpr std::size_t kPending = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> unique_of(schemes.size(), kPending);
+  std::vector<std::size_t> unique_items;  // batch index of each unique miss
+  std::vector<CacheKey> unique_keys;
+  std::unordered_map<CacheKey, std::size_t, CacheKeyHash> batch_index;
+  {
+    const std::shared_lock lock(cache_mutex_);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      CacheKey key{config_index, schemes[i].partner};
+      const auto cached = cache_.find(key);
+      if (cached != cache_.end()) {
+        makespans[i] = cached->second.makespan;
+        ++stats_.cache_hits;
+        continue;
+      }
+      const auto seen = batch_index.find(key);
+      if (seen != batch_index.end()) {
+        // Duplicate within this batch: computed once, counted as a hit.
+        unique_of[i] = seen->second;
+        ++stats_.cache_hits;
+        continue;
+      }
+      unique_of[i] = unique_items.size();
+      batch_index.emplace(key, unique_items.size());
+      unique_items.push_back(i);
+      unique_keys.push_back(std::move(key));
+    }
+  }
+
+  // Phase 2 (parallel): compute the unique misses. Each runner owns the
+  // scratch context and stats block of its slot, so no synchronization is
+  // needed inside the loop.
+  std::vector<Evaluation> results(unique_items.size());
+  pool_.parallel_for(unique_items.size(),
+                     [&](std::size_t item, std::size_t slot) {
+                       results[item] = compute(
+                           config_index, schemes[unique_items[item]],
+                           slot, slot_stats_[slot]);
+                     });
+  for (EvalStats& slot : slot_stats_) {
+    stats_ += slot;
+    slot = EvalStats{};
+  }
+
+  // Phase 3 (serial, batch order): publish results and fill the outputs.
+  {
+    const std::unique_lock lock(cache_mutex_);
+    for (std::size_t u = 0; u < unique_items.size(); ++u) {
+      cache_.emplace(std::move(unique_keys[u]), results[u]);
+    }
+  }
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    if (unique_of[i] != kPending) {
+      makespans[i] = results[unique_of[i]].makespan;
+    }
+  }
+}
+
+}  // namespace mfd::core

@@ -1,0 +1,140 @@
+// Memoizing, parallel fitness evaluation for the codesign engine.
+//
+// One (DFT configuration, valve-sharing scheme) candidate is scored by
+// scheduling the assay on the shared chip and regenerating the test suite
+// (Section 4.1/4.2's validations). Candidates recur heavily during the
+// two-level PSO — sub-swarms revisit sharing vectors that decode to the same
+// scheme — so every result is memoized under (config index, partner vector).
+//
+// Batches are evaluated in three phases so the outcome is independent of the
+// thread count:
+//   1. serially dedupe against the cache and within the batch (in batch
+//      order) — this fixes `evaluations` and `cache_hits` before any worker
+//      runs;
+//   2. compute the unique misses on the thread pool, each runner using its
+//      own sched::EvaluationContext (the evaluation itself is a pure
+//      function of the candidate: scheduler and vector generator are seeded
+//      from the options, never from shared state);
+//   3. serially insert the results and fill the output values.
+#pragma once
+
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/biochip.hpp"
+#include "common/eval_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "sched/scheduler.hpp"
+#include "testgen/path_ilp.hpp"
+#include "testgen/vector_gen.hpp"
+
+namespace mfd::core {
+
+/// A valve-sharing scheme: for each DFT valve (in valve-id order), the
+/// original valve whose control channel it shares. The partner vector is
+/// already canonical (one entry per DFT valve, fixed order), so it doubles
+/// as the memoization key.
+struct SharingScheme {
+  std::vector<arch::ValveId> partner;
+
+  [[nodiscard]] bool operator==(const SharingScheme&) const = default;
+};
+
+/// Outcome of evaluating one (configuration, sharing scheme) candidate.
+struct Evaluation {
+  /// Execution time of the assay, or +infinity when the candidate fails
+  /// either validation.
+  double makespan = std::numeric_limits<double>::infinity();
+  /// The assay could be scheduled under the sharing scheme.
+  bool schedule_ok = false;
+  /// A complete test suite exists under the sharing scheme.
+  bool tests_ok = false;
+};
+
+/// Thread-safe memoizing evaluator over a pool of DFT configurations.
+/// evaluate()/evaluate_batch() may be called from one thread at a time (the
+/// optimizer loop); parallelism happens inside evaluate_batch(), which farms
+/// cache misses out to the pool.
+class Evaluator {
+ public:
+  /// The assay, options and every added configuration must outlive the
+  /// evaluator; `pool` is shared with the caller.
+  Evaluator(const sched::Assay& assay,
+            const sched::ScheduleOptions& sched_options,
+            const testgen::VectorGenOptions& vector_options, ThreadPool& pool);
+
+  void add_config(const arch::Biochip& augmented,
+                  const testgen::PathPlan& plan);
+
+  [[nodiscard]] int config_count() const {
+    return static_cast<int>(configs_.size());
+  }
+  [[nodiscard]] const arch::Biochip& config(int index) const {
+    return *configs_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] const testgen::PathPlan& plan(int index) const {
+    return *plans_[static_cast<std::size_t>(index)];
+  }
+
+  /// Scores one candidate, serving it from the cache when possible.
+  Evaluation evaluate(int config_index, const SharingScheme& scheme);
+
+  /// Scores a whole batch: makespans[i] receives the score of schemes[i].
+  /// Unique cache misses are computed in parallel on the pool; results,
+  /// counters and the cache contents are identical for every thread count.
+  void evaluate_batch(int config_index, std::span<const SharingScheme> schemes,
+                      std::span<double> makespans);
+
+  /// Cumulative counters (merged across workers after every batch).
+  [[nodiscard]] const EvalStats& stats() const { return stats_; }
+  [[nodiscard]] EvalStats& stats() { return stats_; }
+
+ private:
+  struct CacheKey {
+    int config = 0;
+    std::vector<arch::ValveId> partner;
+
+    [[nodiscard]] bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const {
+      std::size_t h = std::hash<int>{}(key.config);
+      for (const arch::ValveId v : key.partner) {
+        h ^= std::hash<int>{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  /// Uncached evaluation: schedule, then (if feasible) regenerate vectors.
+  /// Pure function of the candidate; `slot` picks the scratch context.
+  Evaluation compute(int config_index, const SharingScheme& scheme,
+                     std::size_t slot, EvalStats& stats);
+
+  const sched::Assay& assay_;
+  sched::ScheduleOptions sched_options_;
+  testgen::VectorGenOptions vector_options_;
+  ThreadPool& pool_;
+
+  std::vector<const arch::Biochip*> configs_;
+  std::vector<const testgen::PathPlan*> plans_;
+
+  /// One scheduler scratch context and stats block per pool slot.
+  std::vector<sched::EvaluationContext> contexts_;
+  std::vector<EvalStats> slot_stats_;
+
+  std::shared_mutex cache_mutex_;
+  std::unordered_map<CacheKey, Evaluation, CacheKeyHash> cache_;
+  EvalStats stats_;
+};
+
+/// Applies a sharing scheme to a copy of the augmented chip. The chip's DFT
+/// valves must be control-less; `partner` entries must reference original
+/// (non-DFT) valves.
+arch::Biochip apply_sharing(const arch::Biochip& augmented,
+                            const SharingScheme& scheme);
+
+}  // namespace mfd::core

@@ -97,6 +97,12 @@ class EdgeMask {
   EdgeMask(int edge_count, bool initial)
       : bits_(static_cast<std::size_t>(edge_count), initial) {}
 
+  /// Resizes to `edge_count` edges, all set to `value`, reusing the existing
+  /// allocation. Lets evaluation scratch buffers survive across runs.
+  void assign(int edge_count, bool value) {
+    bits_.assign(static_cast<std::size_t>(edge_count), value);
+  }
+
   [[nodiscard]] bool enabled(EdgeId e) const {
     if (bits_.empty()) return true;
     MFD_REQUIRE(static_cast<std::size_t>(e) < bits_.size(),

@@ -65,6 +65,32 @@ bool reachable(const Graph& g, NodeId source, NodeId target,
   return r.visited[static_cast<std::size_t>(target)] != 0;
 }
 
+bool reachable(const Graph& g, NodeId source, NodeId target,
+               const EdgeMask& mask, TraversalScratch& scratch) {
+  MFD_REQUIRE(g.has_node(source) && g.has_node(target),
+              "reachable(): unknown node");
+  if (source == target) return true;
+  scratch.visited.assign(static_cast<std::size_t>(g.node_count()), 0);
+  scratch.frontier.clear();
+  scratch.visited[static_cast<std::size_t>(source)] = 1;
+  scratch.frontier.push_back(source);
+  // The frontier is consumed as a stack; reachability does not care about
+  // visit order, and a vector reuses its capacity across calls.
+  while (!scratch.frontier.empty()) {
+    const NodeId n = scratch.frontier.back();
+    scratch.frontier.pop_back();
+    for (EdgeId e : g.incident_edges(n)) {
+      if (!mask.enabled(e)) continue;
+      const NodeId m = g.edge(e).other(n);
+      if (scratch.visited[static_cast<std::size_t>(m)]) continue;
+      if (m == target) return true;
+      scratch.visited[static_cast<std::size_t>(m)] = 1;
+      scratch.frontier.push_back(m);
+    }
+  }
+  return false;
+}
+
 std::vector<NodeId> reachable_set(const Graph& g, NodeId source,
                                   const EdgeMask& mask) {
   MFD_REQUIRE(g.has_node(source), "reachable_set(): unknown node");

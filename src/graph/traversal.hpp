@@ -26,6 +26,20 @@ struct Path {
 bool reachable(const Graph& g, NodeId source, NodeId target,
                const EdgeMask& mask = {});
 
+/// Reusable scratch for the allocation-free reachability overload. A scratch
+/// instance must not be shared between threads; each evaluation worker owns
+/// its own.
+struct TraversalScratch {
+  std::vector<char> visited;
+  std::vector<NodeId> frontier;
+};
+
+/// Allocation-free variant of reachable() for hot loops (fault simulation
+/// runs one reachability query per vector x fault): buffers live in the
+/// caller-owned scratch and are reused across calls.
+bool reachable(const Graph& g, NodeId source, NodeId target,
+               const EdgeMask& mask, TraversalScratch& scratch);
+
 /// All nodes reachable from `source` using enabled edges (including source).
 std::vector<NodeId> reachable_set(const Graph& g, NodeId source,
                                   const EdgeMask& mask = {});

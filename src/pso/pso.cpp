@@ -13,7 +13,7 @@ int decode_index(double coordinate, int count) {
   return std::min(index, count - 1);
 }
 
-PsoResult minimize(int dimensions, const Objective& objective,
+PsoResult minimize(int dimensions, const BatchObjective& objective,
                    const PsoOptions& options,
                    const std::vector<std::vector<double>>& seed_positions) {
   MFD_REQUIRE(dimensions >= 0, "pso::minimize(): negative dimensionality");
@@ -22,9 +22,13 @@ PsoResult minimize(int dimensions, const Objective& objective,
 
   PsoResult result;
   if (dimensions == 0) {
+    const std::vector<std::vector<double>> empty_position(1);
+    std::vector<double> value(1);
+    objective(empty_position, value);
     result.best_position = {};
-    result.best_value = objective({});
+    result.best_value = value[0];
     result.evaluations = 1;
+    result.batch_calls = 1;
     result.best_per_iteration.assign(
         static_cast<std::size_t>(options.iterations) + 1, result.best_value);
     return result;
@@ -40,6 +44,26 @@ PsoResult minimize(int dimensions, const Objective& objective,
   std::vector<std::vector<double>> best_position(swarm);
   std::vector<double> best_value(
       swarm, std::numeric_limits<double>::infinity());
+  std::vector<double> value(swarm, 0.0);
+
+  // One batch evaluation of the current positions; bests are folded in
+  // ascending particle order with strict '<', so ties keep the earliest
+  // particle and the outcome never depends on evaluation order.
+  const auto evaluate_swarm = [&] {
+    objective(position, value);
+    ++result.batch_calls;
+    result.evaluations += static_cast<int>(swarm);
+    for (std::size_t p = 0; p < swarm; ++p) {
+      if (value[p] < best_value[p]) {
+        best_value[p] = value[p];
+        best_position[p] = position[p];
+      }
+      if (value[p] < result.best_value) {
+        result.best_value = value[p];
+        result.best_position = position[p];
+      }
+    }
+  };
 
   for (std::size_t p = 0; p < swarm; ++p) {
     if (p < seed_positions.size()) {
@@ -56,18 +80,17 @@ PsoResult minimize(int dimensions, const Objective& objective,
         velocity[p][d] = rng.uniform(-options.vmax, options.vmax);
       }
     }
-    const double value = objective(position[p]);
-    ++result.evaluations;
     best_position[p] = position[p];
-    best_value[p] = value;
-    if (value < result.best_value) {
-      result.best_value = value;
-      result.best_position = position[p];
-    }
+  }
+  evaluate_swarm();
+  for (std::size_t p = 0; p < swarm; ++p) {
+    // First batch: every particle's own best is its initial position.
+    best_value[p] = value[p];
   }
   result.best_per_iteration.push_back(result.best_value);
 
   for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    // All moves use the swarm best frozen at the end of the previous batch.
     for (std::size_t p = 0; p < swarm; ++p) {
       for (std::size_t d = 0; d < dim; ++d) {
         const double r1 = rng.uniform();
@@ -81,20 +104,24 @@ PsoResult minimize(int dimensions, const Objective& objective,
         position[p][d] =
             std::clamp(position[p][d] + velocity[p][d], 0.0, 1.0);
       }
-      const double value = objective(position[p]);
-      ++result.evaluations;
-      if (value < best_value[p]) {
-        best_value[p] = value;
-        best_position[p] = position[p];
-      }
-      if (value < result.best_value) {
-        result.best_value = value;
-        result.best_position = position[p];
-      }
     }
+    evaluate_swarm();
     result.best_per_iteration.push_back(result.best_value);
   }
   return result;
+}
+
+PsoResult minimize(int dimensions, const Objective& objective,
+                   const PsoOptions& options,
+                   const std::vector<std::vector<double>>& seed_positions) {
+  const BatchObjective batch =
+      [&objective](std::span<const std::vector<double>> positions,
+                   std::span<double> values) {
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          values[i] = objective(positions[i]);
+        }
+      };
+  return minimize(dimensions, batch, options, seed_positions);
 }
 
 }  // namespace mfd::pso

@@ -8,10 +8,18 @@
 // (the paper's equation (7) prints the differences with the opposite sign,
 // which would repel particles from their best positions; we follow the
 // canonical formulation).
+//
+// Iterations are synchronous: every particle's velocity and position are
+// updated against the same frozen swarm best, then the whole swarm is
+// evaluated as one batch, then personal/swarm bests are folded in ascending
+// particle order (ties keep the earlier particle). That makes the result
+// independent of how the batch objective schedules its evaluations, so a
+// parallel batch objective reproduces the serial run bit for bit.
 #pragma once
 
 #include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -37,10 +45,20 @@ struct PsoResult {
   double best_value = std::numeric_limits<double>::infinity();
   /// Swarm best after each iteration (index 0 = after initialization).
   std::vector<double> best_per_iteration;
+  /// Positions evaluated (particles x batches, regardless of batching).
   int evaluations = 0;
+  /// Batch-objective invocations: 1 (initialization) + iterations.
+  int batch_calls = 0;
 };
 
 using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Evaluates a whole swarm at once: writes values[i] = f(positions[i]) for
+/// every i. positions.size() == values.size() is guaranteed. The order in
+/// which a batch objective computes its entries is unobservable to the
+/// optimizer, which is what permits parallel fitness evaluation.
+using BatchObjective = std::function<void(
+    std::span<const std::vector<double>>, std::span<double>)>;
 
 /// Runs PSO over [0,1]^dimensions and returns the best position found.
 /// Objectives may return +infinity for invalid positions. With dimensions ==
@@ -50,6 +68,12 @@ using Objective = std::function<double(const std::vector<double>&)>;
 /// this to initialize each sub-swarm at the outer particle's current
 /// valve-sharing vector, so sharing quality improves across outer iterations
 /// as in the paper's step (2).
+PsoResult minimize(int dimensions, const BatchObjective& objective,
+                   const PsoOptions& options = {},
+                   const std::vector<std::vector<double>>& seed_positions = {});
+
+/// Scalar-objective convenience overload: wraps the objective into a batch
+/// that evaluates sequentially. Identical results to the batch overload.
 PsoResult minimize(int dimensions, const Objective& objective,
                    const PsoOptions& options = {},
                    const std::vector<std::vector<double>>& seed_positions = {});

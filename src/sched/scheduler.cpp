@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <optional>
-#include <queue>
 #include <set>
 
 #include "common/rng.hpp"
@@ -11,9 +11,11 @@
 
 namespace mfd::sched {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
+// Scratch element types for the scheduling engine. They live in a named
+// namespace (not an anonymous one) because EvaluationContext::Impl stores
+// them and Impl itself has external linkage; both are still private to this
+// translation unit.
+namespace detail {
 
 enum class DeviceState { kIdle, kReserved, kRunning };
 
@@ -71,15 +73,65 @@ struct Event {
   bool operator>(const Event& other) const { return time > other.time; }
 };
 
+}  // namespace detail
+
+// Every buffer the engine mutates during one run. Reused across runs via the
+// .assign()/.clear() calls in Engine::initialize(), so a warm context
+// schedules without reallocating.
+struct EvaluationContext::Impl {
+  std::vector<detail::OpInfo> ops;
+  std::vector<detail::FluidInfo> fluids;
+  std::vector<detail::DeviceInfo> devices;
+  std::vector<double> edge_busy_until;
+  std::vector<OpId> edge_storage;
+  std::vector<int> edge_betweenness;
+  std::vector<double> priority;
+  std::vector<OpId> dispatch_order;
+  std::vector<detail::ActiveTransport> transports;
+  /// Min-heap on time, maintained with std::push_heap/std::pop_heap so the
+  /// storage survives between runs (std::priority_queue cannot be cleared
+  /// without discarding its allocation).
+  std::vector<detail::Event> events;
+};
+
+EvaluationContext::EvaluationContext() : impl_(std::make_unique<Impl>()) {}
+EvaluationContext::~EvaluationContext() = default;
+EvaluationContext::EvaluationContext(EvaluationContext&&) noexcept = default;
+EvaluationContext& EvaluationContext::operator=(EvaluationContext&&) noexcept =
+    default;
+
+namespace {
+
+using detail::ActiveTransport;
+using detail::DeviceInfo;
+using detail::DeviceState;
+using detail::Event;
+using detail::FluidInfo;
+using detail::FluidWhere;
+using detail::OpInfo;
+using detail::OpState;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 class Engine {
  public:
   Engine(const arch::Biochip& chip, const Assay& assay,
-         const ScheduleOptions& options)
+         const ScheduleOptions& options, EvaluationContext::Impl& scratch)
       : chip_(chip),
         assay_(assay),
         options_(options),
         rng_(options.seed),
-        grid_(chip.grid().graph()) {
+        grid_(chip.grid().graph()),
+        ops_(scratch.ops),
+        fluids_(scratch.fluids),
+        devices_(scratch.devices),
+        edge_busy_until_(scratch.edge_busy_until),
+        edge_storage_(scratch.edge_storage),
+        edge_betweenness_(scratch.edge_betweenness),
+        priority_(scratch.priority),
+        dispatch_order_(scratch.dispatch_order),
+        transports_(scratch.transports),
+        events_(scratch.events) {
     for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
       MFD_REQUIRE(chip.valve(v).control != arch::kInvalidControl,
                   "schedule_assay(): valve without control channel");
@@ -122,6 +174,7 @@ class Engine {
 
   void initialize() {
     const int n = assay_.operation_count();
+    now_ = 0.0;
     ops_.assign(static_cast<std::size_t>(n), OpInfo{});
     fluids_.assign(static_cast<std::size_t>(n), FluidInfo{});
     devices_.assign(static_cast<std::size_t>(chip_.device_count()),
@@ -129,6 +182,8 @@ class Engine {
     edge_busy_until_.assign(
         static_cast<std::size_t>(grid_.edge_count()), 0.0);
     edge_storage_.assign(static_cast<std::size_t>(grid_.edge_count()), -1);
+    transports_.clear();
+    events_.clear();
 
     std::vector<double> durations;
     durations.reserve(static_cast<std::size_t>(n));
@@ -174,6 +229,20 @@ class Engine {
     failed.makespan = kInf;
     failed.sharing_rejections = result_.sharing_rejections;
     return failed;
+  }
+
+  // ----- event heap --------------------------------------------------------
+
+  void push_event(const Event& event) {
+    events_.push_back(event);
+    std::push_heap(events_.begin(), events_.end(), std::greater<>());
+  }
+
+  Event pop_event() {
+    std::pop_heap(events_.begin(), events_.end(), std::greater<>());
+    const Event event = events_.back();
+    events_.pop_back();
+    return event;
   }
 
   // ----- routing and sharing safety ---------------------------------------
@@ -363,8 +432,8 @@ class Engine {
       edge_busy_until_[static_cast<std::size_t>(e)] = transport.end;
     }
     transports_.push_back(std::move(transport));
-    events_.push(Event{transports_.back().end, 1,
-                       static_cast<int>(transports_.size()) - 1});
+    push_event(Event{transports_.back().end, 1,
+                     static_cast<int>(transports_.size()) - 1});
   }
 
   ActiveTransport make_transport(TransportPurpose purpose, OpId op, OpId fluid,
@@ -630,7 +699,7 @@ class Engine {
     device.state = DeviceState::kRunning;
     result_.operations.push_back(
         ScheduledOperation{o, info.device, info.start, info.end});
-    events_.push(Event{info.end, 0, o});
+    push_event(Event{info.end, 0, o});
   }
 
   // ----- eviction (distributed channel storage) ---------------------------
@@ -762,10 +831,9 @@ class Engine {
 
   void advance_to_next_event() {
     MFD_ASSERT(!events_.empty(), "advance_to_next_event(): no events");
-    now_ = events_.top().time;
-    while (!events_.empty() && events_.top().time <= now_ + 1e-9) {
-      const Event event = events_.top();
-      events_.pop();
+    now_ = events_.front().time;
+    while (!events_.empty() && events_.front().time <= now_ + 1e-9) {
+      const Event event = pop_event();
       if (event.kind == 0) {
         complete_operation(event.index);
       } else {
@@ -828,16 +896,17 @@ class Engine {
   const graph::Graph& grid_;
 
   double now_ = 0.0;
-  std::vector<OpInfo> ops_;
-  std::vector<FluidInfo> fluids_;
-  std::vector<DeviceInfo> devices_;
-  std::vector<double> edge_busy_until_;
-  std::vector<OpId> edge_storage_;
-  std::vector<int> edge_betweenness_;
-  std::vector<double> priority_;
-  std::vector<OpId> dispatch_order_;
-  std::vector<ActiveTransport> transports_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  // Per-run scratch borrowed from the caller's EvaluationContext.
+  std::vector<OpInfo>& ops_;
+  std::vector<FluidInfo>& fluids_;
+  std::vector<DeviceInfo>& devices_;
+  std::vector<double>& edge_busy_until_;
+  std::vector<OpId>& edge_storage_;
+  std::vector<int>& edge_betweenness_;
+  std::vector<double>& priority_;
+  std::vector<OpId>& dispatch_order_;
+  std::vector<ActiveTransport>& transports_;
+  std::vector<Event>& events_;
   Schedule result_;
 };
 
@@ -845,7 +914,14 @@ class Engine {
 
 Schedule schedule_assay(const arch::Biochip& chip, const Assay& assay,
                         const ScheduleOptions& options) {
-  Engine engine(chip, assay, options);
+  EvaluationContext ctx;
+  return schedule_assay(chip, assay, options, ctx);
+}
+
+Schedule schedule_assay(const arch::Biochip& chip, const Assay& assay,
+                        const ScheduleOptions& options,
+                        EvaluationContext& ctx) {
+  Engine engine(chip, assay, options, ctx.impl());
   return engine.run();
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 
 #include "arch/biochip.hpp"
 #include "sched/assay.hpp"
@@ -82,8 +83,34 @@ struct Schedule {
   int sharing_rejections = 0;
 };
 
+/// Caller-owned scratch for schedule_assay(): occupancy maps, event heap,
+/// per-operation and per-device state. The scheduler itself keeps no mutable
+/// state between runs, so concurrent schedule_assay() calls only need
+/// distinct contexts (one per worker thread); reusing a context across runs
+/// avoids reallocating every buffer per fitness evaluation. The layout is an
+/// implementation detail of the scheduler.
+class EvaluationContext {
+ public:
+  EvaluationContext();
+  ~EvaluationContext();
+  EvaluationContext(EvaluationContext&&) noexcept;
+  EvaluationContext& operator=(EvaluationContext&&) noexcept;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Schedules the assay on the chip. Every valve must have a control channel.
 Schedule schedule_assay(const arch::Biochip& chip, const Assay& assay,
                         const ScheduleOptions& options = {});
+
+/// Re-entrant overload: all mutable scratch lives in `ctx`, which must not be
+/// used by another thread for the duration of the call. Results are identical
+/// to the context-free overload.
+Schedule schedule_assay(const arch::Biochip& chip, const Assay& assay,
+                        const ScheduleOptions& options, EvaluationContext& ctx);
 
 }  // namespace mfd::sched

@@ -44,20 +44,60 @@ graph::EdgeMask PressureSimulator::open_mask(
   return mask;
 }
 
+void PressureSimulator::fill_open_mask(const std::vector<char>& control_open,
+                                       const std::optional<Fault>& fault,
+                                       EvaluationContext& ctx) const {
+  MFD_REQUIRE(control_open.size() ==
+                  static_cast<std::size_t>(chip_->control_count()),
+              "valve_states(): one state per control channel required");
+  ctx.valve_state.assign(static_cast<std::size_t>(chip_->valve_count()), 0);
+  for (arch::ValveId v = 0; v < chip_->valve_count(); ++v) {
+    const arch::ControlId c = chip_->valve(v).control;
+    ctx.valve_state[static_cast<std::size_t>(v)] =
+        control_open[static_cast<std::size_t>(c)];
+  }
+  if (fault.has_value() && fault->kind != FaultKind::kLeakage) {
+    MFD_REQUIRE(fault->valve >= 0 && fault->valve < chip_->valve_count(),
+                "valve_states(): fault on unknown valve");
+    ctx.valve_state[static_cast<std::size_t>(fault->valve)] =
+        fault->kind == FaultKind::kStuckAt1 ? 1 : 0;
+  }
+  ctx.open_mask.assign(chip_->grid().graph().edge_count(), false);
+  for (arch::ValveId v = 0; v < chip_->valve_count(); ++v) {
+    if (ctx.valve_state[static_cast<std::size_t>(v)]) {
+      ctx.open_mask.set(chip_->valve(v).edge, true);
+    }
+  }
+}
+
 bool PressureSimulator::measure(const TestVector& vector,
                                 const std::optional<Fault>& fault) const {
+  EvaluationContext ctx;
+  return measure(vector, fault, ctx);
+}
+
+bool PressureSimulator::measure(const TestVector& vector,
+                                const std::optional<Fault>& fault,
+                                EvaluationContext& ctx) const {
   MFD_REQUIRE(vector.source >= 0 && vector.source < chip_->port_count() &&
                   vector.meter >= 0 && vector.meter < chip_->port_count(),
               "measure(): vector references unknown port");
-  const std::vector<char> valves = valve_states(vector.control_open, fault);
-  const graph::EdgeMask mask = open_mask(valves);
+  fill_open_mask(vector.control_open, fault, ctx);
   return graph::reachable(chip_->grid().graph(),
                           chip_->port(vector.source).node,
-                          chip_->port(vector.meter).node, mask);
+                          chip_->port(vector.meter).node, ctx.open_mask,
+                          ctx.traversal);
 }
 
 bool PressureSimulator::control_port_pressure(const TestVector& vector,
                                               const Fault& fault) const {
+  EvaluationContext ctx;
+  return control_port_pressure(vector, fault, ctx);
+}
+
+bool PressureSimulator::control_port_pressure(const TestVector& vector,
+                                              const Fault& fault,
+                                              EvaluationContext& ctx) const {
   if (fault.kind != FaultKind::kLeakage) return false;
   MFD_REQUIRE(fault.valve >= 0 && fault.valve < chip_->valve_count(),
               "control_port_pressure(): fault on unknown valve");
@@ -67,32 +107,40 @@ bool PressureSimulator::control_port_pressure(const TestVector& vector,
   if (!vector.control_open[static_cast<std::size_t>(valve.control)]) {
     return false;
   }
-  const std::vector<char> states = valve_states(vector.control_open);
-  const graph::EdgeMask mask = open_mask(states);
+  fill_open_mask(vector.control_open, std::nullopt, ctx);
   const graph::Edge& edge = chip_->grid().graph().edge(valve.edge);
   const graph::NodeId source = chip_->port(vector.source).node;
-  return graph::reachable(chip_->grid().graph(), source, edge.u, mask) ||
-         graph::reachable(chip_->grid().graph(), source, edge.v, mask);
+  return graph::reachable(chip_->grid().graph(), source, edge.u, ctx.open_mask,
+                          ctx.traversal) ||
+         graph::reachable(chip_->grid().graph(), source, edge.v, ctx.open_mask,
+                          ctx.traversal);
 }
 
 bool PressureSimulator::detects(const TestVector& vector,
                                 const Fault& fault) const {
+  EvaluationContext ctx;
+  return detects(vector, fault, ctx);
+}
+
+bool PressureSimulator::detects(const TestVector& vector, const Fault& fault,
+                                EvaluationContext& ctx) const {
   if (fault.kind == FaultKind::kLeakage) {
-    return control_port_pressure(vector, fault);
+    return control_port_pressure(vector, fault, ctx);
   }
-  return measure(vector, fault) != measure(vector);
+  return measure(vector, fault, ctx) != measure(vector, std::nullopt, ctx);
 }
 
 CoverageReport evaluate_coverage(const arch::Biochip& chip,
                                  const std::vector<TestVector>& vectors,
                                  FaultUniverse universe) {
   const PressureSimulator simulator(chip);
+  EvaluationContext ctx;
   CoverageReport report;
   for (const Fault& fault : all_faults(chip, universe)) {
     ++report.total_faults;
     bool detected = false;
     for (const TestVector& vector : vectors) {
-      if (simulator.detects(vector, fault)) {
+      if (simulator.detects(vector, fault, ctx)) {
         detected = true;
         break;
       }

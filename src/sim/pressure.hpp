@@ -9,10 +9,21 @@
 #include <optional>
 
 #include "arch/biochip.hpp"
+#include "graph/traversal.hpp"
 #include "sim/fault.hpp"
 #include "sim/test_vector.hpp"
 
 namespace mfd::sim {
+
+/// Caller-owned scratch for the simulator's hot paths (valve-state vectors,
+/// the open-edge mask, BFS buffers). One context per thread: the simulator
+/// itself stays const and re-entrant, so concurrent evaluations only need
+/// distinct contexts.
+struct EvaluationContext {
+  std::vector<char> valve_state;
+  graph::EdgeMask open_mask;
+  graph::TraversalScratch traversal;
+};
 
 /// Simulates meter readings for test vectors, optionally with a single
 /// injected fault. The chip must have every valve attached to a control
@@ -58,9 +69,30 @@ class PressureSimulator {
     return measure(vector) == vector.expected_pressure;
   }
 
+  // Allocation-free variants of the queries above: scratch lives in the
+  // caller-owned context, so tight loops (coverage evaluation, sharing-scheme
+  // validation) reuse buffers instead of allocating per query. Semantics are
+  // identical to the context-free overloads.
+  bool measure(const TestVector& vector, const std::optional<Fault>& fault,
+               EvaluationContext& ctx) const;
+  bool control_port_pressure(const TestVector& vector, const Fault& fault,
+                             EvaluationContext& ctx) const;
+  bool detects(const TestVector& vector, const Fault& fault,
+               EvaluationContext& ctx) const;
+  bool vector_consistent(const TestVector& vector,
+                         EvaluationContext& ctx) const {
+    return measure(vector, std::nullopt, ctx) == vector.expected_pressure;
+  }
+
   [[nodiscard]] const arch::Biochip& chip() const { return *chip_; }
 
  private:
+  /// Fills ctx.valve_state and ctx.open_mask for the vector's controls (with
+  /// an optional fault pinning one valve), reusing the context's buffers.
+  void fill_open_mask(const std::vector<char>& control_open,
+                      const std::optional<Fault>& fault,
+                      EvaluationContext& ctx) const;
+
   const arch::Biochip* chip_;
 };
 

@@ -100,7 +100,7 @@ class VectorSearch {
     int newly = 0;
     for (std::size_t f = 0; f < faults_.size(); ++f) {
       if (covered_[f]) continue;
-      if (simulator_.detects(vec, faults_[f])) {
+      if (simulator_.detects(vec, faults_[f], sim_ctx_)) {
         covered_[f] = 1;
         ++newly;
       }
@@ -114,7 +114,7 @@ class VectorSearch {
     for (const auto& path : options_.plan->paths) {
       const TestVector vec = make_path_vector(path, options_.plan->source,
                                               options_.plan->meter);
-      if (simulator_.vector_consistent(vec)) absorb(vec);
+      if (simulator_.vector_consistent(vec, sim_ctx_)) absorb(vec);
     }
   }
 
@@ -148,7 +148,9 @@ class VectorSearch {
           }
         }
         TestVector vec = make_cut_vector(open_edges, source, meter);
-        if (!simulator_.vector_consistent(vec) || absorb(vec) == 0) break;
+        if (!simulator_.vector_consistent(vec, sim_ctx_) || absorb(vec) == 0) {
+          break;
+        }
       }
     }
   }
@@ -174,8 +176,8 @@ class VectorSearch {
               : make_cut_vector(remove_edge(*path,
                                             chip_.valve(fault.valve).edge),
                                 source, meter);
-      if (!simulator_.vector_consistent(vec)) continue;
-      if (!simulator_.detects(vec, fault)) continue;
+      if (!simulator_.vector_consistent(vec, sim_ctx_)) continue;
+      if (!simulator_.detects(vec, fault, sim_ctx_)) continue;
       absorb(vec);
       return true;
     }
@@ -227,6 +229,9 @@ class VectorSearch {
 
   const Biochip& chip_;
   PressureSimulator simulator_;
+  // Scratch for the thousands of simulator queries one suite generation
+  // issues; VectorSearch objects are single-threaded by construction.
+  sim::EvaluationContext sim_ctx_;
   std::vector<std::pair<PortId, PortId>> pairs_;
   VectorGenOptions options_;
   Rng rng_;

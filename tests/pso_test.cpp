@@ -140,6 +140,86 @@ TEST(PsoTest, EvaluationCountMatchesBudget) {
   EXPECT_EQ(r.evaluations, 7 * (1 + 9));
 }
 
+TEST(PsoBatchTest, BatchObjectiveMatchesScalar) {
+  PsoOptions options;
+  options.particles = 6;
+  options.iterations = 20;
+  options.seed = 31;
+  const PsoResult scalar = minimize(3, sphere, options);
+  const BatchObjective batch =
+      [](std::span<const std::vector<double>> positions,
+         std::span<double> values) {
+        ASSERT_EQ(positions.size(), values.size());
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          values[i] = sphere(positions[i]);
+        }
+      };
+  const PsoResult batched = minimize(3, batch, options);
+  EXPECT_EQ(scalar.best_position, batched.best_position);
+  EXPECT_DOUBLE_EQ(scalar.best_value, batched.best_value);
+  EXPECT_EQ(scalar.best_per_iteration, batched.best_per_iteration);
+  EXPECT_EQ(scalar.evaluations, batched.evaluations);
+  EXPECT_EQ(scalar.batch_calls, batched.batch_calls);
+}
+
+TEST(PsoBatchTest, BatchCallsCountInvocations) {
+  PsoOptions options;
+  options.particles = 7;
+  options.iterations = 9;
+  int calls = 0;
+  const PsoResult r = minimize(
+      2,
+      [&](std::span<const std::vector<double>> positions,
+          std::span<double> values) {
+        ++calls;
+        EXPECT_EQ(positions.size(), 7u);
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          values[i] = sphere(positions[i]);
+        }
+      },
+      options);
+  EXPECT_EQ(calls, 1 + 9);  // initialization + one per iteration
+  EXPECT_EQ(r.batch_calls, calls);
+  EXPECT_EQ(r.evaluations, 7 * (1 + 9));  // positions, not invocations
+}
+
+TEST(PsoBatchTest, ZeroDimensionsCallsBatchOnceWithEmptyPosition) {
+  int calls = 0;
+  const PsoResult r = minimize(
+      0,
+      [&](std::span<const std::vector<double>> positions,
+          std::span<double> values) {
+        ++calls;
+        ASSERT_EQ(positions.size(), 1u);
+        EXPECT_TRUE(positions[0].empty());
+        values[0] = 5.0;
+      },
+      PsoOptions{});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(r.batch_calls, 1);
+  EXPECT_EQ(r.evaluations, 1);
+  EXPECT_DOUBLE_EQ(r.best_value, 5.0);
+}
+
+TEST(PsoBatchTest, EvaluationOrderInsideBatchIsUnobservable) {
+  // Filling the values array back-to-front must give the same result as
+  // front-to-back: this is what makes parallel batch evaluation safe.
+  PsoOptions options;
+  options.particles = 5;
+  options.iterations = 10;
+  const BatchObjective reversed =
+      [](std::span<const std::vector<double>> positions,
+         std::span<double> values) {
+        for (std::size_t i = positions.size(); i-- > 0;) {
+          values[i] = sphere(positions[i]);
+        }
+      };
+  const PsoResult forward = minimize(4, sphere, options);
+  const PsoResult backward = minimize(4, reversed, options);
+  EXPECT_EQ(forward.best_position, backward.best_position);
+  EXPECT_EQ(forward.best_per_iteration, backward.best_per_iteration);
+}
+
 TEST(PsoTest, PositionsStayInUnitCube) {
   PsoOptions options;
   options.particles = 5;

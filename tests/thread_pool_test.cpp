@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace mfd {
+namespace {
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(0).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(-3).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = false;
+  pool.submit([&] { same_thread = std::this_thread::get_id() == caller; });
+  pool.wait();
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryItemExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t item, std::size_t slot) {
+    EXPECT_LT(slot, static_cast<std::size_t>(pool.thread_count()));
+    hits[item].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForUsesStaticStridePartition) {
+  // Item -> slot mapping is part of the contract: callers key per-slot
+  // scratch contexts off it.
+  ThreadPool pool(4);
+  const std::size_t runners = static_cast<std::size_t>(pool.thread_count());
+  std::vector<std::size_t> slot_of(41, static_cast<std::size_t>(-1));
+  pool.parallel_for(slot_of.size(), [&](std::size_t item, std::size_t slot) {
+    slot_of[item] = slot;
+  });
+  for (std::size_t item = 0; item < slot_of.size(); ++item) {
+    EXPECT_EQ(slot_of[item], item % runners) << "item " << item;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingleItem) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t item, std::size_t slot) {
+    EXPECT_EQ(item, 0u);
+    EXPECT_EQ(slot, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [&](std::size_t item, std::size_t) {
+                          if (item == 7) {
+                            throw std::runtime_error("body failed");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForResultsMatchSerial) {
+  std::vector<double> serial(500);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = static_cast<double>(i) * 1.5 + 1.0;
+  }
+  ThreadPool pool(5);
+  std::vector<double> parallel(serial.size(), 0.0);
+  pool.parallel_for(parallel.size(), [&](std::size_t item, std::size_t) {
+    parallel[item] = static_cast<double>(item) * 1.5 + 1.0;
+  });
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace mfd
