@@ -50,6 +50,11 @@ int main() {
     core::CodesignOptions options;
     options.outer_iterations = iterations;
     options.config_pool_size = 3;
+    const Status invalid = options.validate();
+    if (!invalid.ok()) {
+      std::printf("invalid options: %s\n", invalid.to_string().c_str());
+      return 1;
+    }
 
     options.threads = 1;
     const core::CodesignResult serial =
@@ -59,8 +64,8 @@ int main() {
         core::run_codesign(combo.chip, combo.assay, options);
     std::printf("%s / %s:%s\n", combo.chip.name().c_str(),
                 combo.assay.name().c_str(),
-                r.success ? "" : (" FAILED: " + r.failure_reason).c_str());
-    if (!r.success) continue;
+                r.ok() ? "" : (" FAILED: " + r.status.message).c_str());
+    if (!r.ok()) continue;
 
     if (serial.convergence != r.convergence ||
         serial.sharing.partner != r.sharing.partner) {

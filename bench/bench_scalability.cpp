@@ -95,12 +95,17 @@ int main() {
     codesign_options.config_pool_size = 2;
     codesign_options.unoptimized_attempts = 30;
     codesign_options.threads = threads;
+    const Status invalid = codesign_options.validate();
+    if (!invalid.ok()) {
+      std::printf("invalid options: %s\n", invalid.to_string().c_str());
+      return 1;
+    }
     t0 = std::chrono::steady_clock::now();
     const core::CodesignResult codesign =
         core::run_codesign(chip, assay, codesign_options);
     const double codesign_seconds = seconds_since(t0);
     const std::string hit_rate =
-        codesign.success
+        codesign.ok()
             ? format_double(100.0 * codesign.stats.hit_rate(), 0) + "%"
             : "-";
 
@@ -123,7 +128,7 @@ int main() {
                  schedule.feasible ? format_double(schedule.makespan, 1)
                                    : "-1",
                  format_double(codesign_seconds, 3),
-                 codesign.success
+                 codesign.ok()
                      ? format_double(codesign.stats.hit_rate(), 3)
                      : "-1"});
   }

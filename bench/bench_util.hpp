@@ -27,6 +27,15 @@ inline bool env_flag(const char* name) {
          std::string(value) != "";
 }
 
+/// Reads a positive double from the environment, else the default. Used for
+///   MFDFT_BENCH_DEADLINE_S — per-combination run deadline (0 = none).
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
 /// Outer PSO iterations for codesign benches: the paper uses 100; the
 /// default here is reduced so the full bench suite runs in minutes on a
 /// laptop. Set MFDFT_BENCH_FULL=1 for the paper-scale run.

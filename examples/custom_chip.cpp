@@ -80,10 +80,11 @@ int main() {
   options.outer_iterations = 6;
   options.config_pool_size = 2;
   const core::CodesignResult result = core::run_codesign(chip, assay, options);
-  if (!result.success) {
-    std::printf("codesign failed: %s\n", result.failure_reason.c_str());
+  if (!result.ok()) {
+    std::printf("codesign failed: %s\n", result.status.to_string().c_str());
     return 1;
   }
+  const arch::Biochip& dft_chip = *result.chip;
 
   std::printf("DFT result: %d valves added, %d test vectors, execution "
               "%.1f s (original %.1f s)\n\n",
@@ -91,17 +92,17 @@ int main() {
               result.exec_dft_optimized, result.exec_original);
 
   std::printf("Augmented architecture in the text format:\n\n%s\n",
-              arch::chip_to_string(result.chip).c_str());
+              arch::chip_to_string(dft_chip).c_str());
 
   std::printf("Gantt view:\n%s\n",
-              sched::render_gantt(result.chip, assay, result.schedule)
+              sched::render_gantt(dft_chip, assay, *result.schedule)
                   .c_str());
 
   std::printf("Schedule on the augmented chip:\n");
-  for (const sched::ScheduledOperation& op : result.schedule.operations) {
+  for (const sched::ScheduledOperation& op : result.schedule->operations) {
     std::printf("  %-10s on %-6s [%6.1f, %6.1f]\n",
                 assay.operation(op.op).name.c_str(),
-                result.chip.device(op.device).name.c_str(), op.start, op.end);
+                dft_chip.device(op.device).name.c_str(), op.start, op.end);
   }
   return 0;
 }

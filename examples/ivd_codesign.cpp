@@ -30,22 +30,23 @@ int main(int argc, char** argv) {
               assay.operation_count(), options.outer_iterations);
 
   const core::CodesignResult result = core::run_codesign(chip, assay, options);
-  if (!result.success) {
-    std::printf("codesign failed: %s\n", result.failure_reason.c_str());
+  if (!result.ok()) {
+    std::printf("codesign failed: %s\n", result.status.to_string().c_str());
     return 1;
   }
+  const arch::Biochip& dft_chip = *result.chip;
 
   std::printf("\nAugmented chip ('+' marks DFT channels):\n\n%s\n",
-              arch::render_chip_ascii(result.chip).c_str());
+              arch::render_chip_ascii(dft_chip).c_str());
 
   std::printf("DFT valves added: %d (all sharing existing control "
               "channels)\n",
               result.dft_valve_count);
   int dft_index = 0;
-  for (arch::ValveId v = 0; v < result.chip.valve_count(); ++v) {
-    if (!result.chip.valve(v).is_dft) continue;
+  for (arch::ValveId v = 0; v < dft_chip.valve_count(); ++v) {
+    if (!dft_chip.valve(v).is_dft) continue;
     std::printf("  DFT valve %d shares control %d with original valve %d\n",
-                v, result.chip.valve(v).control,
+                v, dft_chip.valve(v).control,
                 result.sharing.partner[static_cast<std::size_t>(dft_index++)]);
   }
 
@@ -61,14 +62,14 @@ int main(int argc, char** argv) {
 
   std::printf("\nTest suite (single source %s, single meter %s): %d vectors "
               "(%d paths, %d cuts), coverage %.0f%%\n",
-              result.chip.port(result.plan.source).name.c_str(),
-              result.chip.port(result.plan.meter).name.c_str(),
+              dft_chip.port(result.plan.source).name.c_str(),
+              dft_chip.port(result.plan.meter).name.c_str(),
               result.tests.size(), result.tests.path_vector_count(),
               result.tests.cut_vector_count(),
               result.tests.coverage.coverage() * 100.0);
 
   std::printf("\nGantt of the optimized schedule:\n%s",
-              sched::render_gantt(result.chip, assay, result.schedule)
+              sched::render_gantt(dft_chip, assay, *result.schedule)
                   .c_str());
 
   std::printf("\nTest-platform cost report:\n%s",
@@ -77,7 +78,9 @@ int main(int argc, char** argv) {
 
   std::printf("\nPSO convergence (best execution time per iteration):\n ");
   for (double value : result.convergence) std::printf(" %.0f", value);
-  std::printf("\n\nruntime: %.1f s, %d evaluations (%d cache hits)\n",
-              result.runtime_seconds, result.evaluations, result.cache_hits);
+  std::printf("\n\nruntime: %.1f s, %lld evaluations (%lld cache hits)\n",
+              result.runtime_seconds,
+              static_cast<long long>(result.stats.evaluations),
+              static_cast<long long>(result.stats.cache_hits));
   return 0;
 }

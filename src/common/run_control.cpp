@@ -1,0 +1,14 @@
+#include "common/run_control.hpp"
+
+#include "common/error.hpp"
+
+namespace mfd {
+
+Outcome outcome_of(StopReason reason) {
+  MFD_REQUIRE(reason != StopReason::kNone,
+              "outcome_of(): no stop reason observed");
+  return reason == StopReason::kCancelled ? Outcome::kCancelled
+                                          : Outcome::kDeadlineExceeded;
+}
+
+}  // namespace mfd

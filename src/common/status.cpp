@@ -1,0 +1,37 @@
+#include "common/status.hpp"
+
+namespace mfd {
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kInvalidOptions:
+      return "invalid_options";
+    case Outcome::kInfeasible:
+      return "infeasible";
+    case Outcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Outcome::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string text = mfd::to_string(outcome);
+  if (!stage.empty()) text += " at " + stage;
+  if (!message.empty()) text += ": " + message;
+  return text;
+}
+
+Status Status::Fail(Outcome outcome, std::string stage, std::string message) {
+  Status status;
+  status.outcome = outcome;
+  status.stage = std::move(stage);
+  status.message = std::move(message);
+  return status;
+}
+
+}  // namespace mfd

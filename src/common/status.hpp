@@ -1,0 +1,48 @@
+// Typed run outcomes for the public pipeline API.
+//
+// Long-running entry points (run_codesign above all) report how they ended
+// through a Status value instead of a bool + free-form string: a typed
+// Outcome, the pipeline stage that decided it, and a human-readable message.
+// Algorithmic "no solution exists" results stay return values (see
+// common/error.hpp for the exception policy); Status is the richer return
+// value that carries them.
+#pragma once
+
+#include <string>
+
+namespace mfd {
+
+enum class Outcome {
+  /// The run completed and produced a full result.
+  kOk = 0,
+  /// The caller's options failed validation; nothing ran.
+  kInvalidOptions,
+  /// The instance admits no solution (unschedulable assay, no configuration,
+  /// no valid sharing scheme).
+  kInfeasible,
+  /// A RunControl deadline fired; the result is the best found so far.
+  kDeadlineExceeded,
+  /// A RunControl cancellation was requested; the result is partial.
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(Outcome outcome);
+
+struct Status {
+  Outcome outcome = Outcome::kOk;
+  /// Pipeline stage that decided the outcome (empty on kOk), e.g.
+  /// "baseline_schedule", "enumerate_configurations", "outer_pso".
+  std::string stage;
+  /// Human-readable explanation (empty on kOk).
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return outcome == Outcome::kOk; }
+
+  /// "ok", or "<outcome> at <stage>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  static Status Ok() { return {}; }
+  static Status Fail(Outcome outcome, std::string stage, std::string message);
+};
+
+}  // namespace mfd

@@ -1,0 +1,196 @@
+#include "common/trace.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <optional>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mfd {
+
+namespace {
+
+const char* kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kSpanBegin:
+      return "span_begin";
+    case TraceEvent::Kind::kSpanEnd:
+      return "span_end";
+    case TraceEvent::Kind::kCounter:
+      return "counter";
+  }
+  return "unknown";
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out += buffer;
+}
+
+// Extracts the value of `"key":` in `line`, or nullopt. Values here are
+// either quoted strings (returned unescaped) or bare numbers (returned as
+// the raw token).
+std::optional<std::string> extract_field(const std::string& line,
+                                         const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    std::string value;
+    for (++i; i < line.size() && line[i] != '"'; ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          default:
+            value += line[i];
+        }
+      } else {
+        value += line[i];
+      }
+    }
+    MFD_REQUIRE(i < line.size(), "parse_trace_jsonl(): unterminated string");
+    return value;
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(i, end - i);
+}
+
+}  // namespace
+
+void JsonlTraceSink::write(const TraceEvent& event) {
+  std::string line = "{\"type\":\"";
+  line += kind_name(event.kind);
+  line += "\",\"name\":\"";
+  append_escaped(line, event.name);
+  line += "\",\"t\":";
+  append_number(line, event.t);
+  line += ",\"depth\":";
+  line += std::to_string(event.depth);
+  if (event.kind == TraceEvent::Kind::kSpanEnd) {
+    line += ",\"duration_s\":";
+    append_number(line, event.duration);
+  }
+  if (event.kind == TraceEvent::Kind::kCounter) {
+    line += ",\"value\":";
+    line += std::to_string(event.value);
+  }
+  line += "}\n";
+  out_ << line;
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string name) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  name_ = std::move(name);
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSpanBegin;
+  event.name = name_;
+  {
+    const std::lock_guard lock(tracer_->mutex_);
+    event.t = tracer_->now();
+    event.depth = tracer_->depth_;
+    depth_ = tracer_->depth_;
+    ++tracer_->depth_;
+    begin_ = event.t;
+    tracer_->sink_->write(event);
+  }
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSpanEnd;
+  event.name = std::move(name_);
+  {
+    const std::lock_guard lock(tracer_->mutex_);
+    event.t = tracer_->now();
+    event.duration = event.t - begin_;
+    --tracer_->depth_;
+    event.depth = tracer_->depth_;
+    tracer_->sink_->write(event);
+  }
+  tracer_ = nullptr;
+}
+
+void Tracer::counter(std::string name, std::int64_t value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.name = std::move(name);
+  event.value = value;
+  const std::lock_guard lock(mutex_);
+  event.t = now();
+  event.depth = depth_;
+  sink_->write(event);
+}
+
+std::vector<TraceEvent> parse_trace_jsonl(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    MFD_REQUIRE(line.front() == '{' && line.back() == '}',
+                "parse_trace_jsonl(): line is not a JSON object: " + line);
+    TraceEvent event;
+    const auto type = extract_field(line, "type");
+    MFD_REQUIRE(type.has_value(), "parse_trace_jsonl(): missing type");
+    if (*type == "span_begin") {
+      event.kind = TraceEvent::Kind::kSpanBegin;
+    } else if (*type == "span_end") {
+      event.kind = TraceEvent::Kind::kSpanEnd;
+    } else if (*type == "counter") {
+      event.kind = TraceEvent::Kind::kCounter;
+    } else {
+      MFD_REQUIRE(false, "parse_trace_jsonl(): unknown event type " + *type);
+    }
+    const auto name = extract_field(line, "name");
+    MFD_REQUIRE(name.has_value(), "parse_trace_jsonl(): missing name");
+    event.name = *name;
+    if (const auto t = extract_field(line, "t")) event.t = std::stod(*t);
+    if (const auto depth = extract_field(line, "depth")) {
+      event.depth = std::stoi(*depth);
+    }
+    if (const auto duration = extract_field(line, "duration_s")) {
+      event.duration = std::stod(*duration);
+    }
+    if (const auto value = extract_field(line, "value")) {
+      event.value = std::stoll(*value);
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace mfd

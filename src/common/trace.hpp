@@ -1,0 +1,129 @@
+// Span/counter tracing for the codesign pipeline.
+//
+// A Tracer records nested stage spans (with wall time) and named counters
+// and forwards them to a TraceSink; the stock sink serializes one JSON
+// object per line (JSONL), which parse_trace_jsonl() reads back. A
+// default-constructed Tracer is disabled: span() and counter() reduce to a
+// null-pointer check, so leaving tracing off costs effectively nothing and
+// cannot perturb results (the tracer never touches RNG streams or
+// algorithmic state).
+//
+// Span begin/end events are emitted at the pipeline's serial points; the
+// Tracer itself is thread-safe (one mutex around sink writes), so worker
+// threads may add counters if a future stage wants them.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mfd {
+
+struct TraceEvent {
+  enum class Kind { kSpanBegin, kSpanEnd, kCounter };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  /// Seconds since the tracer's construction.
+  double t = 0.0;
+  /// Span wall time (kSpanEnd only).
+  double duration = 0.0;
+  /// Counter value (kCounter only).
+  std::int64_t value = 0;
+  /// Span nesting depth at emission (0 = outermost).
+  int depth = 0;
+};
+
+/// Receives every trace event; implementations need not be thread-safe (the
+/// Tracer serializes writes).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+};
+
+/// Writes one JSON object per event to a caller-owned stream.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(out) {}
+  void write(const TraceEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+class Tracer {
+ public:
+  /// Disabled tracer: every call is a no-op.
+  Tracer() = default;
+  /// Records into `sink` (borrowed; must outlive the tracer).
+  explicit Tracer(TraceSink* sink)
+      : sink_(sink), epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  /// RAII stage span: emits kSpanBegin now and kSpanEnd on destruction.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept
+        : tracer_(other.tracer_), name_(std::move(other.name_)),
+          begin_(other.begin_), depth_(other.depth_) {
+      other.tracer_ = nullptr;
+    }
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name);
+    void finish();
+
+    Tracer* tracer_ = nullptr;
+    std::string name_;
+    double begin_ = 0.0;
+    int depth_ = 0;
+  };
+
+  /// Opens a nested span. On a disabled tracer the span is inert.
+  [[nodiscard]] Span span(std::string name) { return Span(this, std::move(name)); }
+
+  /// Emits a named counter sample.
+  void counter(std::string name, std::int64_t value);
+
+ private:
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+  void emit(TraceEvent event);
+
+  TraceSink* sink_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::mutex mutex_;
+  int depth_ = 0;
+};
+
+/// Null-safe helpers for code holding an optional `Tracer*`.
+[[nodiscard]] inline Tracer::Span trace_span(Tracer* tracer, std::string name) {
+  return tracer != nullptr ? tracer->span(std::move(name)) : Tracer::Span();
+}
+inline void trace_counter(Tracer* tracer, std::string name,
+                          std::int64_t value) {
+  if (tracer != nullptr) tracer->counter(std::move(name), value);
+}
+
+/// Parses a JSONL trace produced by JsonlTraceSink (inverse of write()).
+/// Throws mfd::Error on malformed input.
+[[nodiscard]] std::vector<TraceEvent> parse_trace_jsonl(std::istream& in);
+
+}  // namespace mfd

@@ -44,6 +44,38 @@ SharingScheme decode_sharing(const arch::Biochip& augmented,
 
 }  // namespace
 
+Status CodesignOptions::validate() const {
+  std::string problems;
+  const auto flag = [&problems](bool bad, const char* what) {
+    if (!bad) return;
+    if (!problems.empty()) problems += "; ";
+    problems += what;
+  };
+  flag(config_pool_size < 1, "config_pool_size must be >= 1");
+  flag(outer_particles < 1, "outer_particles must be >= 1");
+  flag(outer_iterations < 1, "outer_iterations must be >= 1");
+  flag(inner.particles < 1, "inner.particles must be >= 1");
+  flag(inner.iterations < 0, "inner.iterations must be >= 0");
+  flag(!(inner.vmax > 0.0), "inner.vmax must be > 0");
+  flag(unoptimized_attempts < 0, "unoptimized_attempts must be >= 0");
+  flag(threads < 0, "threads must be >= 0");
+  flag(plan.initial_paths < 1, "plan.initial_paths must be >= 1");
+  flag(plan.max_paths < plan.initial_paths,
+       "plan.max_paths must be >= plan.initial_paths");
+  flag(!(plan.time_limit_seconds > 0.0),
+       "plan.time_limit_seconds must be > 0");
+  flag(!(sched.transport_time_per_edge > 0.0),
+       "sched.transport_time_per_edge must be > 0");
+  flag(sched.route_retries < 0, "sched.route_retries must be >= 0");
+  flag(sched.detour_tolerance < 0, "sched.detour_tolerance must be >= 0");
+  flag(!(sched.time_limit > 0.0), "sched.time_limit must be > 0");
+  flag(vectors.attempts_per_fault < 1,
+       "vectors.attempts_per_fault must be >= 1");
+  if (problems.empty()) return Status::Ok();
+  return Status::Fail(Outcome::kInvalidOptions, "options",
+                      std::move(problems));
+}
+
 arch::Biochip apply_sharing(const arch::Biochip& augmented,
                             const SharingScheme& scheme) {
   arch::Biochip chip = augmented;
@@ -106,21 +138,66 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   };
 
   CodesignResult result;
+  result.status = options.validate();
+  if (!result.status.ok()) return result;
+
+  const RunControl* const control = options.control;
+  Tracer* const tracer = tracer_of(control);
+  const auto run_span = trace_span(tracer, "codesign");
+
+  // First stop observed at a serial synchronization point. Once set, the
+  // pipeline unwinds; everything already computed stays in `result`.
+  std::optional<Status> stop;
+  auto check_stop = [&](const char* stage) {
+    if (stop) return true;
+    if (control == nullptr) return false;
+    const StopReason reason = control->check();
+    if (reason == StopReason::kNone) return false;
+    stop = Status::Fail(outcome_of(reason), stage,
+                        reason == StopReason::kCancelled
+                            ? "run cancelled"
+                            : "deadline exceeded");
+    return true;
+  };
+
   // Baseline schedules and the final artifact assembly run outside the
   // evaluator; their scheduler/testgen executions are attributed here.
   EvalStats baseline;
 
+  // Stage options with the control threaded in, so a stop aborts in-flight
+  // baseline work too. The final assembly deliberately uses the caller's
+  // plain options: it regenerates already-validated artifacts and must not
+  // be truncated.
+  sched::ScheduleOptions sched_opts = options.sched;
+  sched_opts.control = control;
+  testgen::PathPlanOptions plan_opts = options.plan;
+  plan_opts.control = control;
+
+  if (check_stop("start")) {
+    result.status = *stop;
+    result.runtime_seconds = elapsed();
+    return result;
+  }
+
   // Baseline: the unmodified chip.
   const sched::Schedule original_schedule = [&] {
+    const auto span = trace_span(tracer, "baseline_schedule");
     const StageTimer timer;
-    sched::Schedule schedule = sched::schedule_assay(chip, assay,
-                                                     options.sched);
+    sched::Schedule schedule = sched::schedule_assay(chip, assay, sched_opts);
     baseline.schedule_seconds += timer.seconds();
     ++baseline.scheduler_runs;
     return schedule;
   }();
+  if (check_stop("baseline_schedule")) {
+    result.status = *stop;
+    result.stats = baseline;
+    result.runtime_seconds = elapsed();
+    return result;
+  }
   if (!original_schedule.feasible) {
-    result.failure_reason = "assay cannot be scheduled on the original chip";
+    result.status =
+        Status::Fail(Outcome::kInfeasible, "baseline_schedule",
+                     "assay cannot be scheduled on the original chip");
     result.stats = baseline;
     result.runtime_seconds = elapsed();
     return result;
@@ -128,12 +205,23 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   result.exec_original = original_schedule.makespan;
 
   // DFT configurations (outer search space).
-  result.pool =
-      enumerate_dft_configurations(chip, options.config_pool_size,
-                                   options.plan);
+  {
+    const auto span = trace_span(tracer, "enumerate_configurations");
+    result.pool = enumerate_dft_configurations(
+        chip, options.config_pool_size, plan_opts);
+    trace_counter(tracer, "config_pool",
+                  static_cast<std::int64_t>(result.pool.size()));
+  }
+  if (check_stop("enumerate_configurations")) {
+    result.status = *stop;
+    result.stats = baseline;
+    result.runtime_seconds = elapsed();
+    return result;
+  }
   if (result.pool.empty()) {
-    result.failure_reason =
-        "no single-source single-meter configuration found within |P| limit";
+    result.status = Status::Fail(
+        Outcome::kInfeasible, "enumerate_configurations",
+        "no single-source single-meter configuration found within |P| limit");
     result.stats = baseline;
     result.runtime_seconds = elapsed();
     return result;
@@ -149,17 +237,26 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   }
 
   // Figure 7 baseline: DFT valves with their own control ports.
-  const sched::Schedule independent_schedule = sched::schedule_assay(
-      with_dedicated_controls(augmented.front()), assay, options.sched);
-  ++baseline.scheduler_runs;
-  result.exec_dft_independent = independent_schedule.feasible
-                                    ? independent_schedule.makespan
-                                    : kInf;
+  {
+    const auto span = trace_span(tracer, "independent_schedule");
+    const sched::Schedule independent_schedule = sched::schedule_assay(
+        with_dedicated_controls(augmented.front()), assay, sched_opts);
+    ++baseline.scheduler_runs;
+    result.exec_dft_independent = independent_schedule.feasible
+                                      ? independent_schedule.makespan
+                                      : kInf;
+  }
+  if (check_stop("independent_schedule")) {
+    result.status = *stop;
+    result.stats = baseline;
+    result.runtime_seconds = elapsed();
+    return result;
+  }
 
   ThreadPool pool(options.threads == 0 ? ThreadPool::hardware_threads()
                                        : options.threads);
   result.threads_used = pool.thread_count();
-  Evaluator evaluator(assay, options.sched, options.vectors, pool);
+  Evaluator evaluator(assay, options.sched, options.vectors, pool, control);
   for (std::size_t i = 0; i < augmented.size(); ++i) {
     evaluator.add_config(augmented[i],
                          result.pool[i]);
@@ -167,25 +264,40 @@ CodesignResult run_codesign(const arch::Biochip& chip,
 
   const int n_dft = result.dft_valve_count;
 
+  auto finalize_stats = [&] {
+    result.stats = evaluator.stats();
+    result.stats += baseline;
+  };
+
   // "DFT without PSO": the first randomly drawn sharing scheme that passes
   // both validations on the canonical configuration.
   {
+    const auto span = trace_span(tracer, "unoptimized_search");
     Rng rng(options.seed ^ 0x5eedu);
     const std::vector<arch::ValveId> originals =
         original_valves(augmented.front());
     result.exec_dft_unoptimized = kInf;
     for (int attempt = 0; attempt < options.unoptimized_attempts; ++attempt) {
+      // Checked before the RNG draw, so the attempt sequence up to the
+      // cut-off is the same as in an unbounded run.
+      if (check_stop("unoptimized_search")) break;
       SharingScheme scheme;
       for (int i = 0; i < n_dft; ++i) {
         scheme.partner.push_back(
             originals[rng.index(originals.size())]);
       }
       const Evaluation eval = evaluator.evaluate(0, scheme);
-      if (eval.makespan < kInf) {
+      if (!eval.aborted && eval.makespan < kInf) {
         result.exec_dft_unoptimized = eval.makespan;
         break;
       }
     }
+  }
+  if (stop) {
+    result.status = *stop;
+    finalize_stats();
+    result.runtime_seconds = elapsed();
+    return result;
   }
 
   // Two-level PSO (Section 4.2). An outer particle's position is
@@ -248,6 +360,7 @@ CodesignResult run_codesign(const arch::Biochip& chip,
             static_cast<std::ptrdiff_t>(selector_dims + config_dft));
     pso::PsoOptions inner = options.inner;
     inner.seed = inner_seed++;
+    inner.control = control;
     const pso::PsoResult inner_result = pso::minimize(
         config_dft,
         [&](std::span<const std::vector<double>> positions,
@@ -262,6 +375,13 @@ CodesignResult run_codesign(const arch::Biochip& chip,
         inner, {sharing_seed});
     ++evaluator.stats().outer_evaluations;
     evaluator.stats().inner_evaluations += inner_result.evaluations;
+
+    if (inner_result.stopped_early) {
+      // A stop fired inside the sub-swarm: which of its batch entries
+      // aborted is timing-dependent, so the whole inner result is discarded
+      // — the truncated run's bests come only from completed evaluations.
+      return kInf;
+    }
 
     // Step (3): adopt the sub-PSO's best sharing vector.
     if (!inner_result.best_position.empty()) {
@@ -279,24 +399,43 @@ CodesignResult run_codesign(const arch::Biochip& chip,
     return inner_result.best_value;
   };
 
-  for (OuterParticle& particle : swarm) {
-    particle.position.resize(dims);
-    particle.velocity.assign(dims, 0.0);
-    for (double& x : particle.position) x = outer_rng.uniform();
-    particle.best_value = outer_evaluate(particle);
-    particle.best_position = particle.position;
-    if (particle.best_value <= global_best) {
-      global_best_position = particle.position;
+  {
+    const auto span = trace_span(tracer, "outer_iteration");
+    for (OuterParticle& particle : swarm) {
+      if (check_stop("outer_pso")) break;
+      particle.position.resize(dims);
+      particle.velocity.assign(dims, 0.0);
+      for (double& x : particle.position) x = outer_rng.uniform();
+      particle.best_value = outer_evaluate(particle);
+      particle.best_position = particle.position;
+      if (particle.best_value <= global_best) {
+        global_best_position = particle.position;
+      }
     }
   }
-  result.convergence.push_back(global_best);
+  if (!stop) {
+    result.convergence.push_back(global_best);
+    trace_counter(tracer, "outer_best_x1000",
+                  global_best == kInf
+                      ? -1
+                      : static_cast<std::int64_t>(global_best * 1000.0));
+    if (control != nullptr) {
+      control->report_progress(
+          {"outer_pso", 1, options.outer_iterations, global_best});
+    }
+  }
 
   constexpr double kOmega = 0.72;
   constexpr double kC1 = 1.49;
   constexpr double kC2 = 1.49;
   constexpr double kVmax = 0.3;
-  for (int iteration = 1; iteration < options.outer_iterations; ++iteration) {
+  for (int iteration = 1;
+       !stop && iteration < options.outer_iterations; ++iteration) {
+    const auto span = trace_span(tracer, "outer_iteration");
     for (OuterParticle& particle : swarm) {
+      // Checked before the velocity update so no RNG draws are consumed for
+      // a particle that will not be evaluated.
+      if (check_stop("outer_pso")) break;
       for (std::size_t d = 0; d < dims; ++d) {
         double v = kOmega * particle.velocity[d] +
                    kC1 * outer_rng.uniform() *
@@ -318,44 +457,56 @@ CodesignResult run_codesign(const arch::Biochip& chip,
         global_best_position = particle.position;
       }
     }
+    if (stop) break;
     result.convergence.push_back(global_best);
+    trace_counter(tracer, "outer_best_x1000",
+                  global_best == kInf
+                      ? -1
+                      : static_cast<std::int64_t>(global_best * 1000.0));
+    if (control != nullptr) {
+      control->report_progress({"outer_pso", iteration + 1,
+                                options.outer_iterations, global_best});
+    }
   }
 
-  auto finalize_stats = [&] {
-    result.stats = evaluator.stats();
-    result.stats += baseline;
-    result.evaluations = static_cast<int>(result.stats.evaluations);
-    result.cache_hits = static_cast<int>(result.stats.cache_hits);
-  };
-
   if (global_best == kInf) {
-    result.failure_reason = "no valid valve-sharing scheme found";
+    // Nothing valid found: on a stop that is the stop's fault, otherwise the
+    // search space genuinely holds no valid sharing scheme.
+    result.status = stop ? *stop
+                         : Status::Fail(Outcome::kInfeasible, "outer_pso",
+                                        "no valid valve-sharing scheme found");
     finalize_stats();
     result.runtime_seconds = elapsed();
     return result;
   }
 
-  // Assemble the final artifacts from the best candidate.
-  result.chosen_config = best_config;
-  result.plan = result.pool[static_cast<std::size_t>(best_config)];
-  result.dft_valve_count =
-      static_cast<int>(result.plan.added_edges.size());
-  result.shared_valve_count = result.dft_valve_count;
-  result.sharing = best_scheme;
-  result.chip = apply_sharing(
-      augmented[static_cast<std::size_t>(best_config)], best_scheme);
-  result.exec_dft_optimized = global_best;
-  result.schedule = sched::schedule_assay(result.chip, assay, options.sched);
-  ++baseline.scheduler_runs;
-  testgen::VectorGenOptions vopt = options.vectors;
-  vopt.plan = &result.plan;
-  auto suite = testgen::generate_test_suite(result.chip, result.plan.source,
-                                            result.plan.meter, vopt);
-  ++baseline.testgen_runs;
-  MFD_ASSERT(suite.has_value(),
-             "optimized sharing scheme failed final test regeneration");
-  result.tests = std::move(*suite);
-  result.success = true;
+  // Assemble the final artifacts from the best candidate (best-so-far when
+  // stopped). The regeneration runs without the control: the scheme already
+  // passed both validations, so this is deterministic replay, not search.
+  {
+    const auto span = trace_span(tracer, "assemble");
+    result.chosen_config = best_config;
+    result.plan = result.pool[static_cast<std::size_t>(best_config)];
+    result.dft_valve_count =
+        static_cast<int>(result.plan.added_edges.size());
+    result.shared_valve_count = result.dft_valve_count;
+    result.sharing = best_scheme;
+    result.chip = apply_sharing(
+        augmented[static_cast<std::size_t>(best_config)], best_scheme);
+    result.exec_dft_optimized = global_best;
+    result.schedule = sched::schedule_assay(*result.chip, assay,
+                                            options.sched);
+    ++baseline.scheduler_runs;
+    testgen::VectorGenOptions vopt = options.vectors;
+    vopt.plan = &result.plan;
+    auto suite = testgen::generate_test_suite(
+        *result.chip, result.plan.source, result.plan.meter, vopt);
+    ++baseline.testgen_runs;
+    MFD_ASSERT(suite.has_value(),
+               "optimized sharing scheme failed final test regeneration");
+    result.tests = std::move(*suite);
+  }
+  result.status = stop ? *stop : Status::Ok();
   finalize_stats();
   result.runtime_seconds = elapsed();
   return result;

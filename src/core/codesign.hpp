@@ -18,7 +18,10 @@
 // space of near-minimal configurations the paper's outer particles do.
 #pragma once
 
+#include <optional>
+
 #include "arch/biochip.hpp"
+#include "common/run_control.hpp"
 #include "core/evaluation.hpp"
 #include "pso/pso.hpp"
 #include "sched/scheduler.hpp"
@@ -52,12 +55,23 @@ struct CodesignOptions {
   /// fitness pipeline; 0 uses the hardware concurrency, 1 runs the exact
   /// serial pipeline. Results are bit-identical for every value.
   int threads = 0;
+  /// Optional deadline/cancellation handle and tracer, borrowed for the run.
+  /// Stops are polled only at serial synchronization points, so a truncated
+  /// run is reproducible given the same cut-off point. Null disables both.
+  const RunControl* control = nullptr;
+
+  /// Checks every field and reports all violations in one Status (stage
+  /// "options", outcome kInvalidOptions); Ok() when the options are usable.
+  [[nodiscard]] Status validate() const;
 };
 
 struct CodesignResult {
-  bool success = false;
-  /// Why the run failed (empty on success).
-  std::string failure_reason;
+  /// How the run ended. `status.outcome` is kOk for a complete run;
+  /// kDeadlineExceeded / kCancelled mark a truncated run that still carries
+  /// the best artifacts found so far (when any scheme had been validated
+  /// before the stop); kInfeasible / kInvalidOptions carry no artifacts.
+  Status status;
+  [[nodiscard]] bool ok() const { return status.ok(); }
 
   /// Canonical ILP configuration (pool entry 0) and the full pool.
   testgen::PathPlan plan;
@@ -65,11 +79,13 @@ struct CodesignResult {
   /// Index into `pool` of the configuration the PSO selected.
   int chosen_config = 0;
 
-  /// Final augmented chip with the optimized sharing applied.
-  arch::Biochip chip;
+  /// Final augmented chip with the optimized sharing applied, and its
+  /// schedule. Present whenever a valid sharing scheme was found — also on
+  /// deadline/cancel stops that happened after the first valid scheme.
+  std::optional<arch::Biochip> chip;
+  std::optional<sched::Schedule> schedule;
   SharingScheme sharing;
   testgen::TestSuite tests;
-  sched::Schedule schedule;
 
   /// Execution times (seconds): original chip; augmented chip with the first
   /// valid random sharing (no PSO); with the PSO-optimized sharing; with
@@ -90,11 +106,6 @@ struct CodesignResult {
   EvalStats stats;
   /// Evaluation threads actually used (resolved from CodesignOptions::threads).
   int threads_used = 1;
-  /// Legacy mirrors of stats.evaluations / stats.cache_hits.
-  int evaluations = 0;
-  int cache_hits = 0;
-
-  CodesignResult() : chip(arch::ConnectionGrid(1, 1)) {}
 };
 
 /// Enumerates up to `max_configs` distinct near-minimal DFT configurations
@@ -105,7 +116,11 @@ std::vector<testgen::PathPlan> enumerate_dft_configurations(
     const arch::Biochip& chip, int max_configs,
     testgen::PathPlanOptions options = {});
 
-/// Runs the full codesign flow.
+/// Runs the full codesign flow. With `options.control` set, a deadline or
+/// cancellation unwinds the pipeline at the next serial synchronization
+/// point and the result comes back tagged kDeadlineExceeded / kCancelled
+/// with the best-so-far artifacts; rerunning with the same seed and the same
+/// cut-off point reproduces the truncated result exactly.
 CodesignResult run_codesign(const arch::Biochip& chip,
                             const sched::Assay& assay,
                             const CodesignOptions& options = {});

@@ -9,13 +9,17 @@ namespace mfd::core {
 Evaluator::Evaluator(const sched::Assay& assay,
                      const sched::ScheduleOptions& sched_options,
                      const testgen::VectorGenOptions& vector_options,
-                     ThreadPool& pool)
+                     ThreadPool& pool, const RunControl* control)
     : assay_(assay),
       sched_options_(sched_options),
       vector_options_(vector_options),
       pool_(pool),
+      control_(control),
       contexts_(static_cast<std::size_t>(pool.thread_count())),
-      slot_stats_(static_cast<std::size_t>(pool.thread_count())) {}
+      slot_stats_(static_cast<std::size_t>(pool.thread_count())) {
+  sched_options_.control = control_;
+  vector_options_.control = control_;
+}
 
 void Evaluator::add_config(const arch::Biochip& augmented,
                            const testgen::PathPlan& plan) {
@@ -50,6 +54,12 @@ Evaluation Evaluator::compute(int config_index, const SharingScheme& scheme,
   if (!eval.tests_ok) {
     eval.makespan = std::numeric_limits<double>::infinity();
   }
+  if (control_ != nullptr &&
+      control_->stop_observed() != StopReason::kNone) {
+    // A stop fired somewhere during this candidate (possibly on another
+    // worker): the value may reflect an aborted schedule or test run.
+    eval.aborted = true;
+  }
   ++stats.evaluations;
   stats.eval_seconds += total.seconds();
   return eval;
@@ -66,6 +76,7 @@ Evaluation Evaluator::evaluate(int config_index, const SharingScheme& scheme) {
     }
   }
   const Evaluation eval = compute(config_index, scheme, 0, stats_);
+  if (eval.aborted) return eval;  // never memoize aborted work
   const std::unique_lock lock(cache_mutex_);
   return cache_.emplace(std::move(key), eval).first->second;
 }
@@ -112,21 +123,30 @@ void Evaluator::evaluate_batch(int config_index,
   // scratch context and stats block of its slot, so no synchronization is
   // needed inside the loop.
   std::vector<Evaluation> results(unique_items.size());
-  pool_.parallel_for(unique_items.size(),
-                     [&](std::size_t item, std::size_t slot) {
-                       results[item] = compute(
-                           config_index, schemes[unique_items[item]],
-                           slot, slot_stats_[slot]);
-                     });
+  {
+    const auto span =
+        trace_span(tracer_of(control_), "eval_batch");
+    trace_counter(tracer_of(control_), "batch_misses",
+                  static_cast<std::int64_t>(unique_items.size()));
+    pool_.parallel_for(unique_items.size(),
+                       [&](std::size_t item, std::size_t slot) {
+                         results[item] = compute(
+                             config_index, schemes[unique_items[item]],
+                             slot, slot_stats_[slot]);
+                       });
+  }
   for (EvalStats& slot : slot_stats_) {
     stats_ += slot;
     slot = EvalStats{};
   }
 
   // Phase 3 (serial, batch order): publish results and fill the outputs.
+  // Aborted evaluations are skipped: a stop mid-batch must not leak
+  // timing-dependent values into the (otherwise deterministic) cache.
   {
     const std::unique_lock lock(cache_mutex_);
     for (std::size_t u = 0; u < unique_items.size(); ++u) {
+      if (results[u].aborted) continue;
       cache_.emplace(std::move(unique_keys[u]), results[u]);
     }
   }

@@ -51,6 +51,10 @@ struct Evaluation {
   bool schedule_ok = false;
   /// A complete test suite exists under the sharing scheme.
   bool tests_ok = false;
+  /// A RunControl stop was observed while (or before) this candidate was
+  /// computed: the value is not trustworthy and is never memoized, so a
+  /// truncated run's cache holds only deterministic entries.
+  bool aborted = false;
 };
 
 /// Thread-safe memoizing evaluator over a pool of DFT configurations.
@@ -60,10 +64,13 @@ struct Evaluation {
 class Evaluator {
  public:
   /// The assay, options and every added configuration must outlive the
-  /// evaluator; `pool` is shared with the caller.
+  /// evaluator; `pool` is shared with the caller. When `control` is given it
+  /// is threaded into the scheduler/testgen runs so a deadline or cancel
+  /// aborts in-flight evaluations.
   Evaluator(const sched::Assay& assay,
             const sched::ScheduleOptions& sched_options,
-            const testgen::VectorGenOptions& vector_options, ThreadPool& pool);
+            const testgen::VectorGenOptions& vector_options, ThreadPool& pool,
+            const RunControl* control = nullptr);
 
   void add_config(const arch::Biochip& augmented,
                   const testgen::PathPlan& plan);
@@ -118,6 +125,7 @@ class Evaluator {
   sched::ScheduleOptions sched_options_;
   testgen::VectorGenOptions vector_options_;
   ThreadPool& pool_;
+  const RunControl* control_ = nullptr;
 
   std::vector<const arch::Biochip*> configs_;
   std::vector<const testgen::PathPlan*> plans_;

@@ -9,14 +9,14 @@ namespace mfd::core {
 
 DftCostReport build_cost_report(const arch::Biochip& original,
                                 const CodesignResult& result) {
-  MFD_REQUIRE(result.success,
+  MFD_REQUIRE(result.ok() && result.chip.has_value(),
               "build_cost_report(): codesign result must be successful");
   DftCostReport report;
   // Multi-port test: each port carries either the source or a meter.
   report.test_devices_before = original.port_count();
   report.test_devices_after = 2;
   report.control_ports_before = original.control_count();
-  report.control_ports_after = result.chip.control_count();
+  report.control_ports_after = result.chip->control_count();
   report.channels_added = result.dft_valve_count;
   report.valves_added = result.dft_valve_count;
   report.vectors_dft = result.tests.size();

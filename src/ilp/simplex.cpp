@@ -325,6 +325,9 @@ class SimplexSolver {
 
     for (int local_iter = 0; local_iter < iteration_limit; ++local_iter) {
       ++iterations_;
+      if ((local_iter & 63) == 0 && stop_requested(options_.control)) {
+        return LpStatus::kIterationLimit;
+      }
       if ((local_iter & 63) == 63) refactorize();
 
       const std::vector<double> beta = basic_values();

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "ilp/model.hpp"
 
 namespace mfd::ilp {
@@ -30,6 +31,9 @@ struct LpOptions {
   double tol = 1e-7;
   /// 0 = automatic (scales with problem size).
   int max_iterations = 0;
+  /// Optional cooperative deadline/cancellation, polled every 64 pivots; a
+  /// stop surfaces as kIterationLimit. Borrowed, may be null.
+  const RunControl* control = nullptr;
 };
 
 /// Solves the continuous relaxation of `model`. When `lower`/`upper` are

@@ -77,6 +77,16 @@ Solution solve_ilp(const Model& model, const SolverOptions& options,
 
   Solution result;
 
+  // Propagate the run control into the LP so long simplex runs also stop.
+  SolverOptions limits = options;
+  limits.lp.control = options.control;
+
+  if (stop_requested(options.control)) {
+    result.status = SolveStatus::kStopped;
+    result.runtime_seconds = elapsed();
+    return result;
+  }
+
   std::vector<double> root_lower(
       static_cast<std::size_t>(model.variable_count()));
   std::vector<double> root_upper(
@@ -90,8 +100,13 @@ Solution solve_ilp(const Model& model, const SolverOptions& options,
 
   // Solve the root relaxation first to classify infeasible/unbounded models.
   {
-    const LpResult root = solve_lp(work, root_lower, root_upper, options.lp);
+    const LpResult root = solve_lp(work, root_lower, root_upper, limits.lp);
     ++result.nodes_explored;
+    if (stop_requested(options.control)) {
+      result.status = SolveStatus::kStopped;
+      result.runtime_seconds = elapsed();
+      return result;
+    }
     if (root.status == LpStatus::kInfeasible ||
         root.status == LpStatus::kIterationLimit) {
       result.status = SolveStatus::kInfeasible;
@@ -112,6 +127,11 @@ Solution solve_ilp(const Model& model, const SolverOptions& options,
   double incumbent_key = kInf;  // minimize orientation
 
   while (!open.empty()) {
+    if (stop_requested(options.control)) {
+      result.status = SolveStatus::kStopped;
+      result.runtime_seconds = elapsed();
+      return result;
+    }
     if (elapsed() > options.time_limit_seconds) {
       result.status = SolveStatus::kTimeLimit;
       result.runtime_seconds = elapsed();
@@ -127,7 +147,7 @@ Solution solve_ilp(const Model& model, const SolverOptions& options,
     open.pop();
     if (node.bound >= incumbent_key - options.absolute_gap) continue;
 
-    const LpResult lp = solve_lp(work, node.lower, node.upper, options.lp);
+    const LpResult lp = solve_lp(work, node.lower, node.upper, limits.lp);
     ++result.nodes_explored;
     if (lp.status != LpStatus::kOptimal) continue;  // infeasible subtree
     const double key = orient * lp.objective;

@@ -20,6 +20,8 @@ enum class SolveStatus {
   kUnbounded,
   kTimeLimit,
   kNodeLimit,
+  /// A RunControl deadline/cancellation fired; best incumbent returned.
+  kStopped,
 };
 
 struct Solution {
@@ -54,6 +56,9 @@ struct SolverOptions {
   /// of optimality dominates runtime.
   double absolute_gap = 1e-9;
   LpOptions lp;
+  /// Optional cooperative deadline/cancellation, polled at every node (and
+  /// propagated into the simplex iterations). Borrowed, may be null.
+  const RunControl* control = nullptr;
 };
 
 /// Called with an integral candidate assignment; returns constraints violated

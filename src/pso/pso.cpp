@@ -21,6 +21,10 @@ PsoResult minimize(int dimensions, const BatchObjective& objective,
               "pso::minimize(): need at least one particle");
 
   PsoResult result;
+  if (stop_requested(options.control)) {
+    result.stopped_early = true;
+    return result;
+  }
   if (dimensions == 0) {
     const std::vector<std::vector<double>> empty_position(1);
     std::vector<double> value(1);
@@ -31,6 +35,10 @@ PsoResult minimize(int dimensions, const BatchObjective& objective,
     result.batch_calls = 1;
     result.best_per_iteration.assign(
         static_cast<std::size_t>(options.iterations) + 1, result.best_value);
+    if (options.control != nullptr &&
+        options.control->stop_observed() != StopReason::kNone) {
+      result.stopped_early = true;
+    }
     return result;
   }
 
@@ -90,6 +98,11 @@ PsoResult minimize(int dimensions, const BatchObjective& objective,
   result.best_per_iteration.push_back(result.best_value);
 
   for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    // Serial synchronization point: stop between batches, never inside one.
+    if (stop_requested(options.control)) {
+      result.stopped_early = true;
+      return result;
+    }
     // All moves use the swarm best frozen at the end of the previous batch.
     for (std::size_t p = 0; p < swarm; ++p) {
       for (std::size_t d = 0; d < dim; ++d) {
@@ -107,6 +120,12 @@ PsoResult minimize(int dimensions, const BatchObjective& objective,
     }
     evaluate_swarm();
     result.best_per_iteration.push_back(result.best_value);
+  }
+  // A stop that fired inside the last batch leaves timing-dependent values
+  // in the fold; flag it so callers can discard the contaminated result.
+  if (options.control != nullptr &&
+      options.control->stop_observed() != StopReason::kNone) {
+    result.stopped_early = true;
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/run_control.hpp"
 
 namespace mfd::pso {
 
@@ -38,6 +39,9 @@ struct PsoOptions {
   /// Velocity clamp per dimension.
   double vmax = 0.25;
   std::uint64_t seed = 42;
+  /// Optional cooperative deadline/cancellation, polled at the serial
+  /// iteration boundaries (between swarm batches). Borrowed, may be null.
+  const RunControl* control = nullptr;
 };
 
 struct PsoResult {
@@ -49,6 +53,9 @@ struct PsoResult {
   int evaluations = 0;
   /// Batch-objective invocations: 1 (initialization) + iterations.
   int batch_calls = 0;
+  /// A RunControl stop fired before the last iteration completed; the
+  /// result is the best of the iterations that did run.
+  bool stopped_early = false;
 };
 
 using Objective = std::function<double(const std::vector<double>&)>;

@@ -144,6 +144,7 @@ class Engine {
   Schedule run() {
     initialize();
     while (!all_done()) {
+      if (stop_requested(options_.control)) return fail();
       dispatch_until_stable();
       if (all_done()) break;
       if (events_.empty()) {

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "arch/biochip.hpp"
+#include "common/run_control.hpp"
 #include "sched/assay.hpp"
 
 namespace mfd::sched {
@@ -47,6 +48,9 @@ struct ScheduleOptions {
   std::uint64_t seed = 7;
   /// Prints dispatch decisions to stderr (debugging aid).
   bool trace = false;
+  /// Optional cooperative deadline/cancellation, polled once per event-loop
+  /// round; a stop makes the schedule come back infeasible. Borrowed.
+  const RunControl* control = nullptr;
 };
 
 struct ScheduledOperation {

@@ -323,12 +323,14 @@ bool plan_with_candidates(const arch::Biochip& chip,
 
   for (int num_paths = options.initial_paths; num_paths <= options.max_paths;
        ++num_paths) {
+    if (stop_requested(options.control)) return false;
     BuiltModel built =
         build_model(chip, num_paths, s, t, edge_allowed, options, std::nullopt);
 
     ilp::SolverOptions solver_options;
     solver_options.time_limit_seconds = options.time_limit_seconds;
     solver_options.absolute_gap = options.unbiased_gap;
+    solver_options.control = options.control;
     const VarLayout& vars = built.layout;
     ilp::Solution solution = ilp::solve_ilp(
         built.model, solver_options,
@@ -442,6 +444,7 @@ PathPlan plan_dft_paths(const arch::Biochip& chip,
     }
   }
   // Unrestricted retry (or first attempt when restriction is disabled).
+  if (stop_requested(options.control)) return plan;
   std::vector<char> all(
       static_cast<std::size_t>(chip.grid().graph().edge_count()), 1);
   plan_with_candidates(chip, options, all, plan);

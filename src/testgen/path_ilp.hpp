@@ -53,6 +53,9 @@ struct PathPlanOptions {
   /// tail (edge costs are integral up to small epsilon terms).
   double unbiased_gap = 0.6;
   double biased_gap = 0.2;
+  /// Optional cooperative deadline/cancellation, polled between ILP
+  /// re-solves and inside them. Borrowed, may be null.
+  const RunControl* control = nullptr;
 };
 
 struct PathPlan {

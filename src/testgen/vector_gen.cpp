@@ -124,6 +124,7 @@ class VectorSearch {
       const graph::NodeId s = chip_.port(source).node;
       const graph::NodeId t = chip_.port(meter).node;
       while (true) {
+        if (stop_requested(options_.control)) return;
         std::vector<double> capacity(
             static_cast<std::size_t>(grid.edge_count()), 0.0);
         bool any_uncovered = false;
@@ -159,6 +160,7 @@ class VectorSearch {
     bool all_covered = true;
     for (std::size_t f = 0; f < faults_.size(); ++f) {
       if (covered_[f]) continue;
+      if (stop_requested(options_.control)) return false;
       if (!cover_single_fault(faults_[f])) all_covered = false;
     }
     return all_covered;
@@ -166,6 +168,7 @@ class VectorSearch {
 
   bool cover_single_fault(const Fault& fault) {
     for (int attempt = 0; attempt < options_.attempts_per_fault; ++attempt) {
+      if (stop_requested(options_.control)) return false;
       const auto& [source, meter] = pairs_[rng_.index(pairs_.size())];
       const auto path = random_path_through(fault.valve, source, meter,
                                             attempt % 2 == 1);

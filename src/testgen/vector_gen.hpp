@@ -35,6 +35,9 @@ struct VectorGenOptions {
   /// solver). Disabled only by the ablation benchmark, which compares it
   /// against per-fault cut construction alone.
   bool use_bulk_cuts = true;
+  /// Optional cooperative deadline/cancellation, polled in the min-cut and
+  /// per-fault loops; a stop makes generation return nullopt. Borrowed.
+  const RunControl* control = nullptr;
 };
 
 struct TestSuite {

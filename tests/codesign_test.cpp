@@ -102,30 +102,33 @@ class CodesignRunTest : public ::testing::Test {
 
 TEST_F(CodesignRunTest, SucceedsWithFullArtifacts) {
   const CodesignResult r = run();
-  ASSERT_TRUE(r.success) << r.failure_reason;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.status.outcome, Outcome::kOk);
   EXPECT_GT(r.dft_valve_count, 0);
   EXPECT_EQ(r.shared_valve_count, r.dft_valve_count);
   EXPECT_EQ(static_cast<int>(r.sharing.partner.size()), r.dft_valve_count);
 
   // The final chip has no extra control ports.
   const Biochip original = arch::make_ivd_chip();
-  EXPECT_EQ(r.chip.control_count(), original.control_count());
-  EXPECT_EQ(r.chip.dft_valve_count(), r.dft_valve_count);
+  ASSERT_TRUE(r.chip.has_value());
+  EXPECT_EQ(r.chip->control_count(), original.control_count());
+  EXPECT_EQ(r.chip->dft_valve_count(), r.dft_valve_count);
   std::string why;
-  EXPECT_TRUE(r.chip.validate(&why)) << why;
+  EXPECT_TRUE(r.chip->validate(&why)) << why;
 
   // Test vectors achieve full coverage on the final chip.
   EXPECT_TRUE(r.tests.coverage.complete());
   EXPECT_GT(r.tests.size(), 0);
 
   // The reported schedule matches the optimized execution time.
-  ASSERT_TRUE(r.schedule.feasible);
-  EXPECT_NEAR(r.schedule.makespan, r.exec_dft_optimized, 1e-9);
+  ASSERT_TRUE(r.schedule.has_value());
+  ASSERT_TRUE(r.schedule->feasible);
+  EXPECT_NEAR(r.schedule->makespan, r.exec_dft_optimized, 1e-9);
 }
 
 TEST_F(CodesignRunTest, ExecutionTimeOrderingsHold) {
   const CodesignResult r = run();
-  ASSERT_TRUE(r.success) << r.failure_reason;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_TRUE(std::isfinite(r.exec_original));
   EXPECT_TRUE(std::isfinite(r.exec_dft_optimized));
   // PSO can only improve on the unoptimized sharing.
@@ -141,8 +144,8 @@ TEST_F(CodesignRunTest, ExecutionTimeOrderingsHold) {
 TEST_F(CodesignRunTest, DeterministicForFixedSeed) {
   const CodesignResult a = run();
   const CodesignResult b = run();
-  ASSERT_TRUE(a.success);
-  ASSERT_TRUE(b.success);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a.exec_dft_optimized, b.exec_dft_optimized);
   EXPECT_EQ(a.sharing.partner, b.sharing.partner);
   EXPECT_EQ(a.convergence, b.convergence);
@@ -154,8 +157,12 @@ TEST(CodesignFailureTest, ReportsWhenAssayCannotRun) {
   options.outer_iterations = 1;
   const CodesignResult r = run_codesign(arch::make_figure4_chip(),
                                         sched::make_ivd_assay(), options);
-  EXPECT_FALSE(r.success);
-  EXPECT_NE(r.failure_reason.find("schedul"), std::string::npos);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.outcome, Outcome::kInfeasible);
+  EXPECT_EQ(r.status.stage, "baseline_schedule");
+  EXPECT_NE(r.status.message.find("schedul"), std::string::npos);
+  EXPECT_FALSE(r.chip.has_value());
+  EXPECT_FALSE(r.schedule.has_value());
 }
 
 }  // namespace

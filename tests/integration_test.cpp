@@ -82,12 +82,13 @@ TEST(EndToEndTest, IvdCodesignReproducesPaperShape) {
   options.config_pool_size = 2;
   const core::CodesignResult r = core::run_codesign(
       arch::make_ivd_chip(), sched::make_ivd_assay(), options);
-  ASSERT_TRUE(r.success) << r.failure_reason;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
 
   // Single-source single-meter with full fault coverage.
   EXPECT_TRUE(r.tests.coverage.complete());
   // No additional control ports.
-  EXPECT_EQ(r.chip.control_count(),
+  ASSERT_TRUE(r.chip.has_value());
+  EXPECT_EQ(r.chip->control_count(),
             arch::make_ivd_chip().control_count());
   // Execution efficiency maintained: optimized within 30% of the original.
   EXPECT_LE(r.exec_dft_optimized, r.exec_original * 1.3);

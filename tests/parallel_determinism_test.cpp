@@ -24,8 +24,9 @@ CodesignOptions fast_options(std::uint64_t seed) {
 
 void expect_identical(const CodesignResult& serial,
                       const CodesignResult& parallel) {
-  ASSERT_EQ(serial.success, parallel.success);
-  EXPECT_EQ(serial.failure_reason, parallel.failure_reason);
+  ASSERT_EQ(serial.status.outcome, parallel.status.outcome);
+  EXPECT_EQ(serial.status.stage, parallel.status.stage);
+  EXPECT_EQ(serial.status.message, parallel.status.message);
   EXPECT_EQ(serial.chosen_config, parallel.chosen_config);
   EXPECT_EQ(serial.sharing.partner, parallel.sharing.partner);
   EXPECT_EQ(serial.convergence, parallel.convergence);  // bit-identical
@@ -33,7 +34,10 @@ void expect_identical(const CodesignResult& serial,
   EXPECT_EQ(serial.exec_dft_unoptimized, parallel.exec_dft_unoptimized);
   EXPECT_EQ(serial.exec_dft_optimized, parallel.exec_dft_optimized);
   EXPECT_EQ(serial.exec_dft_independent, parallel.exec_dft_independent);
-  EXPECT_EQ(serial.schedule.makespan, parallel.schedule.makespan);
+  ASSERT_EQ(serial.schedule.has_value(), parallel.schedule.has_value());
+  if (serial.schedule.has_value()) {
+    EXPECT_EQ(serial.schedule->makespan, parallel.schedule->makespan);
+  }
   EXPECT_EQ(serial.dft_valve_count, parallel.dft_valve_count);
   // Counters are part of the contract: dedupe happens before dispatch, so
   // they cannot depend on the thread count.
@@ -43,27 +47,29 @@ void expect_identical(const CodesignResult& serial,
   EXPECT_EQ(serial.stats.testgen_runs, parallel.stats.testgen_runs);
   EXPECT_EQ(serial.stats.outer_evaluations, parallel.stats.outer_evaluations);
   EXPECT_EQ(serial.stats.inner_evaluations, parallel.stats.inner_evaluations);
-  EXPECT_EQ(serial.evaluations, parallel.evaluations);
-  EXPECT_EQ(serial.cache_hits, parallel.cache_hits);
-  if (serial.success) {
+  if (serial.ok()) {
     EXPECT_EQ(serial.tests.vectors.size(), parallel.tests.vectors.size());
   }
 }
 
 TEST(ParallelDeterminismTest, IvdChipIdenticalAcrossThreadCounts) {
-  CodesignOptions serial_options = fast_options(2024);
-  serial_options.threads = 1;
-  CodesignOptions parallel_options = fast_options(2024);
-  parallel_options.threads = 8;
-
   const arch::Biochip chip = arch::make_ivd_chip();
   const sched::Assay assay = sched::make_ivd_assay();
+
+  CodesignOptions serial_options = fast_options(2024);
+  serial_options.threads = 1;
   const CodesignResult serial = run_codesign(chip, assay, serial_options);
-  const CodesignResult parallel = run_codesign(chip, assay, parallel_options);
-  ASSERT_TRUE(serial.success) << serial.failure_reason;
-  EXPECT_EQ(parallel.threads_used, 8);
+  ASSERT_TRUE(serial.ok()) << serial.status.to_string();
   EXPECT_EQ(serial.threads_used, 1);
-  expect_identical(serial, parallel);
+
+  for (const int threads : {2, 8}) {
+    CodesignOptions parallel_options = fast_options(2024);
+    parallel_options.threads = threads;
+    const CodesignResult parallel =
+        run_codesign(chip, assay, parallel_options);
+    EXPECT_EQ(parallel.threads_used, threads);
+    expect_identical(serial, parallel);
+  }
 }
 
 class SyntheticDeterminismTest : public ::testing::TestWithParam<int> {};

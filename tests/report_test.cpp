@@ -18,7 +18,7 @@ CodesignResult small_run() {
 TEST(CostReportTest, SingleSourceSingleMeterAccounting) {
   const arch::Biochip original = arch::make_ivd_chip();
   const CodesignResult result = small_run();
-  ASSERT_TRUE(result.success) << result.failure_reason;
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
   const DftCostReport report = build_cost_report(original, result);
 
   EXPECT_EQ(report.test_devices_before, original.port_count());
@@ -45,7 +45,7 @@ TEST(CostReportTest, OverheadIsRelative) {
 TEST(CostReportTest, RenderContainsKeyRows) {
   const arch::Biochip original = arch::make_ivd_chip();
   const CodesignResult result = small_run();
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.ok());
   const std::string text =
       render_cost_report(build_cost_report(original, result));
   EXPECT_NE(text.find("pressure sources"), std::string::npos);
@@ -55,7 +55,13 @@ TEST(CostReportTest, RenderContainsKeyRows) {
 }
 
 TEST(CostReportTest, RejectsFailedRun) {
+  // A default-constructed result has an ok status but no artifacts; a failed
+  // run has a non-ok status. Both must be rejected.
+  CodesignResult empty;
+  EXPECT_THROW(build_cost_report(arch::make_ivd_chip(), empty), Error);
   CodesignResult failed;
+  failed.status = Status::Fail(Outcome::kInfeasible, "baseline_schedule",
+                               "assay cannot be scheduled");
   EXPECT_THROW(build_cost_report(arch::make_ivd_chip(), failed), Error);
 }
 
