@@ -51,10 +51,11 @@ int main() {
   const sim::DiagnosisTable table = sim::build_diagnosis_table(
       augmented, minimal.vectors, sim::FaultUniverse::kStuckAtAndLeakage);
   std::printf("Diagnosis table: %d faults, %d distinct signatures, "
-              "resolution %.0f%% (%d faults share a signature)\n\n",
+              "resolution %.0f%% (%d faults share a signature, "
+              "%d undetected)\n\n",
               static_cast<int>(table.signature_of_fault.size()),
               table.distinct_signatures(), table.resolution() * 100.0,
-              table.ambiguous_faults());
+              table.ambiguous_faults(), table.undetected_faults());
 
   std::printf("%-28s signature\n", "fault");
   const auto faults =

@@ -42,6 +42,9 @@ Evaluation Evaluator::compute(int config_index, const SharingScheme& scheme,
     if (schedule.feasible) eval.makespan = schedule.makespan;
   }
   if (eval.schedule_ok) {
+    // Testability check: vector generation (and its full-coverage recheck)
+    // runs on the batch fault kernel — one subgraph analysis per candidate
+    // vector instead of one BFS pair per (fault, vector).
     testgen::VectorGenOptions vopt = vector_options_;
     vopt.plan = plans_[static_cast<std::size_t>(config_index)];
     const StageTimer timer;

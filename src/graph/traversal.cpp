@@ -191,64 +191,97 @@ bool edge_separates(const Graph& g, EdgeId bridge_candidate, NodeId source,
   return !reachable(g, source, target, local);
 }
 
-namespace {
-
-// Iterative lowlink computation for bridges (avoids recursion-depth limits on
-// long channel chains).
-struct BridgeFrame {
-  NodeId node;
-  EdgeId via_edge;
-  std::size_t next_index;
-};
-
-}  // namespace
-
-std::vector<EdgeId> bridges(const Graph& g, const EdgeMask& mask) {
+void analyze_subgraph(const Graph& g, const EdgeMask& mask,
+                      SubgraphAnalysis& out) {
   const auto n_count = static_cast<std::size_t>(g.node_count());
-  std::vector<int> discovery(n_count, -1);
-  std::vector<int> low(n_count, -1);
-  std::vector<EdgeId> result;
+  const auto e_count = static_cast<std::size_t>(g.edge_count());
+  // tin doubles as the visited marker and must be cleared; component, tout
+  // and low are written at every discovery/pop, and bridge_child is only
+  // read for flagged bridges, so those skip the fill (this is a per-vector
+  // hot path in the batch fault simulator).
+  out.component.resize(n_count);
+  out.component_count = 0;
+  out.is_bridge.assign(e_count, 0);
+  out.bridge_child.resize(e_count);
+  out.tin.assign(n_count, -1);
+  out.tout.resize(n_count);
+  out.low.resize(n_count);
+  out.stack.clear();
   int timer = 0;
 
+  // Iterative lowlink DFS (long channel chains would overflow a recursive
+  // one). Entry and exit times share one counter so subtree membership is
+  // the interval test tin[c] <= tin[x] && tout[x] <= tout[c].
   for (NodeId root = 0; root < g.node_count(); ++root) {
-    if (discovery[static_cast<std::size_t>(root)] != -1) continue;
-    std::vector<BridgeFrame> stack;
-    stack.push_back({root, kInvalidEdge, 0});
-    discovery[static_cast<std::size_t>(root)] =
-        low[static_cast<std::size_t>(root)] = timer++;
-    while (!stack.empty()) {
-      BridgeFrame& frame = stack.back();
+    if (out.tin[static_cast<std::size_t>(root)] != -1) continue;
+    const int comp = out.component_count++;
+    // Nodes with no enabled edge are singleton components; giving them
+    // their interval without a DFS frame matters when the enabled subgraph
+    // is sparse (the common case for fault-simulation open masks).
+    bool isolated = true;
+    for (const EdgeId e : g.incident_edges(root)) {
+      if (mask.enabled(e)) {
+        isolated = false;
+        break;
+      }
+    }
+    if (isolated) {
+      out.component[static_cast<std::size_t>(root)] = comp;
+      out.tin[static_cast<std::size_t>(root)] =
+          out.low[static_cast<std::size_t>(root)] = timer++;
+      out.tout[static_cast<std::size_t>(root)] = timer++;
+      continue;
+    }
+    out.stack.push_back({root, kInvalidEdge, 0});
+    out.component[static_cast<std::size_t>(root)] = comp;
+    out.tin[static_cast<std::size_t>(root)] =
+        out.low[static_cast<std::size_t>(root)] = timer++;
+    while (!out.stack.empty()) {
+      SubgraphAnalysis::Frame& frame = out.stack.back();
       const auto& incident = g.incident_edges(frame.node);
       if (frame.next_index < incident.size()) {
         const EdgeId e = incident[frame.next_index++];
         if (!mask.enabled(e) || e == frame.via_edge) continue;
-        const NodeId m = g.edge(e).other(frame.node);
-        if (discovery[static_cast<std::size_t>(m)] == -1) {
-          discovery[static_cast<std::size_t>(m)] =
-              low[static_cast<std::size_t>(m)] = timer++;
-          stack.push_back({m, e, 0});
+        const Edge& edge = g.edge(e);
+        const NodeId m = edge.u == frame.node ? edge.v : edge.u;
+        if (out.tin[static_cast<std::size_t>(m)] == -1) {
+          out.component[static_cast<std::size_t>(m)] = comp;
+          out.tin[static_cast<std::size_t>(m)] =
+              out.low[static_cast<std::size_t>(m)] = timer++;
+          out.stack.push_back({m, e, 0});
         } else {
-          low[static_cast<std::size_t>(frame.node)] =
-              std::min(low[static_cast<std::size_t>(frame.node)],
-                       discovery[static_cast<std::size_t>(m)]);
+          out.low[static_cast<std::size_t>(frame.node)] =
+              std::min(out.low[static_cast<std::size_t>(frame.node)],
+                       out.tin[static_cast<std::size_t>(m)]);
         }
       } else {
-        const BridgeFrame done = frame;
-        stack.pop_back();
-        if (!stack.empty()) {
-          const NodeId parent = stack.back().node;
-          low[static_cast<std::size_t>(parent)] =
-              std::min(low[static_cast<std::size_t>(parent)],
-                       low[static_cast<std::size_t>(done.node)]);
-          if (low[static_cast<std::size_t>(done.node)] >
-              discovery[static_cast<std::size_t>(parent)]) {
-            result.push_back(done.via_edge);
+        const NodeId done = frame.node;
+        const EdgeId via = frame.via_edge;
+        out.tout[static_cast<std::size_t>(done)] = timer++;
+        out.stack.pop_back();
+        if (!out.stack.empty()) {
+          const NodeId parent = out.stack.back().node;
+          out.low[static_cast<std::size_t>(parent)] =
+              std::min(out.low[static_cast<std::size_t>(parent)],
+                       out.low[static_cast<std::size_t>(done)]);
+          if (out.low[static_cast<std::size_t>(done)] >
+              out.tin[static_cast<std::size_t>(parent)]) {
+            out.is_bridge[static_cast<std::size_t>(via)] = 1;
+            out.bridge_child[static_cast<std::size_t>(via)] = done;
           }
         }
       }
     }
   }
-  std::sort(result.begin(), result.end());
+}
+
+std::vector<EdgeId> bridges(const Graph& g, const EdgeMask& mask) {
+  SubgraphAnalysis analysis;
+  analyze_subgraph(g, mask, analysis);
+  std::vector<EdgeId> result;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (analysis.is_bridge[static_cast<std::size_t>(e)]) result.push_back(e);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 // routines are the core of the test simulator.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -66,8 +67,67 @@ std::vector<int> connected_components(const Graph& g,
 bool edge_separates(const Graph& g, EdgeId bridge_candidate, NodeId source,
                     NodeId target, const EdgeMask& mask = {});
 
+/// One-pass structural analysis of an enabled subgraph: component labels,
+/// all bridges, and the DFS intervals needed to answer "does removing this
+/// bridge separate a from b?" in O(1). This is the substrate of the batch
+/// fault simulator — one analyze_subgraph() per test vector replaces one
+/// BFS per (fault, vector) pair. Buffers are reused across analyze calls;
+/// an instance must not be shared between threads.
+struct SubgraphAnalysis {
+  /// Component id per node; ids are dense starting at 0 (roots in node-id
+  /// order, matching connected_components()).
+  std::vector<int> component;
+  int component_count = 0;
+  /// Per edge: 1 when the (enabled) edge is a bridge of its component.
+  std::vector<char> is_bridge;
+  /// Per edge: for a bridge, the DFS-deeper endpoint (root of the subtree
+  /// the bridge hangs); kInvalidNode otherwise.
+  std::vector<NodeId> bridge_child;
+  /// DFS entry/exit times per node (intervals nest, shared counter).
+  std::vector<int> tin;
+  std::vector<int> tout;
+
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const {
+    return component[static_cast<std::size_t>(a)] ==
+           component[static_cast<std::size_t>(b)];
+  }
+
+  /// True when `x` lies in the DFS subtree rooted at `c`.
+  [[nodiscard]] bool in_subtree(NodeId c, NodeId x) const {
+    return tin[static_cast<std::size_t>(c)] <=
+               tin[static_cast<std::size_t>(x)] &&
+           tout[static_cast<std::size_t>(x)] <=
+               tout[static_cast<std::size_t>(c)];
+  }
+
+  /// True when a and b are connected in the analyzed subgraph AND removing
+  /// edge e disconnects them (i.e. e is a bridge on every a-b route).
+  [[nodiscard]] bool separates(EdgeId e, NodeId a, NodeId b) const {
+    if (!is_bridge[static_cast<std::size_t>(e)] || !connected(a, b)) {
+      return false;
+    }
+    const NodeId child = bridge_child[static_cast<std::size_t>(e)];
+    return in_subtree(child, a) != in_subtree(child, b);
+  }
+
+  // Internal scratch (lowlink values and the explicit DFS stack), public so
+  // the struct stays an aggregate; not meaningful between calls.
+  std::vector<int> low;
+  struct Frame {
+    NodeId node;
+    EdgeId via_edge;
+    std::uint32_t next_index;
+  };
+  std::vector<Frame> stack;
+};
+
+/// Fills `out` with the component/bridge structure of the enabled subgraph
+/// in O(V+E). The empty mask means all edges enabled, as everywhere else.
+void analyze_subgraph(const Graph& g, const EdgeMask& mask,
+                      SubgraphAnalysis& out);
+
 /// All bridges of the enabled subgraph (edges whose removal increases the
-/// number of connected components).
+/// number of connected components), in ascending edge-id order.
 std::vector<EdgeId> bridges(const Graph& g, const EdgeMask& mask = {});
 
 }  // namespace mfd::graph

@@ -1,0 +1,183 @@
+#include "sim/batch_fault.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/run_control.hpp"
+#include "sim/pressure.hpp"
+
+namespace mfd::sim {
+
+BatchFaultSimulator::BatchFaultSimulator(const arch::Biochip& chip)
+    : chip_(&chip) {
+  for (arch::ValveId v = 0; v < chip.valve_count(); ++v) {
+    MFD_REQUIRE(chip.valve(v).control != arch::kInvalidControl,
+                "BatchFaultSimulator: valve without control channel");
+  }
+  open_mask_.assign(chip.grid().graph().edge_count(), false);
+  open_edges_.reserve(static_cast<std::size_t>(chip.valve_count()));
+}
+
+void BatchFaultSimulator::load(const TestVector& vector) {
+  MFD_REQUIRE(vector.source >= 0 && vector.source < chip_->port_count() &&
+                  vector.meter >= 0 && vector.meter < chip_->port_count(),
+              "BatchFaultSimulator::load(): vector references unknown port");
+  MFD_REQUIRE(vector.control_open.size() ==
+                  static_cast<std::size_t>(chip_->control_count()),
+              "BatchFaultSimulator::load(): one state per control required");
+  // Clear only the bits the previous load set (valves are sparse in the
+  // grid's edge set), then write valve states and mask bits in one pass.
+  for (const graph::EdgeId e : open_edges_) open_mask_.set(e, false);
+  open_edges_.clear();
+  valve_state_.resize(static_cast<std::size_t>(chip_->valve_count()));
+  for (arch::ValveId v = 0; v < chip_->valve_count(); ++v) {
+    const arch::Valve& valve = chip_->valve(v);
+    const char state =
+        vector.control_open[static_cast<std::size_t>(valve.control)];
+    valve_state_[static_cast<std::size_t>(v)] = state;
+    if (state) {
+      open_mask_.set(valve.edge, true);
+      open_edges_.push_back(valve.edge);
+    }
+  }
+  graph::analyze_subgraph(chip_->grid().graph(), open_mask_, analysis_);
+  source_node_ = chip_->port(vector.source).node;
+  meter_node_ = chip_->port(vector.meter).node;
+  fault_free_reading_ = analysis_.connected(source_node_, meter_node_);
+  expected_pressure_ = vector.expected_pressure;
+  loaded_ = true;
+}
+
+bool BatchFaultSimulator::detects(const Fault& fault) const {
+  MFD_REQUIRE(loaded_, "BatchFaultSimulator::detects(): no vector loaded");
+  MFD_REQUIRE(fault.valve >= 0 && fault.valve < chip_->valve_count(),
+              "BatchFaultSimulator::detects(): fault on unknown valve");
+  return classify(fault);
+}
+
+bool BatchFaultSimulator::classify(const Fault& fault) const {
+  const arch::Valve& valve = chip_->valve(fault.valve);
+  const bool open = valve_state_[static_cast<std::size_t>(fault.valve)] != 0;
+  const graph::Edge& edge = chip_->grid().graph().edge(valve.edge);
+  switch (fault.kind) {
+    case FaultKind::kStuckAt0:
+      // Pinning an already-closed valve changes nothing; removing an open
+      // channel flips a 1-reading iff it carried every source->meter route.
+      return open && fault_free_reading_ &&
+             analysis_.separates(valve.edge, source_node_, meter_node_);
+    case FaultKind::kStuckAt1:
+      // Pinning an already-open valve changes nothing; adding a channel
+      // flips a 0-reading iff it joins the source- and meter-components.
+      return !open && !fault_free_reading_ &&
+             ((analysis_.connected(source_node_, edge.u) &&
+               analysis_.connected(meter_node_, edge.v)) ||
+              (analysis_.connected(source_node_, edge.v) &&
+               analysis_.connected(meter_node_, edge.u)));
+    case FaultKind::kLeakage:
+      // Observed at the control port: needs the control unpressurized
+      // (valve open — a pressurized control already holds pressure) and the
+      // valve site reachable from the source on the fault-free subgraph.
+      return open && (analysis_.connected(source_node_, edge.u) ||
+                      analysis_.connected(source_node_, edge.v));
+  }
+  return false;
+}
+
+FaultSignatures compute_signatures(const arch::Biochip& chip,
+                                   const std::vector<TestVector>& vectors,
+                                   const std::vector<Fault>& faults,
+                                   const RunControl* control) {
+  Tracer* tracer = tracer_of(control);
+  // Build the span name only when a tracer is attached — the string
+  // concatenation is a heap allocation this hot path skips otherwise.
+  const Tracer::Span span =
+      tracer == nullptr
+          ? Tracer::Span()
+          : tracer->span("compute_signatures f=" +
+                         std::to_string(faults.size()) +
+                         " v=" + std::to_string(vectors.size()));
+  FaultSignatures sigs;
+  sigs.fault_count = static_cast<int>(faults.size());
+  sigs.vector_count = static_cast<int>(vectors.size());
+  const auto wpf = static_cast<std::size_t>(sigs.words_per_fault());
+  sigs.bits.assign(static_cast<std::size_t>(sigs.fault_count) * wpf, 0);
+  BatchFaultSimulator batch(chip);
+  for (const Fault& fault : faults) {
+    MFD_REQUIRE(fault.valve >= 0 && fault.valve < chip.valve_count(),
+                "compute_signatures(): fault on unknown valve");
+  }
+  for (std::size_t vi = 0; vi < vectors.size(); ++vi) {
+    if (stop_requested(control)) break;
+    batch.load(vectors[vi]);
+    const std::size_t word_offset = vi / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (vi % 64);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (batch.classify(faults[fi])) {
+        sigs.bits[fi * wpf + word_offset] |= bit;
+      }
+    }
+  }
+  return sigs;
+}
+
+// Declared in pressure.hpp next to the naive simulator, implemented here:
+// coverage only needs one detected bit per fault, so it runs the batch
+// kernel with fault dropping (detected faults leave the scan) and exits as
+// soon as the whole universe is covered.
+CoverageReport evaluate_coverage(const arch::Biochip& chip,
+                                 const std::vector<TestVector>& vectors,
+                                 FaultUniverse universe,
+                                 const RunControl* control) {
+  Tracer* tracer = tracer_of(control);
+  const Tracer::Span span =
+      tracer == nullptr ? Tracer::Span() : tracer->span("evaluate_coverage");
+  // Fault index i maps to all_faults(chip, universe)[i] without
+  // materializing the list: both stuck-at kinds per valve first, leakage
+  // faults appended. The brute-force parity tests pin this correspondence.
+  const int stuck = 2 * chip.valve_count();
+  const int total = universe == FaultUniverse::kStuckAtAndLeakage
+                        ? 3 * chip.valve_count()
+                        : stuck;
+  const auto fault_at = [stuck](int idx) {
+    return idx < stuck ? Fault{idx / 2, (idx % 2) != 0 ? FaultKind::kStuckAt1
+                                                       : FaultKind::kStuckAt0}
+                       : Fault{idx - stuck, FaultKind::kLeakage};
+  };
+  CoverageReport report;
+  report.total_faults = total;
+  if (total == 0) return report;
+
+  BatchFaultSimulator batch(chip);
+  // Compact worklist of still-undetected fault indices; detection swaps the
+  // entry out, so each vector only scans the shrinking remainder.
+  std::vector<int> remaining(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    remaining[static_cast<std::size_t>(i)] = i;
+  }
+  for (const TestVector& vector : vectors) {
+    if (remaining.empty() || stop_requested(control)) break;
+    batch.load(vector);
+    for (std::size_t i = 0; i < remaining.size();) {
+      if (batch.classify(fault_at(remaining[i]))) {
+        remaining[i] = remaining.back();
+        remaining.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  report.detected_faults =
+      report.total_faults - static_cast<int>(remaining.size());
+  std::sort(remaining.begin(), remaining.end());
+  report.undetected.reserve(remaining.size());
+  for (int idx : remaining) {
+    report.undetected.push_back(fault_at(idx));
+  }
+  if (tracer != nullptr) {
+    tracer->counter("coverage.undetected",
+                    static_cast<std::int64_t>(report.undetected.size()));
+  }
+  return report;
+}
+
+}  // namespace mfd::sim

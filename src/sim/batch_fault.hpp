@@ -1,0 +1,136 @@
+// Single-pass batch fault simulator.
+//
+// The naive PressureSimulator answers "does this vector detect this fault?"
+// with two BFS measure() calls — O(V+E) per (fault, vector) pair. But the
+// test model is plain s–t reachability over the open subgraph (Section 2 of
+// the paper), so one structural pass per *vector* answers the question for
+// every fault at once:
+//
+//   stuck-at-0 on valve v  flips the reading iff v's channel is open, the
+//                          fault-free reading is 1, and the channel is a
+//                          bridge separating source from meter;
+//   stuck-at-1 on valve v  flips the reading iff v's channel is closed, the
+//                          fault-free reading is 0, and force-opening the
+//                          channel joins the source- and meter-components;
+//   leakage on valve v     is observed at the control port iff the control
+//                          is unpressurized (valve open) and the valve site
+//                          is reachable from the pressure source.
+//
+// graph::analyze_subgraph() delivers component labels, bridges and the DFS
+// intervals for the separation test in one O(V+E) pass, after which each
+// fault classifies in O(1). The PressureSimulator stays as the reference
+// oracle (tests/batch_fault_test.cpp proves bit-identical behaviour on
+// randomized chips); everything hot — coverage evaluation, diagnosis
+// tables, vector-generation absorption — runs on this kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/biochip.hpp"
+#include "graph/traversal.hpp"
+#include "sim/fault.hpp"
+#include "sim/test_vector.hpp"
+
+namespace mfd {
+class RunControl;
+}
+
+namespace mfd::sim {
+
+struct CoverageReport;
+struct FaultSignatures;
+
+/// Classifies all faults of a chip against one loaded test vector. load()
+/// costs one O(V+E) subgraph analysis; every detects() after it is O(1).
+/// Buffers are reused across load() calls; an instance must not be shared
+/// between threads (each evaluation worker owns its own).
+class BatchFaultSimulator {
+ public:
+  explicit BatchFaultSimulator(const arch::Biochip& chip);
+
+  /// Loads a vector: fault-free valve states, the open-edge subgraph and its
+  /// component/bridge structure. Must be called before reading()/detects().
+  void load(const TestVector& vector);
+
+  /// Fault-free meter reading of the loaded vector.
+  [[nodiscard]] bool reading() const { return fault_free_reading_; }
+
+  /// True when the loaded vector's fault-free reading matches its
+  /// expected_pressure.
+  [[nodiscard]] bool vector_consistent() const {
+    return fault_free_reading_ == expected_pressure_;
+  }
+
+  /// True when the loaded vector detects the fault — identical to
+  /// PressureSimulator::detects() on the same (vector, fault), including
+  /// the control-port observation of leakage faults.
+  [[nodiscard]] bool detects(const Fault& fault) const;
+
+  [[nodiscard]] const arch::Biochip& chip() const { return *chip_; }
+
+ private:
+  /// detects() without the per-call argument checks; the friends below
+  /// validate their fault lists once up front and then classify in tight
+  /// loops.
+  [[nodiscard]] bool classify(const Fault& fault) const;
+
+  friend FaultSignatures compute_signatures(
+      const arch::Biochip& chip, const std::vector<TestVector>& vectors,
+      const std::vector<Fault>& faults, const RunControl* control);
+  friend CoverageReport evaluate_coverage(
+      const arch::Biochip& chip, const std::vector<TestVector>& vectors,
+      FaultUniverse universe, const RunControl* control);
+
+  const arch::Biochip* chip_;
+  bool loaded_ = false;
+  bool fault_free_reading_ = false;
+  bool expected_pressure_ = false;
+  graph::NodeId source_node_ = graph::kInvalidNode;
+  graph::NodeId meter_node_ = graph::kInvalidNode;
+  std::vector<char> valve_state_;
+  graph::EdgeMask open_mask_;
+  /// Edges the current load opened — cleared bit-by-bit on the next load,
+  /// which beats refilling the whole mask (valves are sparse in the grid).
+  std::vector<graph::EdgeId> open_edges_;
+  graph::SubgraphAnalysis analysis_;
+};
+
+/// Detection signatures of a fault list over a vector sequence, packed one
+/// uint64_t lane per 64 vectors (fault-major): bit (v mod 64) of word
+/// [f * words_per_fault() + v / 64] is set iff vector v detects fault f.
+struct FaultSignatures {
+  int fault_count = 0;
+  int vector_count = 0;
+  std::vector<std::uint64_t> bits;
+
+  [[nodiscard]] int words_per_fault() const { return (vector_count + 63) / 64; }
+
+  [[nodiscard]] bool detects(int fault, int vector) const {
+    const auto word = static_cast<std::size_t>(fault) *
+                          static_cast<std::size_t>(words_per_fault()) +
+                      static_cast<std::size_t>(vector / 64);
+    return ((bits[word] >> (vector % 64)) & 1u) != 0;
+  }
+
+  /// True when any vector detects the fault.
+  [[nodiscard]] bool detected(int fault) const {
+    const auto wpf = static_cast<std::size_t>(words_per_fault());
+    const auto base = static_cast<std::size_t>(fault) * wpf;
+    for (std::size_t w = 0; w < wpf; ++w) {
+      if (bits[base + w] != 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Computes the full detection matrix: one analyze pass per vector, O(1)
+/// per fault. When `control` reports a stop mid-way, the remaining vector
+/// columns stay zero (best-effort partial result, consistent with the
+/// pipeline's RunControl doctrine).
+FaultSignatures compute_signatures(const arch::Biochip& chip,
+                                   const std::vector<TestVector>& vectors,
+                                   const std::vector<Fault>& faults,
+                                   const RunControl* control = nullptr);
+
+}  // namespace mfd::sim

@@ -2,19 +2,49 @@
 
 #include <algorithm>
 
+#include "sim/batch_fault.hpp"
+
 namespace mfd::sim {
+
+namespace {
+
+// The all-zero signature — an undetected fault, indistinguishable from a
+// fault-free chip. The empty signature (no vectors) is all-zero too.
+bool is_detected(const Signature& signature) {
+  return signature.find('1') != Signature::npos;
+}
+
+}  // namespace
+
+int DiagnosisTable::distinct_signatures() const {
+  int total = 0;
+  for (const auto& [signature, faults] : classes) {
+    if (is_detected(signature)) ++total;
+  }
+  return total;
+}
+
+int DiagnosisTable::undetected_faults() const {
+  int total = 0;
+  for (const auto& [signature, faults] : classes) {
+    if (!is_detected(signature)) total += static_cast<int>(faults.size());
+  }
+  return total;
+}
 
 int DiagnosisTable::ambiguous_faults() const {
   int total = 0;
   for (const auto& [signature, faults] : classes) {
-    if (faults.size() > 1) total += static_cast<int>(faults.size());
+    if (is_detected(signature) && faults.size() > 1) {
+      total += static_cast<int>(faults.size());
+    }
   }
   return total;
 }
 
 bool DiagnosisTable::fully_detecting() const {
   for (const auto& [signature, faults] : classes) {
-    if (signature.find('1') == Signature::npos) return false;
+    if (!is_detected(signature)) return false;
   }
   return true;
 }
@@ -23,7 +53,7 @@ double DiagnosisTable::resolution() const {
   if (signature_of_fault.empty()) return 1.0;
   int unique = 0;
   for (const auto& [signature, faults] : classes) {
-    if (faults.size() == 1) ++unique;
+    if (is_detected(signature) && faults.size() == 1) ++unique;
   }
   return static_cast<double>(unique) /
          static_cast<double>(signature_of_fault.size());
@@ -32,15 +62,19 @@ double DiagnosisTable::resolution() const {
 DiagnosisTable build_diagnosis_table(const arch::Biochip& chip,
                                      const std::vector<TestVector>& vectors,
                                      FaultUniverse universe) {
-  const PressureSimulator simulator(chip);
+  const std::vector<Fault> faults = all_faults(chip, universe);
+  const FaultSignatures sigs = compute_signatures(chip, vectors, faults);
   DiagnosisTable table;
-  for (const Fault& fault : all_faults(chip, universe)) {
+  table.signature_of_fault.reserve(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
     Signature signature;
     signature.reserve(vectors.size());
-    for (const TestVector& v : vectors) {
-      signature += simulator.detects(v, fault) ? '1' : '0';
+    for (std::size_t v = 0; v < vectors.size(); ++v) {
+      signature += sigs.detects(static_cast<int>(f), static_cast<int>(v))
+                       ? '1'
+                       : '0';
     }
-    table.classes[signature].push_back(fault);
+    table.classes[signature].push_back(faults[f]);
     table.signature_of_fault.push_back(std::move(signature));
   }
   return table;
@@ -49,11 +83,12 @@ DiagnosisTable build_diagnosis_table(const arch::Biochip& chip,
 Signature observe_signature(const arch::Biochip& chip,
                             const std::vector<TestVector>& vectors,
                             const Fault& fault) {
-  const PressureSimulator simulator(chip);
+  BatchFaultSimulator batch(chip);
   Signature signature;
   signature.reserve(vectors.size());
   for (const TestVector& v : vectors) {
-    signature += simulator.detects(v, fault) ? '1' : '0';
+    batch.load(v);
+    signature += batch.detects(fault) ? '1' : '0';
   }
   return signature;
 }

@@ -25,19 +25,26 @@ struct DiagnosisTable {
   /// Equivalence classes: faults sharing a signature are indistinguishable.
   std::map<Signature, std::vector<Fault>> classes;
 
-  /// Number of distinct signatures (including the all-zero class if some
-  /// fault is undetected).
-  [[nodiscard]] int distinct_signatures() const {
-    return static_cast<int>(classes.size());
-  }
+  /// Number of distinct *diagnostic* signatures: classes whose signature
+  /// detects the fault at least once. The all-zero class is not a diagnosis
+  /// — an undetected fault looks exactly like a fault-free chip — so it is
+  /// reported separately via undetected_faults(), never counted here.
+  [[nodiscard]] int distinct_signatures() const;
 
-  /// Faults whose signature is shared with at least one other fault.
+  /// Faults in the all-zero class (no vector flips any reading).
+  [[nodiscard]] int undetected_faults() const;
+
+  /// Detected faults whose signature is shared with at least one other
+  /// fault. unique + ambiguous + undetected partitions the fault universe.
   [[nodiscard]] int ambiguous_faults() const;
 
   /// True when every fault is detected (no all-zero signature).
   [[nodiscard]] bool fully_detecting() const;
 
-  /// Fraction of faults uniquely identified by their signature.
+  /// Fraction of faults uniquely identified by their signature — detected
+  /// singleton classes over the full universe. An undetected singleton is
+  /// not identified (its signature is indistinguishable from "no fault"),
+  /// so it never counts.
   [[nodiscard]] double resolution() const;
 };
 

@@ -130,28 +130,7 @@ bool PressureSimulator::detects(const TestVector& vector, const Fault& fault,
   return measure(vector, fault, ctx) != measure(vector, std::nullopt, ctx);
 }
 
-CoverageReport evaluate_coverage(const arch::Biochip& chip,
-                                 const std::vector<TestVector>& vectors,
-                                 FaultUniverse universe) {
-  const PressureSimulator simulator(chip);
-  EvaluationContext ctx;
-  CoverageReport report;
-  for (const Fault& fault : all_faults(chip, universe)) {
-    ++report.total_faults;
-    bool detected = false;
-    for (const TestVector& vector : vectors) {
-      if (simulator.detects(vector, fault, ctx)) {
-        detected = true;
-        break;
-      }
-    }
-    if (detected) {
-      ++report.detected_faults;
-    } else {
-      report.undetected.push_back(fault);
-    }
-  }
-  return report;
-}
+// evaluate_coverage() lives in batch_fault.cpp: it runs on the batch kernel
+// and only keeps this simulator as its differential-test oracle.
 
 }  // namespace mfd::sim

@@ -13,6 +13,10 @@
 #include "sim/fault.hpp"
 #include "sim/test_vector.hpp"
 
+namespace mfd {
+class RunControl;
+}
+
 namespace mfd::sim {
 
 /// Caller-owned scratch for the simulator's hot paths (valve-state vectors,
@@ -110,8 +114,14 @@ struct CoverageReport {
   }
 };
 
+/// Coverage of the fault universe under a vector set. Runs on the batch
+/// kernel (sim/batch_fault.hpp) with fault dropping: one O(V+E) subgraph
+/// analysis per vector, O(1) per still-undetected fault, early exit once
+/// everything is covered. A stop reported via `control` yields a partial
+/// report covering only the vectors processed so far.
 CoverageReport evaluate_coverage(
     const arch::Biochip& chip, const std::vector<TestVector>& vectors,
-    FaultUniverse universe = FaultUniverse::kStuckAt);
+    FaultUniverse universe = FaultUniverse::kStuckAt,
+    const RunControl* control = nullptr);
 
 }  // namespace mfd::sim

@@ -3,21 +3,24 @@
 #include <algorithm>
 
 #include "ilp/solver.hpp"
+#include "sim/batch_fault.hpp"
 
 namespace mfd::testgen {
 
 namespace {
 
-// detection[v][f] = vector v detects fault f.
+// detection[v][f] = vector v detects fault f. One batch load per vector
+// classifies every fault at once.
 std::vector<std::vector<char>> detection_matrix(
     const arch::Biochip& chip, const std::vector<sim::TestVector>& vectors,
     const std::vector<sim::Fault>& faults) {
-  const sim::PressureSimulator simulator(chip);
+  sim::BatchFaultSimulator batch(chip);
   std::vector<std::vector<char>> matrix(
       vectors.size(), std::vector<char>(faults.size(), 0));
   for (std::size_t v = 0; v < vectors.size(); ++v) {
+    batch.load(vectors[v]);
     for (std::size_t f = 0; f < faults.size(); ++f) {
-      matrix[v][f] = simulator.detects(vectors[v], faults[f]) ? 1 : 0;
+      matrix[v][f] = batch.detects(faults[f]) ? 1 : 0;
     }
   }
   return matrix;

@@ -4,6 +4,7 @@
 
 #include "graph/maxflow.hpp"
 #include "graph/traversal.hpp"
+#include "sim/batch_fault.hpp"
 
 namespace mfd::testgen {
 
@@ -13,9 +14,9 @@ using arch::Biochip;
 using arch::ControlId;
 using arch::PortId;
 using arch::ValveId;
+using sim::BatchFaultSimulator;
 using sim::Fault;
 using sim::FaultKind;
-using sim::PressureSimulator;
 using sim::TestVector;
 using sim::VectorKind;
 
@@ -44,7 +45,7 @@ class VectorSearch {
                std::vector<std::pair<PortId, PortId>> pairs,
                const VectorGenOptions& options)
       : chip_(chip),
-        simulator_(chip),
+        batch_(chip),
         pairs_(std::move(pairs)),
         options_(options),
         rng_(options.seed),
@@ -60,9 +61,14 @@ class VectorSearch {
 
     TestSuite suite;
     suite.vectors = std::move(vectors_);
-    suite.coverage = sim::evaluate_coverage(chip_, suite.vectors);
-    MFD_ASSERT(suite.coverage.complete(),
-               "vector generation claimed full coverage but recheck failed");
+    suite.coverage =
+        sim::evaluate_coverage(chip_, suite.vectors,
+                               sim::FaultUniverse::kStuckAt, options_.control);
+    // A stop during the recheck leaves the coverage report partial — return
+    // the documented "stopped" result instead of failing the recheck.
+    if (stop_requested(options_.control)) return std::nullopt;
+    MFD_REQUIRE(suite.coverage.complete(),
+                "vector generation claimed full coverage but recheck failed");
     return suite;
   }
 
@@ -95,12 +101,14 @@ class VectorSearch {
     return vec;
   }
 
-  // Marks every still-uncovered fault the vector detects; returns the count.
-  int absorb(const TestVector& vec) {
+  // Marks every still-uncovered fault the *loaded* vector detects; returns
+  // the count. batch_ must hold `vec` (one O(V+E) load classifies all
+  // faults, so absorption is O(V+E+F) instead of one BFS pair per fault).
+  int absorb_loaded(const TestVector& vec) {
     int newly = 0;
     for (std::size_t f = 0; f < faults_.size(); ++f) {
       if (covered_[f]) continue;
-      if (simulator_.detects(vec, faults_[f], sim_ctx_)) {
+      if (batch_.detects(faults_[f])) {
         covered_[f] = 1;
         ++newly;
       }
@@ -114,7 +122,8 @@ class VectorSearch {
     for (const auto& path : options_.plan->paths) {
       const TestVector vec = make_path_vector(path, options_.plan->source,
                                               options_.plan->meter);
-      if (simulator_.vector_consistent(vec, sim_ctx_)) absorb(vec);
+      batch_.load(vec);
+      if (batch_.vector_consistent()) absorb_loaded(vec);
     }
   }
 
@@ -149,9 +158,8 @@ class VectorSearch {
           }
         }
         TestVector vec = make_cut_vector(open_edges, source, meter);
-        if (!simulator_.vector_consistent(vec, sim_ctx_) || absorb(vec) == 0) {
-          break;
-        }
+        batch_.load(vec);
+        if (!batch_.vector_consistent() || absorb_loaded(vec) == 0) break;
       }
     }
   }
@@ -179,9 +187,10 @@ class VectorSearch {
               : make_cut_vector(remove_edge(*path,
                                             chip_.valve(fault.valve).edge),
                                 source, meter);
-      if (!simulator_.vector_consistent(vec, sim_ctx_)) continue;
-      if (!simulator_.detects(vec, fault, sim_ctx_)) continue;
-      absorb(vec);
+      batch_.load(vec);
+      if (!batch_.vector_consistent()) continue;
+      if (!batch_.detects(fault)) continue;
+      absorb_loaded(vec);
       return true;
     }
     return false;
@@ -231,10 +240,10 @@ class VectorSearch {
   }
 
   const Biochip& chip_;
-  PressureSimulator simulator_;
-  // Scratch for the thousands of simulator queries one suite generation
-  // issues; VectorSearch objects are single-threaded by construction.
-  sim::EvaluationContext sim_ctx_;
+  // One batch kernel instance for the thousands of queries one suite
+  // generation issues; VectorSearch objects are single-threaded by
+  // construction.
+  BatchFaultSimulator batch_;
   std::vector<std::pair<PortId, PortId>> pairs_;
   VectorGenOptions options_;
   Rng rng_;

@@ -33,12 +33,42 @@ TEST(DiagnosisTest, FullCoverageMeansFullyDetecting) {
   EXPECT_TRUE(table.fully_detecting());
 }
 
-TEST(DiagnosisTest, EmptyVectorSetHasOneClass) {
+TEST(DiagnosisTest, EmptyVectorSetHasNoDiagnosticClass) {
   const arch::Biochip chip = arch::make_figure4_chip();
   const DiagnosisTable table = build_diagnosis_table(chip, {});
-  EXPECT_EQ(table.distinct_signatures(), 1);
+  // Every fault lands in the all-zero class, which is not a diagnosis: an
+  // undetected fault is indistinguishable from a fault-free chip.
+  EXPECT_EQ(table.distinct_signatures(), 0);
+  EXPECT_EQ(table.undetected_faults(), chip.valve_count() * 2);
+  EXPECT_EQ(table.ambiguous_faults(), 0);
   EXPECT_FALSE(table.fully_detecting());
   EXPECT_DOUBLE_EQ(table.resolution(), 0.0);
+}
+
+TEST(DiagnosisTest, UndetectedClassNeverInflatesResolution) {
+  const arch::Biochip chip = arch::make_figure4_chip();
+  // One path vector: it detects the stuck-at-0 faults of its own valves and
+  // nothing else, so plenty of faults stay undetected. They must be counted
+  // as undetected, not as a diagnostic class or a uniquely identified fault.
+  const auto vectors = full_suite(chip);
+  const std::vector<TestVector> one(vectors.begin(), vectors.begin() + 1);
+  const DiagnosisTable table = build_diagnosis_table(chip, one);
+  const int total = chip.valve_count() * 2;
+  int detected_classes = 0;
+  int undetected = 0;
+  for (const auto& [signature, faults] : table.classes) {
+    if (signature.find('1') != Signature::npos) {
+      ++detected_classes;
+    } else {
+      undetected += static_cast<int>(faults.size());
+    }
+  }
+  EXPECT_GT(undetected, 0);
+  EXPECT_EQ(table.distinct_signatures(), detected_classes);
+  EXPECT_EQ(table.undetected_faults(), undetected);
+  const int unique = static_cast<int>(table.resolution() * total + 0.5);
+  EXPECT_EQ(unique + table.ambiguous_faults() + table.undetected_faults(),
+            total);
 }
 
 TEST(DiagnosisTest, ObservedSignatureMatchesTableEntry) {
@@ -70,6 +100,7 @@ TEST(DiagnosisTest, ResolutionAndAmbiguityConsistent) {
   const int total = chip.valve_count() * 2;
   const int unique =
       static_cast<int>(table.resolution() * total + 0.5);
+  EXPECT_EQ(table.undetected_faults(), 0);
   EXPECT_EQ(unique + table.ambiguous_faults(), total);
   EXPECT_GE(table.resolution(), 0.0);
   EXPECT_LE(table.resolution(), 1.0);

@@ -281,5 +281,111 @@ TEST(TraversalTest, EdgeSeparatesMatchesDefinition) {
   EXPECT_TRUE(edge_separates(p, 1, 0, 3));
 }
 
+// ---- subgraph analysis ------------------------------------------------------
+
+TEST(SubgraphAnalysisTest, MatchesComponentsAndBridgesOnRandomSubgraphs) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g(10);
+    for (NodeId a = 0; a < 10; ++a) {
+      for (NodeId b = a + 1; b < 10; ++b) {
+        if (rng.flip(0.3)) g.add_edge(a, b);
+      }
+    }
+    EdgeMask mask(g.edge_count(), true);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (rng.flip(0.25)) mask.set(e, false);
+    }
+    SubgraphAnalysis analysis;
+    analyze_subgraph(g, mask, analysis);
+    // Component labels are identical (not just equivalent) to the BFS pass.
+    EXPECT_EQ(analysis.component, connected_components(g, mask));
+    // An enabled edge is flagged as a bridge iff removing it disconnects
+    // its endpoints; disabled edges are never bridges.
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (!mask.enabled(e)) {
+        EXPECT_FALSE(analysis.is_bridge[static_cast<std::size_t>(e)]);
+        continue;
+      }
+      EdgeMask removed = mask;
+      removed.set(e, false);
+      const bool disconnects =
+          !reachable(g, g.edge(e).u, g.edge(e).v, removed);
+      EXPECT_EQ(analysis.is_bridge[static_cast<std::size_t>(e)] != 0,
+                disconnects)
+          << "edge " << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(SubgraphAnalysisTest, SeparatesMatchesEdgeSeparates) {
+  Rng rng(321);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g(9);
+    for (NodeId a = 0; a < 9; ++a) {
+      for (NodeId b = a + 1; b < 9; ++b) {
+        if (rng.flip(0.3)) g.add_edge(a, b);
+      }
+    }
+    EdgeMask mask(g.edge_count(), true);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (rng.flip(0.2)) mask.set(e, false);
+    }
+    SubgraphAnalysis analysis;
+    analyze_subgraph(g, mask, analysis);
+    for (NodeId a = 0; a < 9; ++a) {
+      for (NodeId b = 0; b < 9; ++b) {
+        for (EdgeId e = 0; e < g.edge_count(); ++e) {
+          if (!mask.enabled(e)) continue;
+          if (analysis.connected(a, b)) {
+            // Connected pair: separates() must agree with the brute-force
+            // remove-and-recheck definition.
+            EXPECT_EQ(analysis.separates(e, a, b),
+                      edge_separates(g, e, a, b, mask))
+                << "edge " << e << " pair " << a << "," << b;
+          } else {
+            // Already-disconnected pairs are never "separated by" an edge.
+            EXPECT_FALSE(analysis.separates(e, a, b));
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- empty-mask semantics ---------------------------------------------------
+
+// "{} means every edge enabled" must hold across all traversal helpers —
+// regression for the audit of empty-EdgeMask semantics.
+TEST(EmptyMaskSemanticsTest, TraversalHelpersTreatEmptyAsAllEnabled) {
+  const Graph g = ladder();
+  const EdgeMask empty;
+  const EdgeMask all(g.edge_count(), true);
+
+  for (NodeId a = 0; a < g.node_count(); ++a) {
+    for (NodeId b = 0; b < g.node_count(); ++b) {
+      EXPECT_EQ(reachable(g, a, b, empty), reachable(g, a, b, all));
+      const auto p1 = shortest_path(g, a, b, empty);
+      const auto p2 = shortest_path(g, a, b, all);
+      ASSERT_EQ(p1.has_value(), p2.has_value());
+      if (p1.has_value()) EXPECT_EQ(p1->length(), p2->length());
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        EXPECT_EQ(edge_separates(g, e, a, b, empty),
+                  edge_separates(g, e, a, b, all));
+      }
+    }
+    EXPECT_EQ(reachable_set(g, a, empty), reachable_set(g, a, all));
+  }
+  EXPECT_EQ(connected_components(g, empty), connected_components(g, all));
+  EXPECT_EQ(bridges(g, empty), bridges(g, all));
+
+  SubgraphAnalysis with_empty;
+  SubgraphAnalysis with_all;
+  analyze_subgraph(g, empty, with_empty);
+  analyze_subgraph(g, all, with_all);
+  EXPECT_EQ(with_empty.component, with_all.component);
+  EXPECT_EQ(with_empty.is_bridge, with_all.is_bridge);
+}
+
 }  // namespace
 }  // namespace mfd::graph

@@ -217,5 +217,36 @@ TEST_P(MaxFlowPropertyTest, UnitFlowIsIntegral) {
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, MaxFlowPropertyTest,
                          ::testing::Range(1, 21));
 
+// "{} means every edge enabled" must hold for the flow routines too —
+// regression for the audit of empty-EdgeMask semantics.
+TEST(EmptyMaskSemanticsTest, FlowRoutinesTreatEmptyAsAllEnabled) {
+  // Diamond with a chord: 0-1-3, 0-2-3, 1-2.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 2);
+  const std::vector<double> capacity{2.0, 1.0, 1.0, 2.0, 1.0};
+  const EdgeMask empty;
+  const EdgeMask all(g.edge_count(), true);
+
+  const MaxFlowResult with_empty = max_flow(g, 0, 3, capacity, empty);
+  const MaxFlowResult with_all = max_flow(g, 0, 3, capacity, all);
+  EXPECT_DOUBLE_EQ(with_empty.value, with_all.value);
+  EXPECT_EQ(with_empty.min_cut, with_all.min_cut);
+  EXPECT_EQ(with_empty.source_side, with_all.source_side);
+
+  EXPECT_EQ(edge_connectivity(g, 0, 3, empty),
+            edge_connectivity(g, 0, 3, all));
+
+  // Candidate cut {0, 2} (both edges out of node 0) is already minimal.
+  EXPECT_EQ(make_cut_minimal(g, 0, 3, {0, 2}, empty),
+            make_cut_minimal(g, 0, 3, {0, 2}, all));
+  // A redundant candidate shrinks the same way under both masks.
+  EXPECT_EQ(make_cut_minimal(g, 0, 3, {0, 2, 4}, empty),
+            make_cut_minimal(g, 0, 3, {0, 2, 4}, all));
+}
+
 }  // namespace
 }  // namespace mfd::graph
