@@ -3,13 +3,16 @@
 // the Table-1 chips. Prints per-chip timings and the speedup; both kernels
 // must produce identical coverage reports (checked every run).
 //
-// Build & run:  ./build/bench/bench_faultsim
+// Build & run:  ./build/bench/bench_faultsim [--json PATH]
 //   MFDFT_BENCH_REPS — timing repetitions per kernel (default 5; best-of).
+//   --json PATH      — also write the results as JSON (see EXPERIMENTS.md).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/eval_stats.hpp"
+#include "common/json.hpp"
 #include "sim/batch_fault.hpp"
 #include "sim/pressure.hpp"
 #include "testgen/vector_gen.hpp"
@@ -69,9 +72,16 @@ double best_of(int reps, F&& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path(argc, argv);
   const int reps = bench::env_int("MFDFT_BENCH_REPS", 5);
   const auto universe = sim::FaultUniverse::kStuckAtAndLeakage;
+
+  Json report_json = Json::object();
+  report_json.set("bench", Json("faultsim"));
+  report_json.set("reps", Json(std::int64_t{reps}));
+  report_json.set("universe", Json("stuck_at_leakage"));
+  Json chips_json = Json::array();
 
   std::printf("Fault-simulation kernels on the Table-1 chips "
               "(full stuck-at + leakage universe, best of %d)\n\n",
@@ -109,6 +119,21 @@ int main() {
                 chip.name().c_str(), chip.valve_count(),
                 static_cast<int>(vectors.size()), faults, naive_s * 1e3,
                 batch_s * 1e3, naive_s / batch_s);
+
+    Json row = Json::object();
+    row.set("chip", Json(chip.name()));
+    row.set("valves", Json(std::int64_t{chip.valve_count()}));
+    row.set("vectors", Json(static_cast<std::int64_t>(vectors.size())));
+    row.set("total_faults", Json(std::int64_t{faults}));
+    row.set("detected_faults", Json(std::int64_t{batch_report.detected_faults}));
+    row.set("naive_seconds", Json(naive_s));
+    row.set("batch_seconds", Json(batch_s));
+    row.set("speedup", Json(naive_s / batch_s));
+    chips_json.push_back(std::move(row));
+  }
+  if (!json_path.empty()) {
+    report_json.set("chips", std::move(chips_json));
+    report_json.save(json_path);
   }
   return 0;
 }

@@ -15,10 +15,15 @@
 // MFDFT_BENCH_DEADLINE_S (per-combination deadline; partial results from a
 // truncated run are then validated instead of completeness — the CTest
 // smoke job uses this), MFDFT_BENCH_CHIP (restrict to one chip by name).
+// Invocation: ./build/bench/bench_table1 [--json PATH] — the flag also
+// writes the table as JSON (schema in EXPERIMENTS.md).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "bench_util.hpp"
+#include "common/json.hpp"
 #include "common/text_table.hpp"
 #include "core/codesign.hpp"
 
@@ -51,8 +56,9 @@ PaperRow paper_reference(const std::string& chip, const std::string& assay) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mfd;
+  const std::string json_path = bench::json_path(argc, argv);
   const int iterations = bench::outer_iterations(12);
   const int threads = bench::bench_threads();
   const double deadline_s = bench::env_double("MFDFT_BENCH_DEADLINE_S", 0.0);
@@ -71,6 +77,13 @@ int main() {
   table.set_header({"chip", "assay", "DFT valves", "shared", "runtime [s]",
                     "exec orig", "exec DFT no-PSO", "exec DFT PSO",
                     "paper (orig/noPSO/PSO)", "evals", "hit rate"});
+
+  Json report_json = Json::object();
+  report_json.set("bench", Json("table1"));
+  report_json.set("iterations", Json(std::int64_t{iterations}));
+  report_json.set("threads", Json(std::int64_t{threads}));
+  report_json.set("deadline_s", Json(deadline_s));
+  Json rows_json = Json::array();
 
   bool all_ok = true;
   for (bench::Combination& combo : bench::paper_combinations()) {
@@ -109,19 +122,41 @@ int main() {
         }
       }
     }
+    Json row_json = Json::object();
+    row_json.set("chip", Json(combo.chip.name()));
+    row_json.set("assay", Json(combo.assay.name()));
+    row_json.set("outcome", Json(std::string(to_string(r.status.outcome))));
+    row_json.set("runtime_seconds", Json(r.runtime_seconds));
     if (!row_ok) {
       all_ok = false;
+      row_json.set("message", Json(r.status.message));
+      rows_json.push_back(std::move(row_json));
       table.add_row({combo.chip.name(), combo.assay.name(), "FAILED",
                      r.status.message, "", "", "", "", "", "", ""});
       continue;
     }
     if (!r.chip.has_value()) {
       // Deadline fired before any valid sharing scheme existed.
+      row_json.set("message", Json(r.status.message));
+      rows_json.push_back(std::move(row_json));
       table.add_row({combo.chip.name(), combo.assay.name(), "DEADLINE",
                      r.status.message, format_double(r.runtime_seconds, 0),
                      "", "", "", "", "", ""});
       continue;
     }
+    row_json.set("dft_valves", Json(std::int64_t{r.dft_valve_count}));
+    row_json.set("shared_valves", Json(std::int64_t{r.shared_valve_count}));
+    row_json.set("exec_original", Json(r.exec_original));
+    row_json.set("exec_dft_unoptimized", Json(r.exec_dft_unoptimized));
+    row_json.set("exec_dft_optimized", Json(r.exec_dft_optimized));
+    Json paper_json = Json::object();
+    paper_json.set("exec_original", Json(paper.exec_original));
+    paper_json.set("exec_dft_unoptimized", Json(paper.exec_unopt));
+    paper_json.set("exec_dft_optimized", Json(paper.exec_opt));
+    row_json.set("paper", std::move(paper_json));
+    row_json.set("evaluations", Json(r.stats.evaluations));
+    row_json.set("cache_hit_rate", Json(r.stats.hit_rate()));
+    rows_json.push_back(std::move(row_json));
     table.add_row(
         {combo.chip.name(), combo.assay.name(),
          std::to_string(r.dft_valve_count), std::to_string(r.shared_valve_count),
@@ -134,6 +169,10 @@ int main() {
              std::to_string(static_cast<int>(paper.exec_opt)),
          std::to_string(r.stats.evaluations),
          format_double(100.0 * r.stats.hit_rate(), 0) + "%"});
+  }
+  if (!json_path.empty()) {
+    report_json.set("rows", std::move(rows_json));
+    report_json.save(json_path);
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("shape checks: all combinations %s; PSO column <= no-PSO "

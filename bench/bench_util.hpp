@@ -1,6 +1,7 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -9,6 +10,24 @@
 #include "sched/assay.hpp"
 
 namespace mfd::bench {
+
+/// Parses the bench binaries' shared command line. The only flag is
+/// `--json PATH`: write a machine-readable summary of the run to PATH (the
+/// schemas are documented in EXPERIMENTS.md). Returns the path, empty when
+/// the flag is absent; exits 2 on anything unrecognized.
+inline std::string json_path(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+    std::exit(2);
+  }
+  return path;
+}
 
 /// Reads a positive integer from the environment, else the default. The
 /// reproduction binaries honour:

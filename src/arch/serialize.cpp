@@ -8,12 +8,25 @@ namespace mfd::arch {
 
 namespace {
 
-DeviceKind parse_device_kind(const std::string& word) {
+/// One non-empty input line with its 1-based position in the original
+/// stream, kept so every diagnostic can point at the offending line.
+struct NumberedLine {
+  int number = 0;
+  std::string text;
+};
+
+[[noreturn]] void fail_at(const NumberedLine& line, const std::string& what) {
+  throw Error("read_chip(): line " + std::to_string(line.number) + ": " +
+              what + " in '" + line.text + "'");
+}
+
+DeviceKind parse_device_kind(const std::string& word,
+                             const NumberedLine& line) {
   if (word == "mixer") return DeviceKind::kMixer;
   if (word == "detector") return DeviceKind::kDetector;
   if (word == "heater") return DeviceKind::kHeater;
   if (word == "filter") return DeviceKind::kFilter;
-  throw Error("read_chip(): unknown device kind '" + word + "'");
+  fail_at(line, "unknown device kind '" + word + "'");
 }
 
 }  // namespace
@@ -66,82 +79,112 @@ Biochip read_chip(std::istream& in) {
   int width = -1;
   int height = -1;
   // First pass over lines: a chip must open with `chip` (optional) and
-  // `grid`; everything else is applied in order.
-  std::vector<std::string> lines;
+  // `grid`; everything else is applied in order. Original line numbers are
+  // kept so malformed input is reported at its source position.
+  std::vector<NumberedLine> lines;
+  int line_number = 0;
   for (std::string line; std::getline(in, line);) {
+    ++line_number;
     const auto comment = line.find('#');
     if (comment != std::string::npos) line.erase(comment);
     std::istringstream probe(line);
     std::string word;
-    if (probe >> word) lines.push_back(line);
+    if (probe >> word) lines.push_back({line_number, line});
   }
   MFD_REQUIRE(!lines.empty(), "read_chip(): empty input");
 
   std::size_t cursor = 0;
   {
-    std::istringstream head(lines[cursor]);
+    std::istringstream head(lines[cursor].text);
     std::string keyword;
     head >> keyword;
     if (keyword == "chip") {
-      MFD_REQUIRE(static_cast<bool>(head >> name),
-                  "read_chip(): 'chip' line needs a name");
+      if (!(head >> name)) fail_at(lines[cursor], "'chip' line needs a name");
       ++cursor;
     }
   }
-  MFD_REQUIRE(cursor < lines.size(), "read_chip(): missing 'grid' line");
+  if (cursor >= lines.size()) {
+    throw Error("read_chip(): line " +
+                std::to_string(lines.back().number + 1) +
+                ": missing 'grid' line");
+  }
   {
-    std::istringstream head(lines[cursor]);
+    std::istringstream head(lines[cursor].text);
     std::string keyword;
     head >> keyword;
-    MFD_REQUIRE(keyword == "grid", "read_chip(): expected 'grid' line");
-    MFD_REQUIRE(static_cast<bool>(head >> width >> height),
-                "read_chip(): malformed 'grid' line");
+    if (keyword != "grid") {
+      fail_at(lines[cursor],
+              "expected 'grid' line, found keyword '" + keyword + "'");
+    }
+    if (!(head >> width >> height)) {
+      fail_at(lines[cursor], "malformed 'grid' line (want: grid W H)");
+    }
     ++cursor;
   }
 
   Biochip chip(ConnectionGrid(width, height), name);
   for (; cursor < lines.size(); ++cursor) {
-    std::istringstream row(lines[cursor]);
+    const NumberedLine& current = lines[cursor];
+    std::istringstream row(current.text);
     std::string keyword;
     row >> keyword;
-    if (keyword == "port") {
-      std::string port_name;
-      int x = 0;
-      int y = 0;
-      MFD_REQUIRE(static_cast<bool>(row >> port_name >> x >> y),
-                  "read_chip(): malformed 'port' line");
-      chip.add_port(x, y, port_name);
-    } else if (keyword == "device") {
-      std::string kind_word;
-      std::string device_name;
-      int x = 0;
-      int y = 0;
-      MFD_REQUIRE(static_cast<bool>(row >> kind_word >> device_name >> x >> y),
-                  "read_chip(): malformed 'device' line");
-      chip.add_device(parse_device_kind(kind_word), x, y, device_name);
-    } else if (keyword == "channel") {
-      int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
-      MFD_REQUIRE(static_cast<bool>(row >> x1 >> y1 >> x2 >> y2),
-                  "read_chip(): malformed 'channel' line");
-      chip.add_channel(x1, y1, x2, y2);
-    } else if (keyword == "dft_channel") {
-      int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
-      MFD_REQUIRE(static_cast<bool>(row >> x1 >> y1 >> x2 >> y2),
-                  "read_chip(): malformed 'dft_channel' line");
-      chip.add_dft_channel(chip.grid().edge_between(x1, y1, x2, y2));
-    } else if (keyword == "dedicated") {
-      int valve = -1;
-      MFD_REQUIRE(static_cast<bool>(row >> valve),
-                  "read_chip(): malformed 'dedicated' line");
-      chip.assign_dedicated_control(valve);
-    } else if (keyword == "share") {
-      int valve = -1;
-      int with = -1;
-      MFD_REQUIRE(static_cast<bool>(row >> valve >> with),
-                  "read_chip(): malformed 'share' line");
-      chip.share_control(valve, with);
-    } else {
-      throw Error("read_chip(): unknown keyword '" + keyword + "'");
+    // Structural errors thrown below the parser (occupied nodes, non-adjacent
+    // coordinates, valve ids out of range, ...) get the line prefix too.
+    try {
+      if (keyword == "port") {
+        std::string port_name;
+        int x = 0;
+        int y = 0;
+        if (!(row >> port_name >> x >> y)) {
+          fail_at(current, "malformed 'port' line (want: port NAME X Y)");
+        }
+        chip.add_port(x, y, port_name);
+      } else if (keyword == "device") {
+        std::string kind_word;
+        std::string device_name;
+        int x = 0;
+        int y = 0;
+        if (!(row >> kind_word >> device_name >> x >> y)) {
+          fail_at(current,
+                  "malformed 'device' line (want: device KIND NAME X Y)");
+        }
+        chip.add_device(parse_device_kind(kind_word, current), x, y,
+                        device_name);
+      } else if (keyword == "channel") {
+        int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+        if (!(row >> x1 >> y1 >> x2 >> y2)) {
+          fail_at(current,
+                  "malformed 'channel' line (want: channel X1 Y1 X2 Y2)");
+        }
+        chip.add_channel(x1, y1, x2, y2);
+      } else if (keyword == "dft_channel") {
+        int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+        if (!(row >> x1 >> y1 >> x2 >> y2)) {
+          fail_at(current, "malformed 'dft_channel' line "
+                           "(want: dft_channel X1 Y1 X2 Y2)");
+        }
+        chip.add_dft_channel(chip.grid().edge_between(x1, y1, x2, y2));
+      } else if (keyword == "dedicated") {
+        int valve = -1;
+        if (!(row >> valve)) {
+          fail_at(current, "malformed 'dedicated' line (want: dedicated V)");
+        }
+        chip.assign_dedicated_control(valve);
+      } else if (keyword == "share") {
+        int valve = -1;
+        int with = -1;
+        if (!(row >> valve >> with)) {
+          fail_at(current, "malformed 'share' line (want: share A B)");
+        }
+        chip.share_control(valve, with);
+      } else {
+        fail_at(current, "unknown keyword '" + keyword + "'");
+      }
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      if (what.find("read_chip(): line ") != std::string::npos) throw;
+      throw Error("read_chip(): line " + std::to_string(current.number) +
+                  ": " + what + " in '" + current.text + "'");
     }
   }
   return chip;

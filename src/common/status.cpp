@@ -14,6 +14,8 @@ const char* to_string(Outcome outcome) {
       return "deadline_exceeded";
     case Outcome::kCancelled:
       return "cancelled";
+    case Outcome::kInternalError:
+      return "internal_error";
   }
   return "unknown";
 }

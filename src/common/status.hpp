@@ -24,6 +24,10 @@ enum class Outcome {
   kDeadlineExceeded,
   /// A RunControl cancellation was requested; the result is partial.
   kCancelled,
+  /// An unexpected error (exception) escaped the work; the result carries
+  /// the error message but no artifacts. Used by the service layer, which
+  /// must report a Status per job instead of unwinding the whole batch.
+  kInternalError,
 };
 
 [[nodiscard]] const char* to_string(Outcome outcome);

@@ -1,0 +1,164 @@
+#include "svc/dispatcher.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "svc/queue.hpp"
+#include "svc/run_job.hpp"
+
+namespace mfd::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// What travels through the bounded queue: which job, and when it entered
+/// the queue (for service-level latency accounting).
+struct QueuedJob {
+  int index = 0;
+  Clock::time_point enqueued{};
+};
+
+}  // namespace
+
+Status DispatcherOptions::validate() const {
+  std::string problems;
+  const auto flag = [&problems](bool bad, const std::string& what) {
+    if (!bad) return;
+    if (!problems.empty()) problems += "; ";
+    problems += what;
+  };
+  flag(threads < 0, "threads must be >= 0");
+  flag(queue_capacity == 0, "queue_capacity must be >= 1");
+  flag(default_deadline_s < 0.0, "default_deadline_s must be >= 0");
+  if (problems.empty()) return Status::Ok();
+  return Status::Fail(Outcome::kInvalidOptions, "dispatcher",
+                      std::move(problems));
+}
+
+Dispatcher::Dispatcher(DispatcherOptions options) : options_(options) {
+  const Status status = options_.validate();
+  MFD_REQUIRE(status.ok(), "Dispatcher: " + status.message);
+  threads_ =
+      options_.threads == 0 ? ThreadPool::hardware_threads() : options_.threads;
+}
+
+void Dispatcher::run_one(int index, const JobSpec& spec,
+                         double queue_wait_seconds, JobResult& result) {
+  RunControl* control = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(controls_mutex_);
+    control = controls_[static_cast<std::size_t>(index)].get();
+    // Arm the deadline at job start, not submission: queue latency must not
+    // eat into a job's time budget.
+    const double deadline_s =
+        spec.deadline_s > 0.0 ? spec.deadline_s : options_.default_deadline_s;
+    if (deadline_s > 0.0) control->set_timeout(deadline_s);
+    if (cancel_requested_.load(std::memory_order_acquire)) {
+      control->request_cancel();
+    }
+  }
+  const auto span = trace_span(
+      options_.tracer,
+      "job[" + std::to_string(index) + "]:" + std::string(to_string(spec.kind)));
+  const Clock::time_point started = Clock::now();
+  result = run_job(spec, control);
+  result.index = index;
+  result.queue_wait_seconds = queue_wait_seconds;
+  result.run_seconds = seconds_between(started, Clock::now());
+}
+
+std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
+  const Clock::time_point batch_start = Clock::now();
+  const int n = static_cast<int>(specs.size());
+  std::vector<JobResult> results(specs.size());
+  {
+    // Fresh controls for this batch, visible to cancel_all() before any job
+    // starts so no cancellation window is missed.
+    const std::lock_guard<std::mutex> lock(controls_mutex_);
+    controls_.clear();
+    for (int i = 0; i < n; ++i) {
+      controls_.push_back(std::make_unique<RunControl>());
+    }
+  }
+
+  BoundedQueue<QueuedJob> queue(options_.queue_capacity);
+  const auto consume = [&] {
+    while (std::optional<QueuedJob> item = queue.pop()) {
+      const double wait = seconds_between(item->enqueued, Clock::now());
+      run_one(item->index, specs[static_cast<std::size_t>(item->index)], wait,
+              results[static_cast<std::size_t>(item->index)]);
+    }
+  };
+
+  if (threads_ <= 1) {
+    // Serial path: push -> pop -> run one job at a time, in input order.
+    for (int i = 0; i < n; ++i) {
+      queue.push(QueuedJob{i, Clock::now()});
+      const std::optional<QueuedJob> item = queue.pop();
+      const double wait = seconds_between(item->enqueued, Clock::now());
+      run_one(item->index, specs[static_cast<std::size_t>(item->index)], wait,
+              results[static_cast<std::size_t>(item->index)]);
+    }
+    queue.close();
+  } else {
+    ThreadPool pool(threads_);
+    // Workers consume until the queue drains; the calling thread produces
+    // (bounded push = admission backpressure), then joins as a consumer.
+    for (int worker = 1; worker < pool.thread_count(); ++worker) {
+      pool.submit(consume);
+    }
+    for (int i = 0; i < n; ++i) {
+      queue.push(QueuedJob{i, Clock::now()});
+    }
+    queue.close();
+    consume();
+    pool.wait();
+  }
+
+  metrics_ = ServiceMetrics{};
+  metrics_.jobs_total = n;
+  metrics_.wall_seconds = seconds_between(batch_start, Clock::now());
+  for (const JobResult& result : results) {
+    switch (result.status.outcome) {
+      case Outcome::kOk:
+        ++metrics_.jobs_ok;
+        break;
+      case Outcome::kDeadlineExceeded:
+      case Outcome::kCancelled:
+        ++metrics_.jobs_stopped;
+        break;
+      default:
+        ++metrics_.jobs_failed;
+        break;
+    }
+    metrics_.queue_wait_seconds_total += result.queue_wait_seconds;
+    if (result.queue_wait_seconds > metrics_.queue_wait_seconds_max) {
+      metrics_.queue_wait_seconds_max = result.queue_wait_seconds;
+    }
+    metrics_.stats += result.stats;
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->counter("svc.jobs_ok", metrics_.jobs_ok);
+    options_.tracer->counter("svc.jobs_stopped", metrics_.jobs_stopped);
+    options_.tracer->counter("svc.jobs_failed", metrics_.jobs_failed);
+  }
+  return results;
+}
+
+void Dispatcher::cancel_all() {
+  cancel_requested_.store(true, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(controls_mutex_);
+  for (const std::unique_ptr<RunControl>& control : controls_) {
+    control->request_cancel();
+  }
+}
+
+}  // namespace mfd::svc

@@ -1,0 +1,97 @@
+// Multi-job dispatcher: fans a batch of JobSpecs out across a thread pool.
+//
+// Jobs flow through a bounded queue (admission backpressure) into
+// `threads` consumers on the existing common/thread_pool; every job gets
+// its own RunControl armed with the job's deadline when it *starts* (queue
+// latency never eats into a deadline), and cancel_all() cascades to every
+// in-flight job's control while queued jobs come back kCancelled without
+// running. Results land in input order regardless of completion order, and
+// their deterministic fields are identical for every thread count — the
+// jobd driver's byte-identical-output guarantee rests on this.
+//
+// One run() at a time per Dispatcher; cancel_all() may be called from any
+// thread at any point (before run() marks the whole batch cancelled).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/eval_stats.hpp"
+#include "common/run_control.hpp"
+#include "common/trace.hpp"
+#include "svc/job.hpp"
+
+namespace mfd::svc {
+
+struct DispatcherOptions {
+  /// Total job-level consumers, including the calling thread (1 = run every
+  /// job serially, in order). 0 uses the hardware concurrency.
+  int threads = 1;
+  /// Bounded-queue capacity (admission backpressure for streaming callers).
+  std::size_t queue_capacity = 16;
+  /// Deadline applied to jobs whose spec has none (0 = none).
+  double default_deadline_s = 0.0;
+  /// Optional tracer: one span per job plus service-level counters at the
+  /// end of the batch. Borrowed; must outlive the dispatcher.
+  Tracer* tracer = nullptr;
+
+  /// All violations in one Status, CodesignOptions::validate() style.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Service-level snapshot aggregated over one dispatched batch.
+struct ServiceMetrics {
+  int jobs_total = 0;
+  /// Outcome buckets: ok / stopped (deadline, cancel) / failed (invalid,
+  /// infeasible, internal). The three sum to jobs_total.
+  int jobs_ok = 0;
+  int jobs_stopped = 0;
+  int jobs_failed = 0;
+  /// Queue latency (push -> pop) across jobs, seconds.
+  double queue_wait_seconds_total = 0.0;
+  double queue_wait_seconds_max = 0.0;
+  /// End-to-end batch wall time, seconds.
+  double wall_seconds = 0.0;
+  /// Deterministic evaluation counters summed over every job.
+  EvalStats stats;
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options = {});
+
+  /// Executes the whole batch and returns one result per spec, in input
+  /// order. Blocks until every job has a result (stopped jobs report
+  /// kCancelled / kDeadlineExceeded — there is no abandoned work).
+  std::vector<JobResult> run(const std::vector<JobSpec>& specs);
+
+  /// Cascading cancellation: marks the batch cancelled, cancels every
+  /// in-flight job's RunControl, and makes every not-yet-started job report
+  /// kCancelled without running. Safe from any thread, idempotent.
+  void cancel_all();
+
+  /// Metrics of the most recent completed run().
+  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+
+  [[nodiscard]] int thread_count() const { return threads_; }
+
+ private:
+  void run_one(int index, const JobSpec& spec, double queue_wait_seconds,
+               JobResult& result);
+
+  DispatcherOptions options_;
+  int threads_ = 1;
+
+  std::atomic<bool> cancel_requested_{false};
+  /// Per-job controls for the batch in flight; guarded by controls_mutex_
+  /// against concurrent cancel_all().
+  std::mutex controls_mutex_;
+  std::vector<std::unique_ptr<RunControl>> controls_;
+
+  ServiceMetrics metrics_;
+};
+
+}  // namespace mfd::svc

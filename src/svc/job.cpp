@@ -1,0 +1,214 @@
+#include "svc/job.hpp"
+
+#include "common/error.hpp"
+
+namespace mfd::svc {
+
+namespace {
+
+const char* const kKnownChips[] = {"IVD_chip", "RA30_chip", "mRNA_chip",
+                                   "figure4_chip"};
+const char* const kKnownAssays[] = {"IVD", "PID", "CPA"};
+
+bool known_chip(const std::string& name) {
+  for (const char* chip : kKnownChips) {
+    if (name == chip) return true;
+  }
+  return false;
+}
+
+bool known_assay(const std::string& name) {
+  for (const char* assay : kKnownAssays) {
+    if (name == assay) return true;
+  }
+  return false;
+}
+
+/// Typed field readers: absent keys keep the default, wrong types throw.
+void read_string(const Json& json, const char* key, std::string& out) {
+  if (const Json* member = json.get(key)) out = member->as_string();
+}
+
+void read_double(const Json& json, const char* key, double& out) {
+  if (const Json* member = json.get(key)) out = member->as_double();
+}
+
+void read_int(const Json& json, const char* key, int& out) {
+  if (const Json* member = json.get(key)) {
+    out = static_cast<int>(member->as_int());
+  }
+}
+
+void read_uint64(const Json& json, const char* key, std::uint64_t& out) {
+  if (const Json* member = json.get(key)) {
+    const std::int64_t value = member->as_int();
+    MFD_REQUIRE(value >= 0, std::string("JobSpec: '") + key +
+                                "' must be non-negative");
+    out = static_cast<std::uint64_t>(value);
+  }
+}
+
+}  // namespace
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCodesign:
+      return "codesign";
+    case JobKind::kTestgen:
+      return "testgen";
+    case JobKind::kCoverage:
+      return "coverage";
+    case JobKind::kDiagnosis:
+      return "diagnosis";
+  }
+  return "unknown";
+}
+
+Status JobSpec::validate() const {
+  std::string problems;
+  const auto flag = [&problems](bool bad, const std::string& what) {
+    if (!bad) return;
+    if (!problems.empty()) problems += "; ";
+    problems += what;
+  };
+  flag(chip.empty() && chip_text.empty(),
+       "one of 'chip' or 'chip_text' is required");
+  flag(!chip.empty() && !chip_text.empty(),
+       "'chip' and 'chip_text' are mutually exclusive");
+  flag(!chip.empty() && !known_chip(chip),
+       "unknown chip '" + chip +
+           "' (want IVD_chip, RA30_chip, mRNA_chip or figure4_chip)");
+  if (kind == JobKind::kCodesign) {
+    flag(assay.empty(), "codesign jobs require an 'assay'");
+    flag(!assay.empty() && !known_assay(assay),
+         "unknown assay '" + assay + "' (want IVD, PID or CPA)");
+    flag(outer_iterations < 1, "outer_iterations must be >= 1");
+    flag(outer_particles < 1, "outer_particles must be >= 1");
+    flag(config_pool_size < 1, "config_pool_size must be >= 1");
+  }
+  flag(universe != "stuck_at" && universe != "stuck_at_leakage",
+       "universe must be 'stuck_at' or 'stuck_at_leakage'");
+  flag(deadline_s < 0.0, "deadline_s must be >= 0");
+  flag(threads < 0, "threads must be >= 0");
+  if (problems.empty()) return Status::Ok();
+  return Status::Fail(Outcome::kInvalidOptions, "job_spec",
+                      std::move(problems));
+}
+
+Json JobSpec::to_json() const {
+  Json out = Json::object();
+  out.set("kind", Json(std::string(to_string(kind))));
+  out.set("id", Json(id));
+  out.set("chip", Json(chip));
+  out.set("chip_text", Json(chip_text));
+  out.set("assay", Json(assay));
+  out.set("universe", Json(universe));
+  out.set("deadline_s", Json(deadline_s));
+  out.set("threads", Json(std::int64_t{threads}));
+  out.set("seed", Json(static_cast<std::int64_t>(seed)));
+  out.set("outer_iterations", Json(std::int64_t{outer_iterations}));
+  out.set("outer_particles", Json(std::int64_t{outer_particles}));
+  out.set("config_pool_size", Json(std::int64_t{config_pool_size}));
+  return out;
+}
+
+JobSpec JobSpec::from_json(const Json& json) {
+  MFD_REQUIRE(json.is_object(), "JobSpec::from_json(): not a JSON object");
+  static const char* const kKnownKeys[] = {
+      "kind",       "id",        "chip",
+      "chip_text",  "assay",     "universe",
+      "deadline_s", "threads",   "seed",
+      "outer_iterations", "outer_particles", "config_pool_size"};
+  for (const auto& [key, _] : json.as_object()) {
+    bool known = false;
+    for (const char* candidate : kKnownKeys) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    MFD_REQUIRE(known, "JobSpec::from_json(): unknown field '" + key + "'");
+  }
+
+  JobSpec spec;
+  const std::string kind_word =
+      json.get("kind") != nullptr ? json.at("kind").as_string() : "testgen";
+  if (kind_word == "codesign") {
+    spec.kind = JobKind::kCodesign;
+  } else if (kind_word == "testgen") {
+    spec.kind = JobKind::kTestgen;
+  } else if (kind_word == "coverage") {
+    spec.kind = JobKind::kCoverage;
+  } else if (kind_word == "diagnosis") {
+    spec.kind = JobKind::kDiagnosis;
+  } else {
+    throw Error("JobSpec::from_json(): unknown kind '" + kind_word + "'");
+  }
+  read_string(json, "id", spec.id);
+  read_string(json, "chip", spec.chip);
+  read_string(json, "chip_text", spec.chip_text);
+  read_string(json, "assay", spec.assay);
+  read_string(json, "universe", spec.universe);
+  read_double(json, "deadline_s", spec.deadline_s);
+  read_int(json, "threads", spec.threads);
+  read_uint64(json, "seed", spec.seed);
+  read_int(json, "outer_iterations", spec.outer_iterations);
+  read_int(json, "outer_particles", spec.outer_particles);
+  read_int(json, "config_pool_size", spec.config_pool_size);
+  return spec;
+}
+
+Json JobResult::to_json() const {
+  Json out = Json::object();
+  out.set("index", Json(std::int64_t{index}));
+  out.set("id", Json(id));
+  out.set("kind", Json(std::string(to_string(kind))));
+
+  Json status_json = Json::object();
+  status_json.set("outcome", Json(std::string(mfd::to_string(status.outcome))));
+  status_json.set("stage", Json(status.stage));
+  status_json.set("message", Json(status.message));
+  out.set("status", std::move(status_json));
+
+  switch (kind) {
+    case JobKind::kCodesign: {
+      out.set("dft_valves", Json(std::int64_t{dft_valves}));
+      out.set("shared_valves", Json(std::int64_t{shared_valves}));
+      out.set("makespan", Json(makespan));
+      out.set("exec_original", Json(exec_original));
+      out.set("exec_dft_unoptimized", Json(exec_dft_unoptimized));
+      out.set("exec_dft_optimized", Json(exec_dft_optimized));
+      out.set("chip_text", Json(chip_text));
+      Json stats_json = Json::object();
+      stats_json.set("evaluations", Json(stats.evaluations));
+      stats_json.set("cache_hits", Json(stats.cache_hits));
+      stats_json.set("scheduler_runs", Json(stats.scheduler_runs));
+      stats_json.set("testgen_runs", Json(stats.testgen_runs));
+      out.set("stats", std::move(stats_json));
+      break;
+    }
+    case JobKind::kTestgen:
+      out.set("vectors", Json(std::int64_t{vectors}));
+      out.set("path_vectors", Json(std::int64_t{path_vectors}));
+      out.set("cut_vectors", Json(std::int64_t{cut_vectors}));
+      out.set("total_faults", Json(std::int64_t{total_faults}));
+      out.set("detected_faults", Json(std::int64_t{detected_faults}));
+      break;
+    case JobKind::kCoverage:
+      out.set("vectors", Json(std::int64_t{vectors}));
+      out.set("total_faults", Json(std::int64_t{total_faults}));
+      out.set("detected_faults", Json(std::int64_t{detected_faults}));
+      break;
+    case JobKind::kDiagnosis:
+      out.set("vectors", Json(std::int64_t{vectors}));
+      out.set("total_faults", Json(std::int64_t{total_faults}));
+      out.set("distinct_signatures", Json(std::int64_t{distinct_signatures}));
+      out.set("ambiguous_faults", Json(std::int64_t{ambiguous_faults}));
+      out.set("undetected_faults", Json(std::int64_t{undetected_faults}));
+      out.set("resolution", Json(resolution));
+      break;
+  }
+  return out;
+}
+
+}  // namespace mfd::svc

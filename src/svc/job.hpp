@@ -1,0 +1,132 @@
+// Job model for the concurrent service layer.
+//
+// A JobSpec describes one self-contained request against the library: run
+// the codesign flow, generate a test suite, evaluate fault coverage, or
+// build a diagnosis table — the workloads a production test service fields
+// in bulk (whole chip families tested at once, diagnosis feeding
+// reconfiguration). Specs travel as JSON (one object per JSONL line in the
+// `mfdft_jobd` driver), carry per-job deadline/thread/seed settings, and
+// validate the same way CodesignOptions does: every bad field is reported
+// in one Status.
+//
+// A JobResult carries the job's Status plus serialized artifacts. Its JSON
+// form contains only deterministic fields (counters, makespans, chip text —
+// never wall-clock times), so a result file is byte-identical for a fixed
+// seed set regardless of how many dispatcher threads produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/eval_stats.hpp"
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace mfd::svc {
+
+enum class JobKind {
+  /// Full DFT codesign flow (core::run_codesign) on a chip x assay pair.
+  kCodesign = 0,
+  /// Multiport test-suite generation on the chip as-is.
+  kTestgen,
+  /// Fault-coverage evaluation of a generated suite over a fault universe.
+  kCoverage,
+  /// Diagnosis table (signatures, resolution) of a generated suite.
+  kDiagnosis,
+};
+
+[[nodiscard]] const char* to_string(JobKind kind);
+
+struct JobSpec {
+  JobKind kind = JobKind::kTestgen;
+  /// Echoed into the result; empty ids are allowed (results are positional).
+  std::string id;
+
+  /// Chip source: exactly one of `chip` (a named benchmark chip: IVD_chip,
+  /// RA30_chip, mRNA_chip, figure4_chip) or `chip_text` (inline
+  /// arch/serialize text format) must be set.
+  std::string chip;
+  std::string chip_text;
+
+  /// Assay name (IVD, PID, CPA); required for codesign jobs, ignored
+  /// otherwise.
+  std::string assay;
+
+  /// Fault universe for coverage/diagnosis jobs: "stuck_at" or
+  /// "stuck_at_leakage".
+  std::string universe = "stuck_at";
+
+  /// Per-job deadline in seconds (0 = none). The dispatcher arms a dedicated
+  /// RunControl with it when the job starts.
+  double deadline_s = 0.0;
+  /// Evaluation threads *within* the job (codesign fitness pipeline);
+  /// results are identical for every value. 0 = hardware concurrency.
+  int threads = 1;
+  std::uint64_t seed = 2024;
+
+  /// Codesign knobs (defaults match CodesignOptions).
+  int outer_iterations = 100;
+  int outer_particles = 5;
+  int config_pool_size = 4;
+
+  /// Checks every field and reports all violations in one Status (stage
+  /// "job_spec", outcome kInvalidOptions); Ok() when the spec is runnable.
+  [[nodiscard]] Status validate() const;
+
+  /// JSON object with every field (defaults included), deterministic order.
+  [[nodiscard]] Json to_json() const;
+
+  /// Inverse of to_json(); absent fields keep their defaults, unknown fields
+  /// and type mismatches throw mfd::Error.
+  static JobSpec from_json(const Json& json);
+
+  [[nodiscard]] bool operator==(const JobSpec&) const = default;
+};
+
+/// Outcome of one executed job. Wall-clock fields stay out of to_json() so
+/// result files are deterministic; they feed the service metrics instead.
+struct JobResult {
+  /// Position of the job in the submitted batch (results are returned in
+  /// input order regardless of completion order).
+  int index = 0;
+  std::string id;
+  JobKind kind = JobKind::kTestgen;
+  Status status;
+
+  // --- deterministic artifacts (serialized) -------------------------------
+  /// Augmented chip (codesign) in arch/serialize text form; empty when the
+  /// job produced no chip.
+  std::string chip_text;
+  /// Schedule makespan of the optimized chip (codesign), seconds.
+  double makespan = 0.0;
+  /// Codesign execution times (original / unoptimized DFT / optimized DFT).
+  double exec_original = 0.0;
+  double exec_dft_unoptimized = 0.0;
+  double exec_dft_optimized = 0.0;
+  int dft_valves = 0;
+  int shared_valves = 0;
+  /// Test-suite shape (testgen/coverage/diagnosis).
+  int vectors = 0;
+  int path_vectors = 0;
+  int cut_vectors = 0;
+  /// Coverage (coverage/testgen): faults in the universe and detected count.
+  int total_faults = 0;
+  int detected_faults = 0;
+  /// Diagnosis summary.
+  int distinct_signatures = 0;
+  int ambiguous_faults = 0;
+  int undetected_faults = 0;
+  double resolution = 0.0;
+  /// Deterministic evaluation counters (wall-time members are zeroed in the
+  /// serialized form).
+  EvalStats stats;
+
+  // --- service-side measurements (not serialized) -------------------------
+  double queue_wait_seconds = 0.0;
+  double run_seconds = 0.0;
+
+  /// Deterministic JSON object (stable key order, no wall-clock fields).
+  [[nodiscard]] Json to_json() const;
+};
+
+}  // namespace mfd::svc

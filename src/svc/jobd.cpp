@@ -1,0 +1,90 @@
+#include "svc/jobd.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "svc/job.hpp"
+
+namespace mfd::svc {
+
+namespace {
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+JobResult parse_error_result(int index, int line_number,
+                             const std::string& what) {
+  JobResult result;
+  result.index = index;
+  result.status = Status::Fail(
+      Outcome::kInvalidOptions, "parse",
+      "line " + std::to_string(line_number) + ": " + what);
+  return result;
+}
+
+}  // namespace
+
+JobdReport run_jobd(std::istream& in, std::ostream& out,
+                    const JobdOptions& options) {
+  // Phase 1: parse every line up front. Malformed lines keep their slot in
+  // the output (stage "parse") instead of shifting later results.
+  std::vector<JobResult> results;
+  std::vector<JobSpec> runnable;
+  std::vector<int> runnable_index;
+  std::string line;
+  int line_number = 0;
+  int parse_errors = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (blank(line)) continue;
+    const int index = static_cast<int>(results.size());
+    try {
+      JobSpec spec = JobSpec::from_json(Json::parse(line));
+      runnable.push_back(std::move(spec));
+      runnable_index.push_back(index);
+      results.emplace_back();
+    } catch (const std::exception& e) {
+      results.push_back(parse_error_result(index, line_number, e.what()));
+      ++parse_errors;
+    }
+  }
+
+  // Phase 2: run the well-formed jobs as one dispatched batch.
+  DispatcherOptions dispatcher_options;
+  dispatcher_options.threads = options.threads;
+  dispatcher_options.queue_capacity = options.queue_capacity;
+  dispatcher_options.default_deadline_s = options.deadline_s;
+  dispatcher_options.tracer = options.tracer;
+  Dispatcher dispatcher(dispatcher_options);
+  std::vector<JobResult> ran = dispatcher.run(runnable);
+  for (std::size_t k = 0; k < ran.size(); ++k) {
+    ran[k].index = runnable_index[k];
+    results[static_cast<std::size_t>(runnable_index[k])] = std::move(ran[k]);
+  }
+
+  // Phase 3: emit. Each line is built whole before it touches the stream,
+  // so there is never a partially written JSONL record.
+  for (const JobResult& result : results) {
+    out << result.to_json().dump() + "\n";
+  }
+  out.flush();
+
+  JobdReport report;
+  report.jobs_total = static_cast<int>(results.size());
+  report.parse_errors = parse_errors;
+  report.metrics = dispatcher.metrics();
+  report.jobs_ok = report.metrics.jobs_ok;
+  report.jobs_stopped = report.metrics.jobs_stopped;
+  report.jobs_failed = report.metrics.jobs_failed + parse_errors;
+  return report;
+}
+
+}  // namespace mfd::svc

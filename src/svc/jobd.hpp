@@ -1,0 +1,52 @@
+// Stream-driven JSONL job driver (the core of the mfdft_jobd tool).
+//
+// run_jobd() reads one JobSpec JSON object per input line, dispatches the
+// whole batch across a Dispatcher, and writes one JobResult JSON object per
+// line in *input order* — line i of the output always answers line i of the
+// input, even for malformed lines (those come back as kInvalidOptions with
+// stage "parse" instead of aborting the batch). Every output line is
+// assembled in memory and written whole, so a deadline or cancel mid-run
+// can never leave a partial JSONL line behind.
+//
+// The function takes streams, not paths, so tests drive it end-to-end with
+// stringstreams; the tools/ binary is a thin flag parser around it.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "common/trace.hpp"
+#include "svc/dispatcher.hpp"
+
+namespace mfd::svc {
+
+struct JobdOptions {
+  /// Job-level workers, including the calling thread (0 = hardware
+  /// concurrency). Output bytes are identical for every value.
+  int threads = 1;
+  /// Default per-job deadline in seconds applied to jobs whose spec has
+  /// none (0 = no default).
+  double deadline_s = 0.0;
+  std::size_t queue_capacity = 16;
+  Tracer* tracer = nullptr;
+};
+
+/// Batch summary (forwarded dispatcher metrics plus parse accounting).
+struct JobdReport {
+  /// Input lines that held a job (blank lines are skipped).
+  int jobs_total = 0;
+  /// Lines rejected by the JSON/JobSpec parser (counted in jobs_total and
+  /// in the dispatcher-independent "failed" bucket below).
+  int parse_errors = 0;
+  int jobs_ok = 0;
+  int jobs_stopped = 0;
+  int jobs_failed = 0;
+  ServiceMetrics metrics;
+};
+
+/// Runs every job on `in` (JSONL, one JobSpec per line) and writes one
+/// JobResult JSON line per job to `out`, in input order.
+JobdReport run_jobd(std::istream& in, std::ostream& out,
+                    const JobdOptions& options = {});
+
+}  // namespace mfd::svc

@@ -1,0 +1,21 @@
+// Executes one JobSpec against the library.
+//
+// run_job() is a pure function of (spec, control): it resolves the chip and
+// assay, dispatches on the job kind, and returns a JobResult whose
+// deterministic fields depend only on the spec (the paper pipelines are
+// seeded, never wall-clock driven). Exceptions never escape — they come
+// back as Status kInternalError — so one malformed job cannot take down a
+// dispatcher worker.
+#pragma once
+
+#include "common/run_control.hpp"
+#include "svc/job.hpp"
+
+namespace mfd::svc {
+
+/// Runs the job to completion (or to the control's deadline/cancel), never
+/// throws. `control` is borrowed and may be null.
+[[nodiscard]] JobResult run_job(const JobSpec& spec,
+                                const RunControl* control = nullptr);
+
+}  // namespace mfd::svc

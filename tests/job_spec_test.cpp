@@ -1,0 +1,156 @@
+// JobSpec / JobResult model: validation reports every bad field at once,
+// JSON round-trips are lossless, and serialized results carry only
+// deterministic fields.
+#include "svc/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace mfd::svc {
+namespace {
+
+JobSpec valid_testgen_spec() {
+  JobSpec spec;
+  spec.kind = JobKind::kTestgen;
+  spec.id = "t0";
+  spec.chip = "figure4_chip";
+  return spec;
+}
+
+TEST(JobSpecValidate, AcceptsAllKnownChipsAndAssays) {
+  for (const char* chip :
+       {"IVD_chip", "RA30_chip", "mRNA_chip", "figure4_chip"}) {
+    JobSpec spec = valid_testgen_spec();
+    spec.chip = chip;
+    EXPECT_TRUE(spec.validate().ok()) << chip;
+  }
+  for (const char* assay : {"IVD", "PID", "CPA"}) {
+    JobSpec spec;
+    spec.kind = JobKind::kCodesign;
+    spec.chip = "IVD_chip";
+    spec.assay = assay;
+    EXPECT_TRUE(spec.validate().ok()) << assay;
+  }
+}
+
+TEST(JobSpecValidate, ListsEveryBadFieldInOneStatus) {
+  JobSpec spec;
+  spec.kind = JobKind::kCodesign;
+  // No chip at all, no assay, and three bad knobs: all five must show up.
+  spec.outer_iterations = 0;
+  spec.outer_particles = -1;
+  spec.config_pool_size = 0;
+  spec.deadline_s = -2.0;
+  spec.threads = -1;
+  const Status status = spec.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.outcome, Outcome::kInvalidOptions);
+  EXPECT_EQ(status.stage, "job_spec");
+  EXPECT_NE(status.message.find("'chip' or 'chip_text'"), std::string::npos);
+  EXPECT_NE(status.message.find("assay"), std::string::npos);
+  EXPECT_NE(status.message.find("outer_iterations"), std::string::npos);
+  EXPECT_NE(status.message.find("outer_particles"), std::string::npos);
+  EXPECT_NE(status.message.find("config_pool_size"), std::string::npos);
+  EXPECT_NE(status.message.find("deadline_s"), std::string::npos);
+  EXPECT_NE(status.message.find("threads"), std::string::npos);
+}
+
+TEST(JobSpecValidate, RejectsBothChipAndChipText) {
+  JobSpec spec = valid_testgen_spec();
+  spec.chip_text = "chip x\ngrid 3 3\n";
+  const Status status = spec.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(JobSpecValidate, RejectsUnknownChipAndUniverse) {
+  JobSpec spec = valid_testgen_spec();
+  spec.chip = "warp_core";
+  spec.universe = "gamma_ray";
+  const Status status = spec.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message.find("warp_core"), std::string::npos);
+  EXPECT_NE(status.message.find("universe"), std::string::npos);
+}
+
+TEST(JobSpecJson, RoundTripsEveryField) {
+  JobSpec spec;
+  spec.kind = JobKind::kCodesign;
+  spec.id = "job-17";
+  spec.chip = "mRNA_chip";
+  spec.assay = "CPA";
+  spec.universe = "stuck_at_leakage";
+  spec.deadline_s = 12.5;
+  spec.threads = 4;
+  spec.seed = 987654321;
+  spec.outer_iterations = 7;
+  spec.outer_particles = 3;
+  spec.config_pool_size = 2;
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+  // And through actual text, the way jobd sees it.
+  const JobSpec reparsed =
+      JobSpec::from_json(Json::parse(spec.to_json().dump()));
+  EXPECT_EQ(reparsed, spec);
+}
+
+TEST(JobSpecJson, AbsentFieldsKeepDefaults) {
+  const JobSpec spec = JobSpec::from_json(
+      Json::parse(R"({"kind":"coverage","chip":"IVD_chip"})"));
+  EXPECT_EQ(spec.kind, JobKind::kCoverage);
+  EXPECT_EQ(spec.chip, "IVD_chip");
+  EXPECT_EQ(spec.universe, "stuck_at");
+  EXPECT_EQ(spec.threads, 1);
+  EXPECT_EQ(spec.seed, 2024u);
+  EXPECT_EQ(spec.outer_iterations, 100);
+}
+
+TEST(JobSpecJson, RejectsUnknownFieldsAndBadKinds) {
+  EXPECT_THROW(JobSpec::from_json(Json::parse(
+                   R"({"kind":"testgen","chip":"IVD_chip","frob":1})")),
+               Error);
+  EXPECT_THROW(
+      JobSpec::from_json(Json::parse(R"({"kind":"brew_coffee"})")), Error);
+  EXPECT_THROW(JobSpec::from_json(Json::parse(R"([1,2,3])")), Error);
+  EXPECT_THROW(JobSpec::from_json(Json::parse(
+                   R"({"kind":"testgen","seed":-5})")),
+               Error);
+}
+
+TEST(JobResultJson, CarriesStatusAndOnlyDeterministicFields) {
+  JobResult result;
+  result.index = 3;
+  result.id = "d1";
+  result.kind = JobKind::kDiagnosis;
+  result.status = Status::Fail(Outcome::kDeadlineExceeded, "coverage",
+                               "stopped during coverage evaluation");
+  result.queue_wait_seconds = 1.25;   // must NOT serialize
+  result.run_seconds = 9.5;           // must NOT serialize
+  const Json json = result.to_json();
+  EXPECT_EQ(json.at("index").as_int(), 3);
+  EXPECT_EQ(json.at("kind").as_string(), "diagnosis");
+  EXPECT_EQ(json.at("status").at("outcome").as_string(), "deadline_exceeded");
+  EXPECT_EQ(json.at("status").at("stage").as_string(), "coverage");
+  const std::string text = json.dump();
+  EXPECT_EQ(text.find("seconds"), std::string::npos) << text;
+  EXPECT_EQ(text.find("wait"), std::string::npos) << text;
+}
+
+TEST(JobResultJson, CodesignResultsIncludeStatsWithoutWallClock) {
+  JobResult result;
+  result.kind = JobKind::kCodesign;
+  result.status = Status::Ok();
+  result.stats.evaluations = 10;
+  result.stats.cache_hits = 4;
+  const Json json = result.to_json();
+  EXPECT_EQ(json.at("stats").at("evaluations").as_int(), 10);
+  EXPECT_EQ(json.at("stats").at("cache_hits").as_int(), 4);
+  EXPECT_EQ(json.at("stats").get("eval_seconds"), nullptr);
+}
+
+}  // namespace
+}  // namespace mfd::svc

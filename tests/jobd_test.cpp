@@ -1,0 +1,165 @@
+// End-to-end JSONL job driver: byte-identical output across thread counts
+// (the acceptance bar for the service layer), 1:1 line mapping even for
+// malformed input, and well-formed per-job Status under deadlines.
+#include "svc/jobd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "svc/job.hpp"
+
+namespace mfd::svc {
+namespace {
+
+std::string job_line(JobKind kind, const std::string& id,
+                     const std::string& chip) {
+  JobSpec spec;
+  spec.kind = kind;
+  spec.id = id;
+  spec.chip = chip;
+  return spec.to_json().dump();
+}
+
+/// The acceptance workload: 3 chips x 3 workload kinds.
+std::string nine_job_file() {
+  std::string text;
+  for (const char* chip : {"figure4_chip", "IVD_chip", "RA30_chip"}) {
+    for (const JobKind kind :
+         {JobKind::kTestgen, JobKind::kCoverage, JobKind::kDiagnosis}) {
+      text += job_line(kind, std::string(to_string(kind)) + ":" + chip, chip);
+      text += "\n";
+    }
+  }
+  return text;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(JobdTest, NineJobFileIsByteIdenticalAcrossThreadCounts) {
+  const std::string input = nine_job_file();
+
+  JobdOptions serial;
+  serial.threads = 1;
+  std::istringstream in1(input);
+  std::ostringstream out1;
+  const JobdReport report1 = run_jobd(in1, out1, serial);
+  EXPECT_EQ(report1.jobs_total, 9);
+  EXPECT_EQ(report1.jobs_ok, 9);
+
+  JobdOptions wide;
+  wide.threads = 8;
+  wide.queue_capacity = 3;  // smaller than the batch: backpressure engages
+  std::istringstream in8(input);
+  std::ostringstream out8;
+  const JobdReport report8 = run_jobd(in8, out8, wide);
+  EXPECT_EQ(report8.jobs_ok, 9);
+
+  EXPECT_EQ(out1.str(), out8.str());
+
+  // Every line is a complete JSON object answering its input line.
+  const std::vector<std::string> lines = lines_of(out1.str());
+  ASSERT_EQ(lines.size(), 9u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Json json = Json::parse(lines[i]);
+    EXPECT_EQ(json.at("index").as_int(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(json.at("status").at("outcome").as_string(), "ok");
+    EXPECT_GT(json.at("vectors").as_int(), 0);
+  }
+}
+
+TEST(JobdTest, MalformedLinesKeepTheirSlotInTheOutput) {
+  std::string input = job_line(JobKind::kTestgen, "ok0", "figure4_chip") + "\n";
+  input += "{\"kind\": oops\n";  // malformed JSON
+  input += "{\"kind\":\"testgen\",\"chip\":\"figure4_chip\",\"frob\":1}\n";
+  input += job_line(JobKind::kDiagnosis, "ok3", "figure4_chip") + "\n";
+
+  std::istringstream in(input);
+  std::ostringstream out;
+  const JobdReport report = run_jobd(in, out);
+  EXPECT_EQ(report.jobs_total, 4);
+  EXPECT_EQ(report.parse_errors, 2);
+  EXPECT_EQ(report.jobs_ok, 2);
+  EXPECT_EQ(report.jobs_failed, 2);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  const Json bad_json = Json::parse(lines[1]);
+  EXPECT_EQ(bad_json.at("status").at("outcome").as_string(), "invalid_options");
+  EXPECT_EQ(bad_json.at("status").at("stage").as_string(), "parse");
+  EXPECT_NE(bad_json.at("status").at("message").as_string().find("line 2"),
+            std::string::npos);
+  const Json unknown_field = Json::parse(lines[2]);
+  EXPECT_EQ(unknown_field.at("status").at("stage").as_string(), "parse");
+  EXPECT_NE(unknown_field.at("status").at("message").as_string().find("frob"),
+            std::string::npos);
+  EXPECT_EQ(Json::parse(lines[0]).at("status").at("outcome").as_string(), "ok");
+  EXPECT_EQ(Json::parse(lines[3]).at("status").at("outcome").as_string(), "ok");
+}
+
+TEST(JobdTest, BlankLinesAreSkippedWithoutOutput) {
+  const std::string input =
+      "\n" + job_line(JobKind::kTestgen, "only", "figure4_chip") + "\n   \n\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  const JobdReport report = run_jobd(in, out);
+  EXPECT_EQ(report.jobs_total, 1);
+  EXPECT_EQ(lines_of(out.str()).size(), 1u);
+}
+
+TEST(JobdTest, DeadlineMidRunLeavesWellFormedStatusAndNoPartialLines) {
+  // A default deadline far below a real codesign run stops the expensive
+  // jobs; every output line must still be complete, parseable JSON with a
+  // typed Status, in input order.
+  std::string input;
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec;
+    spec.kind = JobKind::kCodesign;
+    spec.id = "cd" + std::to_string(i);
+    spec.chip = "IVD_chip";
+    spec.assay = "IVD";
+    input += spec.to_json().dump() + "\n";
+  }
+  JobSpec quick;
+  quick.kind = JobKind::kTestgen;
+  quick.id = "t";
+  quick.chip = "figure4_chip";
+  quick.deadline_s = 3600.0;  // own deadline: the tight default must not apply
+  input += quick.to_json().dump() + "\n";
+
+  JobdOptions options;
+  options.threads = 2;
+  options.deadline_s = 0.05;
+  std::istringstream in(input);
+  std::ostringstream out;
+  const JobdReport report = run_jobd(in, out, options);
+  EXPECT_EQ(report.jobs_total, 4);
+  EXPECT_EQ(report.jobs_stopped, 3);
+
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');  // the file ends on a complete record
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Json json = Json::parse(lines[i]);  // parse failure = partial line
+    EXPECT_EQ(json.at("index").as_int(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(json.at("status").at("outcome").as_string(),
+              "deadline_exceeded");
+    EXPECT_FALSE(json.at("status").at("stage").as_string().empty());
+  }
+  EXPECT_EQ(Json::parse(lines[3]).at("status").at("outcome").as_string(),
+            "ok");
+}
+
+}  // namespace
+}  // namespace mfd::svc

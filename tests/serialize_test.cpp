@@ -4,9 +4,23 @@
 
 #include "arch/chips.hpp"
 #include "arch/serialize.hpp"
+#include "arch/synthetic.hpp"
+#include "common/rng.hpp"
 
 namespace mfd::arch {
 namespace {
+
+/// what() of the Error a callable throws; fails the test when none is thrown.
+template <typename F>
+std::string error_message(F&& f) {
+  try {
+    f();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected mfd::Error";
+  return {};
+}
 
 TEST(SerializeTest, RoundTripPreservesInventory) {
   for (const Biochip& original : make_paper_chips()) {
@@ -87,6 +101,118 @@ TEST(SerializeTest, MalformedChannelRejected) {
 
 TEST(SerializeTest, EmptyInputRejected) {
   EXPECT_THROW(chip_from_string("   \n  \n"), Error);
+}
+
+TEST(SerializeTest, ErrorsCarryLineNumberAndToken) {
+  // Unknown keyword on line 3 (line 2 is a comment).
+  const std::string unknown =
+      "grid 3 3\n# fine so far\nfrobnicate 1 2\n";
+  std::string what = error_message([&] { chip_from_string(unknown); });
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("frobnicate"), std::string::npos) << what;
+
+  // Malformed channel arity on line 2.
+  what = error_message([&] {
+    chip_from_string("grid 3 3\nchannel 0 0 1\n");
+  });
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("channel 0 0 1"), std::string::npos) << what;
+
+  // Unknown device kind on line 4, with the offending token named.
+  what = error_message([&] {
+    chip_from_string("chip c\ngrid 3 3\nport P0 0 0\ndevice teleporter T 1 1\n");
+  });
+  EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  EXPECT_NE(what.find("teleporter"), std::string::npos) << what;
+}
+
+TEST(SerializeTest, StructuralErrorsCarryLineNumber) {
+  // Line 3 places a channel between non-adjacent nodes: the grid throws, and
+  // the parser must still point at the input line.
+  const std::string far_apart = "grid 4 4\nport P0 0 0\nchannel 0 0 3 3\n";
+  std::string what = error_message([&] { chip_from_string(far_apart); });
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("channel 0 0 3 3"), std::string::npos) << what;
+
+  // Sharing with a valve that does not exist yet (line 3).
+  const std::string bad_share = "grid 3 3\nchannel 0 0 1 0\nshare 0 7\n";
+  what = error_message([&] { chip_from_string(bad_share); });
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+}
+
+TEST(SerializeTest, MissingGridReportsExpectedKeyword) {
+  const std::string what =
+      error_message([&] { chip_from_string("chip c\nport P0 0 0\n"); });
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("grid"), std::string::npos) << what;
+  EXPECT_NE(what.find("port"), std::string::npos) << what;
+}
+
+// Property test: 50 random chips — including DFT valves with sharing maps
+// and dedicated controls — survive a serialize/parse round trip with their
+// full structure intact.
+TEST(SerializeFuzzTest, RandomChipsRoundTripStructurally) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 50; ++trial) {
+    SyntheticChipSpec spec;
+    spec.grid_width = rng.uniform_int(5, 8);
+    spec.grid_height = rng.uniform_int(5, 7);
+    spec.ports = rng.uniform_int(2, 4);
+    spec.mixers = rng.uniform_int(1, 3);
+    spec.detectors = rng.uniform_int(1, 2);
+    spec.extra_channels = rng.uniform_int(0, 6);
+    Biochip chip = make_synthetic_chip(spec, rng);
+
+    // Sprinkle DFT valves on free edges: share some with original valves,
+    // give some dedicated controls, and leave the rest control-less (the
+    // writer only records controls that were assigned).
+    const int original_valves = chip.valve_count();
+    const graph::Graph& lattice = chip.grid().graph();
+    int added = 0;
+    for (graph::EdgeId e = 0; e < lattice.edge_count() && added < 5; ++e) {
+      if (chip.edge_occupied(e)) continue;
+      if (!rng.flip(0.3)) continue;
+      const ValveId v = chip.add_dft_channel(e);
+      const double roll = rng.uniform();
+      if (roll < 0.45 && original_valves > 0) {
+        chip.share_control(v, rng.uniform_int(0, original_valves - 1));
+      } else if (roll < 0.8) {
+        chip.assign_dedicated_control(v);
+      }
+      ++added;
+    }
+
+    const Biochip parsed = chip_from_string(chip_to_string(chip));
+    ASSERT_EQ(parsed.name(), chip.name());
+    ASSERT_EQ(parsed.grid().width(), chip.grid().width());
+    ASSERT_EQ(parsed.grid().height(), chip.grid().height());
+    ASSERT_EQ(parsed.port_count(), chip.port_count());
+    for (PortId p = 0; p < chip.port_count(); ++p) {
+      EXPECT_EQ(parsed.port(p).node, chip.port(p).node);
+      EXPECT_EQ(parsed.port(p).name, chip.port(p).name);
+    }
+    ASSERT_EQ(parsed.device_count(), chip.device_count());
+    for (DeviceId d = 0; d < chip.device_count(); ++d) {
+      EXPECT_EQ(parsed.device(d).kind, chip.device(d).kind);
+      EXPECT_EQ(parsed.device(d).node, chip.device(d).node);
+      EXPECT_EQ(parsed.device(d).name, chip.device(d).name);
+    }
+    ASSERT_EQ(parsed.valve_count(), chip.valve_count());
+    for (ValveId v = 0; v < chip.valve_count(); ++v) {
+      EXPECT_EQ(parsed.valve(v).edge, chip.valve(v).edge);
+      EXPECT_EQ(parsed.valve(v).is_dft, chip.valve(v).is_dft);
+      // Control ids may renumber across the round trip; the sharing
+      // *structure* must not: compare each valve's control group.
+      if (chip.valve(v).control == kInvalidControl) {
+        EXPECT_EQ(parsed.valve(v).control, kInvalidControl) << "valve " << v;
+      } else {
+        ASSERT_NE(parsed.valve(v).control, kInvalidControl) << "valve " << v;
+        EXPECT_EQ(parsed.valves_of_control(parsed.valve(v).control),
+                  chip.valves_of_control(chip.valve(v).control))
+            << "valve " << v;
+      }
+    }
+  }
 }
 
 TEST(AsciiRenderTest, ShowsPortsDevicesAndDftChannels) {

@@ -1,0 +1,115 @@
+// BoundedQueue: FIFO order, blocking backpressure, close-and-drain.
+#include "svc/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mfd::svc {
+namespace {
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), Error);
+}
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, CloseDrainsQueuedItemsThenReportsExhaustion) {
+  BoundedQueue<int> queue(4);
+  queue.push(7);
+  queue.push(8);
+  queue.close();
+  EXPECT_FALSE(queue.push(9));  // no admission after close...
+  EXPECT_EQ(queue.pop(), std::optional<int>(7));  // ...but queued items drain
+  EXPECT_EQ(queue.pop(), std::optional<int>(8));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PushBlocksUntilThereIsRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> second_admitted{false};
+  std::thread producer([&] {
+    queue.push(2);  // blocks: capacity 1 and the queue holds item 1
+    second_admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_admitted.load());
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(second_admitted.load());
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, PopBlocksUntilAnItemArrives) {
+  BoundedQueue<int> queue(2);
+  std::optional<int> seen;
+  std::thread consumer([&] { seen = queue.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.push(42);
+  consumer.join();
+  EXPECT_EQ(seen, std::optional<int>(42));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(2);
+  std::optional<int> seen{-1};
+  std::thread consumer([&] { seen = queue.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(seen, std::nullopt);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> queue(8);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (std::optional<int> item = queue.pop()) {
+        sum.fetch_add(*item);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int t = kConsumers; t < kConsumers + kProducers; ++t) threads[t].join();
+  queue.close();
+  for (int t = 0; t < kConsumers; ++t) threads[t].join();
+
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace mfd::svc
