@@ -1,0 +1,134 @@
+#include "common/fault_inject.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace mfd {
+
+namespace {
+
+constexpr const char* kPointNames[] = {"worker_abort", "worker_stall",
+                                       "truncate_output"};
+constexpr FaultPoint kPoints[] = {FaultPoint::kWorkerAbort,
+                                  FaultPoint::kWorkerStall,
+                                  FaultPoint::kTruncateOutput};
+
+std::string trimmed(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t')) --end;
+  return text.substr(begin, end - begin);
+}
+
+/// Strict non-negative decimal; throws on anything else.
+int parse_count(const std::string& text, const std::string& entry) {
+  MFD_REQUIRE(!text.empty(),
+              "FaultInjectPlan: missing number in '" + entry + "'");
+  long value = 0;
+  for (const char c : text) {
+    MFD_REQUIRE(c >= '0' && c <= '9',
+                "FaultInjectPlan: bad number '" + text + "' in '" + entry +
+                    "'");
+    value = value * 10 + (c - '0');
+    MFD_REQUIRE(value <= 1000000,
+                "FaultInjectPlan: number out of range in '" + entry + "'");
+  }
+  return static_cast<int>(value);
+}
+
+FaultRule parse_entry(const std::string& entry) {
+  const std::size_t at = entry.find('@');
+  MFD_REQUIRE(at != std::string::npos,
+              "FaultInjectPlan: expected '<point>@job=N' in '" + entry + "'");
+  const std::string point_word = entry.substr(0, at);
+
+  FaultRule rule;
+  bool known = false;
+  for (std::size_t i = 0; i < std::size(kPoints); ++i) {
+    if (point_word == kPointNames[i]) {
+      rule.point = kPoints[i];
+      known = true;
+      break;
+    }
+  }
+  MFD_REQUIRE(known, "FaultInjectPlan: unknown point '" + point_word +
+                         "' in '" + entry +
+                         "' (want worker_abort, worker_stall or "
+                         "truncate_output)");
+
+  std::string selector = entry.substr(at + 1);
+  const std::size_t colon = selector.find(':');
+  std::string times_word;
+  if (colon != std::string::npos) {
+    times_word = selector.substr(colon + 1);
+    selector = selector.substr(0, colon);
+  }
+  MFD_REQUIRE(selector.rfind("job=", 0) == 0,
+              "FaultInjectPlan: expected 'job=N' in '" + entry + "'");
+  rule.job = parse_count(selector.substr(4), entry);
+  if (!times_word.empty() || colon != std::string::npos) {
+    MFD_REQUIRE(times_word.rfind("times=", 0) == 0,
+                "FaultInjectPlan: expected 'times=M' in '" + entry + "'");
+    rule.times = parse_count(times_word.substr(6), entry);
+    MFD_REQUIRE(rule.times >= 1,
+                "FaultInjectPlan: times must be >= 1 in '" + entry + "'");
+  }
+  return rule;
+}
+
+}  // namespace
+
+const char* to_string(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kWorkerAbort:
+      return "worker_abort";
+    case FaultPoint::kWorkerStall:
+      return "worker_stall";
+    case FaultPoint::kTruncateOutput:
+      return "truncate_output";
+  }
+  return "unknown";
+}
+
+FaultInjectPlan FaultInjectPlan::parse(const std::string& spec) {
+  FaultInjectPlan plan;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = trimmed(spec.substr(begin, end - begin));
+    if (!entry.empty()) plan.rules_.push_back(parse_entry(entry));
+    if (end == spec.size()) break;
+    begin = end + 1;
+  }
+  return plan;
+}
+
+FaultInjectPlan FaultInjectPlan::from_env() {
+  const char* value = std::getenv(kFaultInjectEnv);
+  if (value == nullptr) return FaultInjectPlan{};
+  return parse(value);
+}
+
+bool FaultInjectPlan::fires(FaultPoint point, int job, int attempt) const {
+  for (const FaultRule& rule : rules_) {
+    if (rule.point != point || rule.job != job) continue;
+    if (rule.times == 0 || attempt < rule.times) return true;
+  }
+  return false;
+}
+
+std::string FaultInjectPlan::spec() const {
+  std::string out;
+  for (const FaultRule& rule : rules_) {
+    if (!out.empty()) out += ',';
+    out += to_string(rule.point);
+    out += "@job=" + std::to_string(rule.job);
+    if (rule.times > 0) out += ":times=" + std::to_string(rule.times);
+  }
+  return out;
+}
+
+}  // namespace mfd

@@ -1,0 +1,79 @@
+// Deterministic fault injection for the crash-isolation tier.
+//
+// A FaultInjectPlan is a parsed list of rules saying *which* failure to
+// provoke at *which* job (and on which attempts), so every recovery path in
+// the supervisor — requeue-on-loss, retry backoff, stall watchdog,
+// quarantine — is exercised by hermetic tests instead of trusted on faith.
+// The plan travels to worker processes as the MFDFT_FAULT_INJECT
+// environment variable, a comma-separated spec like
+//
+//   worker_abort@job=3:times=1,worker_stall@job=5,truncate_output@job=7
+//
+// `times=M` limits a rule to the job's first M attempts (so a retry on a
+// fresh worker succeeds); without it the rule fires on every attempt (so
+// the job is a poison pill and ends up quarantined). Rules are matched
+// against the (job index, attempt) pair the supervisor sends in each
+// request envelope — never against wall-clock or randomness — which makes
+// every injected failure, and therefore every recovery, reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfd {
+
+/// Injection points inside the worker loop (`mfdft_jobd --worker`).
+enum class FaultPoint {
+  /// std::abort() after reading the request, before running the job
+  /// (worker dies by SIGABRT with the job in flight).
+  kWorkerAbort = 0,
+  /// Sleep forever after reading the request (worker wedges; only the
+  /// supervisor's stall watchdog can recover).
+  kWorkerStall,
+  /// Write half of the result line, no newline, then _Exit(0) (downstream
+  /// sees a torn record followed by EOF).
+  kTruncateOutput,
+};
+
+[[nodiscard]] const char* to_string(FaultPoint point);
+
+struct FaultRule {
+  FaultPoint point = FaultPoint::kWorkerAbort;
+  /// Batch job index the rule applies to.
+  int job = 0;
+  /// Fire on attempts 0..times-1 only; 0 = every attempt.
+  int times = 0;
+
+  [[nodiscard]] bool operator==(const FaultRule&) const = default;
+};
+
+/// Environment variable carrying the spec to worker processes.
+inline constexpr const char* kFaultInjectEnv = "MFDFT_FAULT_INJECT";
+
+class FaultInjectPlan {
+ public:
+  /// Empty plan: fires() is always false.
+  FaultInjectPlan() = default;
+
+  /// Parses a spec string (see file comment for the grammar). Blank specs
+  /// yield an empty plan; malformed entries throw mfd::Error naming the
+  /// offending entry.
+  static FaultInjectPlan parse(const std::string& spec);
+
+  /// Plan from MFDFT_FAULT_INJECT (empty plan when unset or blank).
+  static FaultInjectPlan from_env();
+
+  /// True when some rule covers (point, job, attempt).
+  [[nodiscard]] bool fires(FaultPoint point, int job, int attempt) const;
+
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] const std::vector<FaultRule>& rules() const { return rules_; }
+
+  /// Canonical spec string; parse(spec()) reproduces the plan.
+  [[nodiscard]] std::string spec() const;
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+}  // namespace mfd

@@ -2,7 +2,7 @@
 
 namespace mfd {
 
-const char* to_string(Outcome outcome) {
+const char* outcome_name(Outcome outcome) {
   switch (outcome) {
     case Outcome::kOk:
       return "ok";
@@ -16,9 +16,23 @@ const char* to_string(Outcome outcome) {
       return "cancelled";
     case Outcome::kInternalError:
       return "internal_error";
+    case Outcome::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
+
+std::optional<Outcome> outcome_from_name(const std::string& name) {
+  for (const Outcome outcome :
+       {Outcome::kOk, Outcome::kInvalidOptions, Outcome::kInfeasible,
+        Outcome::kDeadlineExceeded, Outcome::kCancelled,
+        Outcome::kInternalError, Outcome::kUnavailable}) {
+    if (name == outcome_name(outcome)) return outcome;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(Outcome outcome) { return outcome_name(outcome); }
 
 std::string Status::to_string() const {
   if (ok()) return "ok";

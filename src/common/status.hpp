@@ -8,6 +8,7 @@
 // value that carries them.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace mfd {
@@ -28,7 +29,19 @@ enum class Outcome {
   /// the error message but no artifacts. Used by the service layer, which
   /// must report a Status per job instead of unwinding the whole batch.
   kInternalError,
+  /// The execution substrate (not the instance) gave out: the job was
+  /// quarantined after repeated worker-process crashes or stalls. The
+  /// message carries the last crash's signal or exit code; retrying on a
+  /// healthy backend may well succeed.
+  kUnavailable,
 };
+
+/// Canonical wire name of an outcome ("ok", "invalid_options", ...); the
+/// exact strings JobResult JSON carries.
+[[nodiscard]] const char* outcome_name(Outcome outcome);
+
+/// Inverse of outcome_name(); nullopt for unrecognized names.
+[[nodiscard]] std::optional<Outcome> outcome_from_name(const std::string& name);
 
 [[nodiscard]] const char* to_string(Outcome outcome);
 

@@ -28,6 +28,26 @@ struct QueuedJob {
 
 }  // namespace
 
+void ServiceMetrics::tally(const JobResult& result) {
+  switch (result.status.outcome) {
+    case Outcome::kOk:
+      ++jobs_ok;
+      break;
+    case Outcome::kDeadlineExceeded:
+    case Outcome::kCancelled:
+      ++jobs_stopped;
+      break;
+    default:
+      ++jobs_failed;
+      break;
+  }
+  queue_wait_seconds_total += result.queue_wait_seconds;
+  if (result.queue_wait_seconds > queue_wait_seconds_max) {
+    queue_wait_seconds_max = result.queue_wait_seconds;
+  }
+  stats += result.stats;
+}
+
 Status DispatcherOptions::validate() const {
   std::string problems;
   const auto flag = [&problems](bool bad, const std::string& what) {
@@ -127,23 +147,7 @@ std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
   metrics_.jobs_total = n;
   metrics_.wall_seconds = seconds_between(batch_start, Clock::now());
   for (const JobResult& result : results) {
-    switch (result.status.outcome) {
-      case Outcome::kOk:
-        ++metrics_.jobs_ok;
-        break;
-      case Outcome::kDeadlineExceeded:
-      case Outcome::kCancelled:
-        ++metrics_.jobs_stopped;
-        break;
-      default:
-        ++metrics_.jobs_failed;
-        break;
-    }
-    metrics_.queue_wait_seconds_total += result.queue_wait_seconds;
-    if (result.queue_wait_seconds > metrics_.queue_wait_seconds_max) {
-      metrics_.queue_wait_seconds_max = result.queue_wait_seconds;
-    }
-    metrics_.stats += result.stats;
+    metrics_.tally(result);
   }
   if (options_.tracer != nullptr) {
     options_.tracer->counter("svc.jobs_ok", metrics_.jobs_ok);

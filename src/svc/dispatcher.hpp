@@ -46,10 +46,17 @@ struct DispatcherOptions {
 struct ServiceMetrics {
   int jobs_total = 0;
   /// Outcome buckets: ok / stopped (deadline, cancel) / failed (invalid,
-  /// infeasible, internal). The three sum to jobs_total.
+  /// infeasible, internal, unavailable). The three sum to jobs_total.
   int jobs_ok = 0;
   int jobs_stopped = 0;
   int jobs_failed = 0;
+  /// Crash-isolation counters (always 0 for in-process dispatch): jobs
+  /// requeued after a worker loss, jobs quarantined as kUnavailable after
+  /// exhausting their retry budget, and worker processes lost to crashes,
+  /// stalls or torn output.
+  int jobs_retried = 0;
+  int jobs_quarantined = 0;
+  int workers_lost = 0;
   /// Queue latency (push -> pop) across jobs, seconds.
   double queue_wait_seconds_total = 0.0;
   double queue_wait_seconds_max = 0.0;
@@ -57,6 +64,10 @@ struct ServiceMetrics {
   double wall_seconds = 0.0;
   /// Deterministic evaluation counters summed over every job.
   EvalStats stats;
+
+  /// Buckets one finished job: outcome counters, queue-wait aggregates and
+  /// EvalStats. Shared by the dispatcher and the supervisor.
+  void tally(const JobResult& result);
 };
 
 class Dispatcher {

@@ -64,6 +64,17 @@ const char* to_string(JobKind kind) {
   return "unknown";
 }
 
+bool job_kind_from_name(const std::string& name, JobKind* kind) {
+  for (const JobKind candidate : {JobKind::kCodesign, JobKind::kTestgen,
+                                  JobKind::kCoverage, JobKind::kDiagnosis}) {
+    if (name == to_string(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 Status JobSpec::validate() const {
   std::string problems;
   const auto flag = [&problems](bool bad, const std::string& what) {
@@ -133,15 +144,7 @@ JobSpec JobSpec::from_json(const Json& json) {
   JobSpec spec;
   const std::string kind_word =
       json.get("kind") != nullptr ? json.at("kind").as_string() : "testgen";
-  if (kind_word == "codesign") {
-    spec.kind = JobKind::kCodesign;
-  } else if (kind_word == "testgen") {
-    spec.kind = JobKind::kTestgen;
-  } else if (kind_word == "coverage") {
-    spec.kind = JobKind::kCoverage;
-  } else if (kind_word == "diagnosis") {
-    spec.kind = JobKind::kDiagnosis;
-  } else {
+  if (!job_kind_from_name(kind_word, &spec.kind)) {
     throw Error("JobSpec::from_json(): unknown kind '" + kind_word + "'");
   }
   read_string(json, "id", spec.id);
@@ -156,6 +159,57 @@ JobSpec JobSpec::from_json(const Json& json) {
   read_int(json, "outer_particles", spec.outer_particles);
   read_int(json, "config_pool_size", spec.config_pool_size);
   return spec;
+}
+
+JobResult JobResult::from_json(const Json& json) {
+  MFD_REQUIRE(json.is_object(), "JobResult::from_json(): not a JSON object");
+  JobResult result;
+  read_int(json, "index", result.index);
+  read_string(json, "id", result.id);
+  const std::string kind_word = json.at("kind").as_string();
+  MFD_REQUIRE(job_kind_from_name(kind_word, &result.kind),
+              "JobResult::from_json(): unknown kind '" + kind_word + "'");
+
+  const Json& status_json = json.at("status");
+  const std::string outcome_word = status_json.at("outcome").as_string();
+  const std::optional<Outcome> outcome = outcome_from_name(outcome_word);
+  MFD_REQUIRE(outcome.has_value(),
+              "JobResult::from_json(): unknown outcome '" + outcome_word + "'");
+  result.status.outcome = *outcome;
+  read_string(status_json, "stage", result.status.stage);
+  read_string(status_json, "message", result.status.message);
+
+  read_string(json, "chip_text", result.chip_text);
+  read_double(json, "makespan", result.makespan);
+  read_double(json, "exec_original", result.exec_original);
+  read_double(json, "exec_dft_unoptimized", result.exec_dft_unoptimized);
+  read_double(json, "exec_dft_optimized", result.exec_dft_optimized);
+  read_int(json, "dft_valves", result.dft_valves);
+  read_int(json, "shared_valves", result.shared_valves);
+  read_int(json, "vectors", result.vectors);
+  read_int(json, "path_vectors", result.path_vectors);
+  read_int(json, "cut_vectors", result.cut_vectors);
+  read_int(json, "total_faults", result.total_faults);
+  read_int(json, "detected_faults", result.detected_faults);
+  read_int(json, "distinct_signatures", result.distinct_signatures);
+  read_int(json, "ambiguous_faults", result.ambiguous_faults);
+  read_int(json, "undetected_faults", result.undetected_faults);
+  read_double(json, "resolution", result.resolution);
+  if (const Json* stats_json = json.get("stats")) {
+    if (const Json* member = stats_json->get("evaluations")) {
+      result.stats.evaluations = member->as_int();
+    }
+    if (const Json* member = stats_json->get("cache_hits")) {
+      result.stats.cache_hits = member->as_int();
+    }
+    if (const Json* member = stats_json->get("scheduler_runs")) {
+      result.stats.scheduler_runs = member->as_int();
+    }
+    if (const Json* member = stats_json->get("testgen_runs")) {
+      result.stats.testgen_runs = member->as_int();
+    }
+  }
+  return result;
 }
 
 Json JobResult::to_json() const {

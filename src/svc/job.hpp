@@ -37,6 +37,9 @@ enum class JobKind {
 
 [[nodiscard]] const char* to_string(JobKind kind);
 
+/// Inverse of to_string(JobKind); false for unknown names.
+[[nodiscard]] bool job_kind_from_name(const std::string& name, JobKind* kind);
+
 struct JobSpec {
   JobKind kind = JobKind::kTestgen;
   /// Echoed into the result; empty ids are allowed (results are positional).
@@ -127,6 +130,11 @@ struct JobResult {
 
   /// Deterministic JSON object (stable key order, no wall-clock fields).
   [[nodiscard]] Json to_json() const;
+
+  /// Inverse of to_json() — how the supervisor reconstructs a result from a
+  /// worker's output line. Absent fields keep their defaults; a missing or
+  /// unknown kind/outcome, or a type mismatch, throws mfd::Error.
+  static JobResult from_json(const Json& json);
 };
 
 }  // namespace mfd::svc

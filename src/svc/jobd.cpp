@@ -1,13 +1,20 @@
 #include "svc/jobd.hpp"
 
+#include <chrono>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault_inject.hpp"
 #include "common/json.hpp"
+#include "common/run_control.hpp"
 #include "svc/job.hpp"
+#include "svc/run_job.hpp"
+#include "svc/supervisor.hpp"
 
 namespace mfd::svc {
 
@@ -57,14 +64,35 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
     }
   }
 
-  // Phase 2: run the well-formed jobs as one dispatched batch.
-  DispatcherOptions dispatcher_options;
-  dispatcher_options.threads = options.threads;
-  dispatcher_options.queue_capacity = options.queue_capacity;
-  dispatcher_options.default_deadline_s = options.deadline_s;
-  dispatcher_options.tracer = options.tracer;
-  Dispatcher dispatcher(dispatcher_options);
-  std::vector<JobResult> ran = dispatcher.run(runnable);
+  // Phase 2: run the well-formed jobs as one batch — crash-isolated worker
+  // subprocesses when workers are requested, the in-process dispatcher
+  // otherwise. Both return results in input order with identical
+  // deterministic bytes for crash-free runs.
+  ServiceMetrics metrics;
+  std::vector<JobResult> ran;
+  if (options.workers > 0) {
+    SupervisorOptions supervisor_options;
+    supervisor_options.workers = options.workers;
+    supervisor_options.worker_command.argv = options.worker_command;
+    supervisor_options.default_deadline_s = options.deadline_s;
+    supervisor_options.stall_timeout_s = options.stall_timeout_s;
+    supervisor_options.max_attempts = options.max_attempts;
+    supervisor_options.backoff_seed = options.backoff_seed;
+    supervisor_options.fault_inject = options.fault_inject;
+    supervisor_options.tracer = options.tracer;
+    Supervisor supervisor(supervisor_options);
+    ran = supervisor.run(runnable);
+    metrics = supervisor.metrics();
+  } else {
+    DispatcherOptions dispatcher_options;
+    dispatcher_options.threads = options.threads;
+    dispatcher_options.queue_capacity = options.queue_capacity;
+    dispatcher_options.default_deadline_s = options.deadline_s;
+    dispatcher_options.tracer = options.tracer;
+    Dispatcher dispatcher(dispatcher_options);
+    ran = dispatcher.run(runnable);
+    metrics = dispatcher.metrics();
+  }
   for (std::size_t k = 0; k < ran.size(); ++k) {
     ran[k].index = runnable_index[k];
     results[static_cast<std::size_t>(runnable_index[k])] = std::move(ran[k]);
@@ -80,11 +108,66 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
   JobdReport report;
   report.jobs_total = static_cast<int>(results.size());
   report.parse_errors = parse_errors;
-  report.metrics = dispatcher.metrics();
+  report.metrics = metrics;
   report.jobs_ok = report.metrics.jobs_ok;
   report.jobs_stopped = report.metrics.jobs_stopped;
   report.jobs_failed = report.metrics.jobs_failed + parse_errors;
   return report;
+}
+
+int run_worker(std::istream& in, std::ostream& out,
+               const FaultInjectPlan* plan) {
+  const FaultInjectPlan env_plan =
+      plan == nullptr ? FaultInjectPlan::from_env() : FaultInjectPlan{};
+  const FaultInjectPlan& faults = plan != nullptr ? *plan : env_plan;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (blank(line)) continue;
+    int job = -1;
+    int attempt = 0;
+    JobResult result;
+    try {
+      const Json request = Json::parse(line);
+      job = static_cast<int>(request.at("job").as_int());
+      if (const Json* member = request.get("attempt")) {
+        attempt = static_cast<int>(member->as_int());
+      }
+      const JobSpec spec = JobSpec::from_json(request.at("spec"));
+
+      if (faults.fires(FaultPoint::kWorkerAbort, job, attempt)) {
+        std::abort();  // injected crash: the job dies with this process
+      }
+      if (faults.fires(FaultPoint::kWorkerStall, job, attempt)) {
+        // Injected wedge: produce nothing until the supervisor's stall
+        // watchdog kills us.
+        for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+      }
+
+      RunControl control;
+      if (spec.deadline_s > 0.0) control.set_timeout(spec.deadline_s);
+      result = run_job(spec, &control);
+    } catch (const std::exception& e) {
+      // A malformed envelope still gets an answer: the lockstep protocol
+      // (one result line per request line) must never skew.
+      result.status =
+          Status::Fail(Outcome::kInternalError, "worker_protocol", e.what());
+    }
+    result.index = job;
+
+    const std::string out_line = result.to_json().dump();
+    if (faults.fires(FaultPoint::kTruncateOutput, job, attempt)) {
+      // Injected torn write: half the record, no newline, then vanish.
+      out.write(out_line.data(),
+                static_cast<std::streamsize>(out_line.size() / 2));
+      out.flush();
+      std::_Exit(0);
+    }
+    out << out_line << '\n';
+    out.flush();
+    if (!out) return 1;  // the supervisor is gone; nothing left to serve
+  }
+  return 0;
 }
 
 }  // namespace mfd::svc

@@ -1,22 +1,35 @@
 // Stream-driven JSONL job driver (the core of the mfdft_jobd tool).
 //
 // run_jobd() reads one JobSpec JSON object per input line, dispatches the
-// whole batch across a Dispatcher, and writes one JobResult JSON object per
-// line in *input order* — line i of the output always answers line i of the
-// input, even for malformed lines (those come back as kInvalidOptions with
-// stage "parse" instead of aborting the batch). Every output line is
-// assembled in memory and written whole, so a deadline or cancel mid-run
-// can never leave a partial JSONL line behind.
+// whole batch across a Dispatcher (or, with workers > 0, a crash-isolating
+// Supervisor over worker subprocesses), and writes one JobResult JSON
+// object per line in *input order* — line i of the output always answers
+// line i of the input, even for malformed lines (those come back as
+// kInvalidOptions with stage "parse" instead of aborting the batch). Every
+// output line is assembled in memory and written whole, so a deadline or
+// cancel mid-run can never leave a partial JSONL line behind.
 //
-// The function takes streams, not paths, so tests drive it end-to-end with
-// stringstreams; the tools/ binary is a thin flag parser around it.
+// run_worker() is the other side of the supervisor's wire: the loop behind
+// `mfdft_jobd --worker`, reading one request envelope per stdin line and
+// writing one JobResult line per job, with the common/fault_inject points
+// threaded through so crash recovery is testable hermetically.
+//
+// The functions take streams, not paths, so tests drive them end-to-end
+// with stringstreams; the tools/ binary is a thin flag parser around them.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "common/trace.hpp"
 #include "svc/dispatcher.hpp"
+
+namespace mfd {
+class FaultInjectPlan;
+}  // namespace mfd
 
 namespace mfd::svc {
 
@@ -29,6 +42,19 @@ struct JobdOptions {
   double deadline_s = 0.0;
   std::size_t queue_capacity = 16;
   Tracer* tracer = nullptr;
+
+  /// Crash-isolated worker subprocesses (0 = in-process dispatch over
+  /// `threads`). With workers > 0 the batch runs under a svc::Supervisor
+  /// spawning `worker_command` children; output bytes for crash-free runs
+  /// are identical to every in-process thread count.
+  int workers = 0;
+  std::vector<std::string> worker_command;
+  /// Supervisor knobs (see SupervisorOptions).
+  double stall_timeout_s = 60.0;
+  int max_attempts = 3;
+  std::uint64_t backoff_seed = 2024;
+  /// Fault-injection spec forwarded to workers (tests; "" = inherit env).
+  std::string fault_inject;
 };
 
 /// Batch summary (forwarded dispatcher metrics plus parse accounting).
@@ -48,5 +74,16 @@ struct JobdReport {
 /// JobResult JSON line per job to `out`, in input order.
 JobdReport run_jobd(std::istream& in, std::ostream& out,
                     const JobdOptions& options = {});
+
+/// Worker-mode loop: reads one supervisor request envelope
+/// ({"job":N,"attempt":A,"spec":{...}}) per line of `in`, runs the job
+/// in-process and writes one JobResult JSON line to `out` (flushed per
+/// line), until EOF. Malformed envelopes answer with a kInternalError
+/// result instead of exiting, keeping the lockstep protocol intact.
+/// `plan` overrides the MFDFT_FAULT_INJECT environment plan (tests);
+/// injected faults abort/stall/truncate exactly as specified. Returns 0 on
+/// clean EOF, 1 when `out` failed (the supervisor is gone).
+int run_worker(std::istream& in, std::ostream& out,
+               const FaultInjectPlan* plan = nullptr);
 
 }  // namespace mfd::svc

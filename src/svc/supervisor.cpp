@@ -1,0 +1,374 @@
+#include "svc/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fault_inject.hpp"
+#include "common/json.hpp"
+#include "common/run_control.hpp"
+#include "svc/run_job.hpp"
+
+namespace mfd::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+Clock::time_point after(Clock::time_point from, double seconds) {
+  return from + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+}
+
+/// One request over the worker wire: the job's batch index and attempt
+/// number (the fault-injection keys) enveloping the JobSpec itself.
+std::string request_line(int job, int attempt, const JobSpec& spec) {
+  Json request = Json::object();
+  request.set("job", Json(std::int64_t{job}));
+  request.set("attempt", Json(std::int64_t{attempt}));
+  request.set("spec", spec.to_json());
+  return request.dump();
+}
+
+}  // namespace
+
+Status SupervisorOptions::validate() const {
+  std::string problems;
+  const auto flag = [&problems](bool bad, const std::string& what) {
+    if (!bad) return;
+    if (!problems.empty()) problems += "; ";
+    problems += what;
+  };
+  flag(workers < 1, "workers must be >= 1");
+  flag(worker_command.argv.empty(), "worker_command must not be empty");
+  flag(default_deadline_s < 0.0, "default_deadline_s must be >= 0");
+  flag(stall_timeout_s < 0.0, "stall_timeout_s must be >= 0");
+  flag(max_attempts < 1, "max_attempts must be >= 1");
+  flag(backoff_base_s < 0.0, "backoff_base_s must be >= 0");
+  flag(backoff_max_s < backoff_base_s,
+       "backoff_max_s must be >= backoff_base_s");
+  if (problems.empty()) return Status::Ok();
+  return Status::Fail(Outcome::kInvalidOptions, "supervisor",
+                      std::move(problems));
+}
+
+double backoff_delay_s(std::uint64_t seed, int job, int attempt, double base_s,
+                       double max_s) {
+  double delay = base_s * std::pow(2.0, attempt - 1);
+  if (delay > max_s) delay = max_s;
+  // Jitter from a stream keyed on (seed, job, attempt): two supervisors
+  // with the same seed replay the exact same requeue schedule.
+  std::uint64_t key = seed;
+  key ^= 0x9e3779b97f4a7c15ull +
+         static_cast<std::uint64_t>(job) * 0xbf58476d1ce4e5b9ull;
+  key ^= static_cast<std::uint64_t>(attempt) * 0x94d049bb133111ebull + (key << 6);
+  std::mt19937_64 engine(key);
+  const double unit =
+      std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+  return delay * (0.5 + 0.5 * unit);
+}
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  const Status status = options_.validate();
+  MFD_REQUIRE(status.ok(), "Supervisor: " + status.message);
+}
+
+std::vector<JobResult> Supervisor::run(const std::vector<JobSpec>& specs) {
+  const Clock::time_point batch_start = Clock::now();
+  const int n = static_cast<int>(specs.size());
+  std::vector<JobResult> results(specs.size());
+  metrics_ = ServiceMetrics{};
+  metrics_.jobs_total = n;
+
+  // The default deadline is folded into the shipped spec so the worker arms
+  // it when the job starts; deadline_s is not a serialized result field, so
+  // output bytes are unaffected.
+  std::vector<JobSpec> jobs(specs);
+  if (options_.default_deadline_s > 0.0) {
+    for (JobSpec& job : jobs) {
+      if (job.deadline_s <= 0.0) job.deadline_s = options_.default_deadline_s;
+    }
+  }
+
+  WorkerCommand command = options_.worker_command;
+  if (!options_.fault_inject.empty()) {
+    command.env.push_back(std::string(kFaultInjectEnv) + "=" +
+                          options_.fault_inject);
+  }
+  WorkerPool pool(command, options_.workers);
+  const int slots = pool.size();
+
+  /// Retry state of one job across its attempts.
+  struct JobState {
+    int attempt = 0;
+    std::vector<char> excluded;  ///< Slots this job has crashed on.
+  };
+  std::vector<JobState> job_state(specs.size());
+  for (JobState& state : job_state) {
+    state.excluded.assign(static_cast<std::size_t>(slots), 0);
+  }
+
+  struct SlotState {
+    bool busy = false;
+    int job = -1;
+    double queue_wait = 0.0;
+    Clock::time_point assigned{};
+    Clock::time_point stall_deadline{};
+    bool has_stall = false;
+  };
+  std::vector<SlotState> slot_state(static_cast<std::size_t>(slots));
+
+  /// A job waiting for a worker; ready_at > now while its backoff runs.
+  struct Pending {
+    int job = 0;
+    Clock::time_point enqueued{};
+    Clock::time_point ready_at{};
+  };
+  std::vector<Pending> pending;
+  pending.reserve(specs.size());
+  for (int i = 0; i < n; ++i) pending.push_back({i, batch_start, batch_start});
+
+  int completed = 0;
+
+  const auto complete = [&](int job, JobResult result, double queue_wait,
+                            double run_seconds) {
+    result.index = job;
+    result.queue_wait_seconds = queue_wait;
+    result.run_seconds = run_seconds;
+    results[static_cast<std::size_t>(job)] = std::move(result);
+    ++completed;
+  };
+
+  const auto run_in_process = [&](const Pending& item) {
+    const JobSpec& spec = jobs[static_cast<std::size_t>(item.job)];
+    RunControl control;
+    if (spec.deadline_s > 0.0) control.set_timeout(spec.deadline_s);
+    const Clock::time_point started = Clock::now();
+    JobResult result = run_job(spec, &control);
+    complete(item.job, std::move(result),
+             seconds_between(item.enqueued, started),
+             seconds_between(started, Clock::now()));
+  };
+
+  /// A slot's process is gone (EOF, kill, torn line, dead stdin). Requeues
+  /// or quarantines its in-flight job, then respawns the slot (a failed
+  /// respawn leaves the slot dead).
+  const auto lose_worker = [&](int slot, const std::string& cause) {
+    WorkerProcess* worker = pool.at(slot);
+    const int wait_status = worker->join(0.25);
+    std::string detail = describe_wait_status(wait_status);
+    if (!cause.empty()) detail = cause + "; " + detail;
+    ++metrics_.workers_lost;
+
+    SlotState& state = slot_state[static_cast<std::size_t>(slot)];
+    if (state.busy) {
+      const int job = state.job;
+      JobState& retry = job_state[static_cast<std::size_t>(job)];
+      retry.excluded[static_cast<std::size_t>(slot)] = 1;
+      ++retry.attempt;
+      const Clock::time_point now = Clock::now();
+      if (retry.attempt >= options_.max_attempts) {
+        JobResult result;
+        result.id = jobs[static_cast<std::size_t>(job)].id;
+        result.kind = jobs[static_cast<std::size_t>(job)].kind;
+        result.status = Status::Fail(
+            Outcome::kUnavailable, "worker",
+            "quarantined after " + std::to_string(retry.attempt) +
+                " worker " + (retry.attempt == 1 ? "crash" : "crashes") +
+                "; last: " + detail);
+        ++metrics_.jobs_quarantined;
+        complete(job, std::move(result), state.queue_wait,
+                 seconds_between(state.assigned, now));
+      } else {
+        ++metrics_.jobs_retried;
+        const double delay =
+            backoff_delay_s(options_.backoff_seed, job, retry.attempt,
+                            options_.backoff_base_s, options_.backoff_max_s);
+        pending.push_back({job, now, after(now, delay)});
+      }
+      state = SlotState{};
+    }
+    std::string error;
+    pool.respawn(slot, &error);
+  };
+
+  /// First idle live slot the job has not crashed on; when every live slot
+  /// is excluded, progress beats placement — any idle slot will do.
+  const auto pick_slot = [&](int job) -> int {
+    const std::vector<char>& excluded =
+        job_state[static_cast<std::size_t>(job)].excluded;
+    int pick = -1;
+    int fallback = -1;
+    bool any_live_non_excluded = false;
+    for (int slot = 0; slot < slots; ++slot) {
+      if (pool.at(slot) == nullptr) continue;
+      const bool idle = !slot_state[static_cast<std::size_t>(slot)].busy;
+      if (excluded[static_cast<std::size_t>(slot)] == 0) {
+        any_live_non_excluded = true;
+        if (idle && pick < 0) pick = slot;
+      } else if (idle && fallback < 0) {
+        fallback = slot;
+      }
+    }
+    if (pick >= 0) return pick;
+    if (!any_live_non_excluded) return fallback;
+    return -1;
+  };
+
+  while (completed < n) {
+    // Graceful degradation: with no live worker (none ever spawned, or all
+    // died without a successful respawn) the remaining jobs run in-process
+    // on this thread; backoff no longer applies.
+    if (pool.alive_count() == 0) {
+      std::sort(pending.begin(), pending.end(),
+                [](const Pending& a, const Pending& b) { return a.job < b.job; });
+      for (const Pending& item : pending) run_in_process(item);
+      pending.clear();
+      continue;
+    }
+
+    // Assign every ready job a worker, lowest job index first.
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending& a, const Pending& b) { return a.job < b.job; });
+    const Clock::time_point now = Clock::now();
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->ready_at > now) {
+        ++it;
+        continue;
+      }
+      const int slot = pick_slot(it->job);
+      if (slot < 0) {
+        ++it;
+        continue;
+      }
+      const int attempt = job_state[static_cast<std::size_t>(it->job)].attempt;
+      WorkerProcess* worker = pool.at(slot);
+      if (!worker->send_line(
+              request_line(it->job, attempt,
+                           jobs[static_cast<std::size_t>(it->job)]))) {
+        // The worker died before the request was delivered: this is a
+        // worker loss but not a crash of the job, which stays pending.
+        lose_worker(slot, "request write failed");
+        ++it;
+        continue;
+      }
+      SlotState& state = slot_state[static_cast<std::size_t>(slot)];
+      state.busy = true;
+      state.job = it->job;
+      state.assigned = Clock::now();
+      state.queue_wait = seconds_between(it->enqueued, state.assigned);
+      state.has_stall = options_.stall_timeout_s > 0.0;
+      if (state.has_stall) {
+        state.stall_deadline = after(state.assigned, options_.stall_timeout_s);
+      }
+      it = pending.erase(it);
+    }
+
+    // Wait for worker events, bounded by the nearest stall deadline or
+    // backoff expiry.
+    std::vector<int> busy_slots;
+    double timeout_s = -1.0;
+    const auto bound_timeout = [&timeout_s](double candidate) {
+      if (candidate < 0.0) candidate = 0.0;
+      if (timeout_s < 0.0 || candidate < timeout_s) timeout_s = candidate;
+    };
+    const Clock::time_point wait_from = Clock::now();
+    for (int slot = 0; slot < slots; ++slot) {
+      const SlotState& state = slot_state[static_cast<std::size_t>(slot)];
+      if (!state.busy) continue;
+      busy_slots.push_back(slot);
+      if (state.has_stall) {
+        bound_timeout(seconds_between(wait_from, state.stall_deadline));
+      }
+    }
+    for (const Pending& item : pending) {
+      if (item.ready_at > wait_from) {
+        bound_timeout(seconds_between(wait_from, item.ready_at));
+      }
+    }
+    if (busy_slots.empty() && timeout_s < 0.0) timeout_s = 0.01;
+
+    const std::vector<int> readable = pool.poll_readable(busy_slots, timeout_s);
+    for (const int slot : readable) {
+      WorkerProcess* worker = pool.at(slot);
+      if (worker == nullptr) continue;
+      bool slot_open = true;
+      while (slot_open) {
+        std::string line;
+        const WorkerProcess::ReadResult read = worker->read_line(&line);
+        if (read == WorkerProcess::ReadResult::kAgain) break;
+        if (read == WorkerProcess::ReadResult::kEof) {
+          lose_worker(slot, "");
+          break;
+        }
+        SlotState& state = slot_state[static_cast<std::size_t>(slot)];
+        std::string violation;
+        if (!state.busy) {
+          violation = "unsolicited output";
+        } else {
+          try {
+            JobResult result = JobResult::from_json(Json::parse(line));
+            if (result.index != state.job) {
+              violation = "result for job " + std::to_string(result.index) +
+                          " while job " + std::to_string(state.job) +
+                          " was in flight";
+            } else {
+              complete(state.job, std::move(result), state.queue_wait,
+                       seconds_between(state.assigned, Clock::now()));
+              state = SlotState{};
+            }
+          } catch (const std::exception& e) {
+            violation = std::string("malformed result line: ") + e.what();
+          }
+        }
+        if (!violation.empty()) {
+          worker->kill_now();
+          lose_worker(slot, violation);
+          slot_open = false;
+        }
+      }
+    }
+
+    // Stall watchdog: a worker holding a job past its stall deadline is
+    // killed; the loss path requeues the job on a different worker.
+    const Clock::time_point checked = Clock::now();
+    for (int slot = 0; slot < slots; ++slot) {
+      const SlotState& state = slot_state[static_cast<std::size_t>(slot)];
+      if (!state.busy || !state.has_stall || checked < state.stall_deadline) {
+        continue;
+      }
+      WorkerProcess* worker = pool.at(slot);
+      worker->kill_now();
+      lose_worker(slot, "stalled: no result within " +
+                            shortest_double(options_.stall_timeout_s) +
+                            "s of assignment");
+    }
+  }
+
+  pool.shutdown(1.0);
+
+  metrics_.wall_seconds = seconds_between(batch_start, Clock::now());
+  for (const JobResult& result : results) {
+    metrics_.tally(result);
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->counter("svc.jobs_ok", metrics_.jobs_ok);
+    options_.tracer->counter("svc.jobs_stopped", metrics_.jobs_stopped);
+    options_.tracer->counter("svc.jobs_failed", metrics_.jobs_failed);
+    options_.tracer->counter("svc.jobs_retried", metrics_.jobs_retried);
+    options_.tracer->counter("svc.jobs_quarantined", metrics_.jobs_quarantined);
+    options_.tracer->counter("svc.workers_lost", metrics_.workers_lost);
+  }
+  return results;
+}
+
+}  // namespace mfd::svc

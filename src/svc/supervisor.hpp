@@ -1,0 +1,93 @@
+// Crash-isolating batch supervisor over worker subprocesses.
+//
+// The Dispatcher fans jobs over threads in one process, so one crashing or
+// wedged job takes the whole `mfdft_jobd` process with it. The Supervisor
+// provides the same run(specs) -> results contract with hard isolation:
+// jobs execute in `mfdft_jobd --worker` subprocesses (one JSONL request
+// per job over the worker's stdin, one JSONL result back), and the
+// supervisor's single-threaded event loop recovers from every way a
+// worker can die:
+//
+//  - Worker loss (EOF, crash signal, torn output line, failed write) is
+//    detected per-slot; the in-flight job is requeued on a *different*
+//    worker via a per-job excluded-slot set, after an exponential-backoff
+//    delay with deterministic seeded jitter (reruns are reproducible).
+//  - A per-job stall watchdog SIGKILLs a worker that produces no result
+//    within stall_timeout_s of assignment, then requeues the job.
+//  - A job that crashes its worker max_attempts times is quarantined as a
+//    kUnavailable result (stage "worker", last crash's signal or exit code
+//    in the message) instead of failing the batch.
+//  - When no worker can be spawned at all — or every slot dies and cannot
+//    be respawned — remaining jobs degrade gracefully to in-process
+//    execution on the supervisor thread.
+//
+// Contracts shared with the Dispatcher: results come back in input order,
+// and their deterministic JSON fields are byte-identical to an in-process
+// run for every worker count (crash-free or recovered-by-retry alike,
+// because run_job is a pure function of the spec). ServiceMetrics gains
+// jobs_retried / jobs_quarantined / workers_lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/trace.hpp"
+#include "svc/dispatcher.hpp"
+#include "svc/job.hpp"
+#include "svc/worker_pool.hpp"
+
+namespace mfd::svc {
+
+struct SupervisorOptions {
+  /// Worker subprocesses to keep alive (>= 1).
+  int workers = 2;
+  /// How to start one worker, e.g. {"/path/to/mfdft_jobd", "--worker"}.
+  WorkerCommand worker_command;
+  /// Deadline applied to jobs whose spec has none (0 = none); armed inside
+  /// the worker when the job starts.
+  double default_deadline_s = 0.0;
+  /// Per-job watchdog: a worker that has produced no result this many
+  /// seconds after assignment is killed and the job requeued (0 = off).
+  double stall_timeout_s = 60.0;
+  /// Total attempts per job before quarantine as kUnavailable (>= 1).
+  int max_attempts = 3;
+  /// Requeue backoff: base * 2^(attempt-1) capped at max, scaled by a
+  /// deterministic jitter in [0.5, 1.0) drawn from backoff_seed.
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 2.0;
+  std::uint64_t backoff_seed = 2024;
+  /// Fault-injection spec forwarded to workers as MFDFT_FAULT_INJECT
+  /// (hermetic tests; empty = workers inherit the caller's environment).
+  std::string fault_inject;
+  /// Optional tracer for service-level counters. Borrowed.
+  Tracer* tracer = nullptr;
+
+  /// All violations in one Status, CodesignOptions::validate() style.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Deterministic requeue delay before attempt `attempt` (>= 1) of a job:
+/// exponential in the attempt, jittered by a hash of (seed, job, attempt).
+[[nodiscard]] double backoff_delay_s(std::uint64_t seed, int job, int attempt,
+                                     double base_s, double max_s);
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+
+  /// Executes the whole batch across worker subprocesses and returns one
+  /// result per spec, in input order. Never throws on worker loss; blocks
+  /// until every job has a result (possibly kUnavailable).
+  std::vector<JobResult> run(const std::vector<JobSpec>& specs);
+
+  /// Metrics of the most recent completed run().
+  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+
+ private:
+  SupervisorOptions options_;
+  ServiceMetrics metrics_;
+};
+
+}  // namespace mfd::svc

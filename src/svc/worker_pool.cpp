@@ -1,0 +1,316 @@
+#include "svc/worker_pool.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+extern char** environ;
+
+namespace mfd::svc {
+
+namespace {
+
+/// Inherited environment with `extra` NAME=VALUE pairs overriding any
+/// inherited binding of the same NAME. Returned strings back the char*
+/// vector, which posix_spawn only needs for the duration of the call.
+std::vector<std::string> merged_environment(
+    const std::vector<std::string>& extra) {
+  std::vector<std::string> env;
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const std::string binding(*entry);
+    const std::size_t eq = binding.find('=');
+    bool overridden = false;
+    if (eq != std::string::npos) {
+      const std::string prefix = binding.substr(0, eq + 1);  // "NAME="
+      for (const std::string& override_binding : extra) {
+        if (override_binding.rfind(prefix, 0) == 0) {
+          overridden = true;
+          break;
+        }
+      }
+    }
+    if (!overridden) env.push_back(binding);
+  }
+  for (const std::string& binding : extra) env.push_back(binding);
+  return env;
+}
+
+void close_fd(int* fd) {
+  if (*fd >= 0) ::close(*fd);
+  *fd = -1;
+}
+
+}  // namespace
+
+std::string describe_wait_status(int wait_status) {
+  if (WIFEXITED(wait_status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(wait_status));
+  }
+  if (WIFSIGNALED(wait_status)) {
+    const int sig = WTERMSIG(wait_status);
+    const char* name = strsignal(sig);
+    return "killed by signal " + std::to_string(sig) + " (" +
+           (name != nullptr ? name : "unknown") + ")";
+  }
+  return "ended with wait status " + std::to_string(wait_status);
+}
+
+std::unique_ptr<WorkerProcess> WorkerProcess::spawn(
+    const WorkerCommand& command, int worker_id, std::string* error) {
+  if (command.argv.empty()) {
+    if (error != nullptr) *error = "empty worker command";
+    return nullptr;
+  }
+
+  // in_pipe: parent writes requests -> child stdin.
+  // out_pipe: child stdout -> parent reads results.
+  int in_pipe[2] = {-1, -1};
+  int out_pipe[2] = {-1, -1};
+  if (::pipe2(in_pipe, O_CLOEXEC) != 0 || ::pipe2(out_pipe, O_CLOEXEC) != 0) {
+    if (error != nullptr) {
+      *error = std::string("pipe2: ") + strerror(errno);
+    }
+    close_fd(&in_pipe[0]);
+    close_fd(&in_pipe[1]);
+    return nullptr;
+  }
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  // dup2 clears O_CLOEXEC on the child's copies; the parent-side ends stay
+  // close-on-exec so one worker never inherits another worker's pipes.
+  posix_spawn_file_actions_adddup2(&actions, in_pipe[0], STDIN_FILENO);
+  posix_spawn_file_actions_adddup2(&actions, out_pipe[1], STDOUT_FILENO);
+
+  std::vector<char*> argv;
+  argv.reserve(command.argv.size() + 1);
+  for (const std::string& arg : command.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  const std::vector<std::string> env = merged_environment(command.env);
+  std::vector<char*> envp;
+  envp.reserve(env.size() + 1);
+  for (const std::string& binding : env) {
+    envp.push_back(const_cast<char*>(binding.c_str()));
+  }
+  envp.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc = ::posix_spawnp(&pid, argv[0], &actions, nullptr, argv.data(),
+                                envp.data());
+  posix_spawn_file_actions_destroy(&actions);
+  close_fd(&in_pipe[0]);   // child's ends belong to the child now
+  close_fd(&out_pipe[1]);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "cannot spawn '" + command.argv[0] + "': " + strerror(rc);
+    }
+    close_fd(&in_pipe[1]);
+    close_fd(&out_pipe[0]);
+    return nullptr;
+  }
+  ::fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+
+  std::unique_ptr<WorkerProcess> worker(new WorkerProcess());
+  worker->id_ = worker_id;
+  worker->pid_ = pid;
+  worker->in_fd_ = in_pipe[1];
+  worker->out_fd_ = out_pipe[0];
+  return worker;
+}
+
+WorkerProcess::~WorkerProcess() {
+  if (!joined_) {
+    kill_now();
+    join(0.0);
+  }
+  close_fd(&in_fd_);
+  close_fd(&out_fd_);
+}
+
+bool WorkerProcess::send_line(const std::string& line) {
+  if (in_fd_ < 0) return false;
+  std::string framed = line;
+  framed += '\n';
+
+  // Block SIGPIPE around the write (and swallow one if the write raised
+  // it), so a dead worker surfaces as EPIPE instead of killing the caller.
+  sigset_t pipe_set;
+  sigemptyset(&pipe_set);
+  sigaddset(&pipe_set, SIGPIPE);
+  sigset_t old_set;
+  pthread_sigmask(SIG_BLOCK, &pipe_set, &old_set);
+
+  bool ok = true;
+  std::size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(in_fd_, framed.data() + written, framed.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ok = false;
+    break;
+  }
+
+  if (!ok) {
+    const struct timespec zero = {0, 0};
+    while (sigtimedwait(&pipe_set, nullptr, &zero) == SIGPIPE) {
+    }
+  }
+  pthread_sigmask(SIG_SETMASK, &old_set, nullptr);
+  return ok;
+}
+
+WorkerProcess::ReadResult WorkerProcess::read_line(std::string* line) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return ReadResult::kLine;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(out_fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return ReadResult::kEof;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadResult::kAgain;
+    if (errno == EINTR) continue;
+    return ReadResult::kEof;  // read error: treat as worker loss
+  }
+}
+
+void WorkerProcess::close_stdin() { close_fd(&in_fd_); }
+
+void WorkerProcess::kill_now() {
+  if (!joined_ && pid_ > 0) ::kill(pid_, SIGKILL);
+}
+
+int WorkerProcess::join(double grace_s) {
+  if (joined_) return wait_status_;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(grace_s);
+  bool killed = false;
+  for (;;) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(pid_, &status, WNOHANG);
+    if (reaped == pid_) {
+      wait_status_ = status;
+      joined_ = true;
+      return wait_status_;
+    }
+    if (reaped < 0 && errno != EINTR) {
+      // ECHILD: someone else reaped it; report a clean exit.
+      joined_ = true;
+      return wait_status_;
+    }
+    if (!killed && std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pid_, SIGKILL);
+      killed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(killed ? 1 : 2));
+  }
+}
+
+WorkerPool::WorkerPool(WorkerCommand command, int size)
+    : command_(std::move(command)) {
+  slots_.resize(static_cast<std::size_t>(size));
+  for (int slot = 0; slot < size; ++slot) {
+    std::string error;
+    slots_[static_cast<std::size_t>(slot)] =
+        WorkerProcess::spawn(command_, next_id_++, &error);
+    if (slots_[static_cast<std::size_t>(slot)] == nullptr) {
+      spawn_errors_.push_back(std::move(error));
+    }
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (std::unique_ptr<WorkerProcess>& worker : slots_) {
+    if (worker != nullptr) {
+      worker->kill_now();
+      worker->join(0.0);
+    }
+  }
+}
+
+bool WorkerPool::respawn(int slot, std::string* error) {
+  std::string local_error;
+  std::unique_ptr<WorkerProcess> fresh =
+      WorkerProcess::spawn(command_, next_id_++, &local_error);
+  if (fresh == nullptr) {
+    spawn_errors_.push_back(local_error);
+    if (error != nullptr) *error = std::move(local_error);
+    slots_[static_cast<std::size_t>(slot)] = nullptr;
+    return false;
+  }
+  slots_[static_cast<std::size_t>(slot)] = std::move(fresh);
+  return true;
+}
+
+void WorkerPool::drop(int slot) {
+  slots_[static_cast<std::size_t>(slot)] = nullptr;
+}
+
+int WorkerPool::alive_count() const {
+  int alive = 0;
+  for (const std::unique_ptr<WorkerProcess>& worker : slots_) {
+    if (worker != nullptr) ++alive;
+  }
+  return alive;
+}
+
+std::vector<int> WorkerPool::poll_readable(const std::vector<int>& slots,
+                                           double timeout_s) {
+  const int timeout_ms =
+      timeout_s < 0.0
+          ? -1
+          : static_cast<int>(timeout_s * 1000.0) + (timeout_s > 0.0 ? 1 : 0);
+  std::vector<struct pollfd> fds;
+  fds.reserve(slots.size());
+  for (const int slot : slots) {
+    WorkerProcess* worker = at(slot);
+    struct pollfd entry = {};
+    entry.fd = worker != nullptr ? worker->read_fd() : -1;
+    entry.events = POLLIN;
+    fds.push_back(entry);
+  }
+  const int ready = ::poll(fds.empty() ? nullptr : fds.data(),
+                           static_cast<nfds_t>(fds.size()), timeout_ms);
+  std::vector<int> readable;
+  if (ready <= 0) return readable;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      readable.push_back(slots[i]);
+    }
+  }
+  return readable;
+}
+
+void WorkerPool::shutdown(double grace_s) {
+  for (std::unique_ptr<WorkerProcess>& worker : slots_) {
+    if (worker != nullptr) worker->close_stdin();
+  }
+  for (std::unique_ptr<WorkerProcess>& worker : slots_) {
+    if (worker != nullptr) worker->join(grace_s);
+  }
+}
+
+}  // namespace mfd::svc

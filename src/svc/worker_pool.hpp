@@ -1,0 +1,149 @@
+// Crash-isolated worker subprocesses for the job service.
+//
+// WorkerProcess wraps one `mfdft_jobd --worker` child behind a pair of
+// pipes: the parent writes one request line to the child's stdin and reads
+// one result line from its stdout. Reads are nonblocking and line-
+// assembled, so a torn line followed by EOF (a worker that died mid-write)
+// is observed as worker loss, never as a half-parsed result. Exit statuses
+// are reaped in a way that preserves the original crash signal — a worker
+// that already died of SIGABRT is never re-killed into looking like
+// SIGKILL — and surface through describe_wait_status() into the Status
+// messages the supervisor reports.
+//
+// WorkerPool owns a fixed array of slots. Slots are the supervisor's
+// stable worker identity: a crashed slot is respawned as a fresh process
+// (new pid, same slot), and requeue-on-loss excludes *slots*, so "retry on
+// a different worker" is meaningful across respawns. Spawning uses
+// posix_spawnp; spawn failures are reported per-slot, letting the
+// supervisor degrade to in-process execution when no worker can start.
+#pragma once
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mfd::svc {
+
+/// How to start one worker: argv plus NAME=VALUE pairs appended to (and
+/// overriding) the inherited environment.
+struct WorkerCommand {
+  std::vector<std::string> argv;
+  std::vector<std::string> env;
+};
+
+/// Human-readable waitpid() status: "exited with status 3" or
+/// "killed by signal 6 (Aborted)".
+[[nodiscard]] std::string describe_wait_status(int wait_status);
+
+class WorkerProcess {
+ public:
+  enum class ReadResult {
+    kLine,   ///< *line holds one complete result line (newline stripped).
+    kAgain,  ///< No complete line buffered; the child is still alive.
+    kEof,    ///< Stream closed or unreadable: the worker is lost.
+  };
+
+  /// Spawns the command with stdin/stdout piped (stderr inherited). Returns
+  /// nullptr and fills *error when the process cannot be started.
+  static std::unique_ptr<WorkerProcess> spawn(const WorkerCommand& command,
+                                              int worker_id,
+                                              std::string* error);
+
+  /// Kills and reaps the child if it is still running.
+  ~WorkerProcess();
+
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  /// Monotonic spawn id (respawns get fresh ids; slots stay stable).
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  /// Parent-side read end of the child's stdout (for poll()).
+  [[nodiscard]] int read_fd() const { return out_fd_; }
+
+  /// Writes `line` plus '\n' to the child's stdin. SIGPIPE is suppressed
+  /// for the write; false means the child's stdin is gone (worker loss).
+  bool send_line(const std::string& line);
+
+  /// Nonblocking buffered line read from the child's stdout.
+  ReadResult read_line(std::string* line);
+
+  /// Closes the child's stdin so a well-behaved worker drains and exits.
+  void close_stdin();
+
+  /// SIGKILLs the child if not yet reaped. Idempotent.
+  void kill_now();
+
+  /// Reaps the child, waiting up to `grace_s` seconds before escalating to
+  /// SIGKILL, and returns the raw waitpid status. A child that already
+  /// exited keeps its true status (crash signal preserved). Idempotent:
+  /// later calls return the recorded status.
+  int join(double grace_s);
+
+  [[nodiscard]] bool joined() const { return joined_; }
+
+ private:
+  WorkerProcess() = default;
+
+  int id_ = -1;
+  pid_t pid_ = -1;
+  int in_fd_ = -1;   ///< Parent writes requests here (child stdin).
+  int out_fd_ = -1;  ///< Parent reads results here (child stdout).
+  std::string buffer_;
+  bool joined_ = false;
+  int wait_status_ = 0;
+};
+
+class WorkerPool {
+ public:
+  /// Spawns `size` workers; slots whose spawn failed start out dead (their
+  /// errors are collected in spawn_errors()).
+  WorkerPool(WorkerCommand command, int size);
+
+  /// Kills and reaps every remaining worker.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(slots_.size()); }
+
+  /// The worker in a slot; nullptr when the slot is dead.
+  [[nodiscard]] WorkerProcess* at(int slot) {
+    return slots_[static_cast<std::size_t>(slot)].get();
+  }
+
+  /// Replaces a slot's (joined or never-started) worker with a fresh spawn;
+  /// false + *error when the spawn failed (the slot becomes dead).
+  bool respawn(int slot, std::string* error);
+
+  /// Marks a slot dead without respawning (its worker must be joined).
+  void drop(int slot);
+
+  [[nodiscard]] int alive_count() const;
+
+  /// Errors from spawns that failed (construction and respawns).
+  [[nodiscard]] const std::vector<std::string>& spawn_errors() const {
+    return spawn_errors_;
+  }
+
+  /// Waits up to `timeout_s` (< 0 = forever) for any listed slot's stdout
+  /// to become readable or closed; returns those slots. An empty slot list
+  /// just sleeps out the timeout.
+  [[nodiscard]] std::vector<int> poll_readable(const std::vector<int>& slots,
+                                               double timeout_s);
+
+  /// Graceful shutdown: closes every worker's stdin, then joins each with
+  /// the given grace before escalating to SIGKILL.
+  void shutdown(double grace_s);
+
+ private:
+  WorkerCommand command_;
+  std::vector<std::unique_ptr<WorkerProcess>> slots_;
+  std::vector<std::string> spawn_errors_;
+  int next_id_ = 0;
+};
+
+}  // namespace mfd::svc

@@ -1,0 +1,82 @@
+// Fault-injection plan: spec grammar, (job, attempt) matching semantics,
+// and the canonical round-trip that lets the supervisor forward a plan to
+// workers through one environment variable.
+#include "common/fault_inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mfd {
+namespace {
+
+TEST(FaultInjectTest, EmptyAndBlankSpecsYieldAnInertPlan) {
+  for (const char* spec : {"", "   ", " , ,"}) {
+    const FaultInjectPlan plan = FaultInjectPlan::parse(spec);
+    EXPECT_TRUE(plan.empty()) << "spec: '" << spec << "'";
+    EXPECT_FALSE(plan.fires(FaultPoint::kWorkerAbort, 0, 0));
+    EXPECT_EQ(plan.spec(), "");
+  }
+}
+
+TEST(FaultInjectTest, ParsesEveryPointAndTheTimesQualifier) {
+  const FaultInjectPlan plan = FaultInjectPlan::parse(
+      "worker_abort@job=3:times=1, worker_stall@job=5 ,truncate_output@job=7");
+  ASSERT_EQ(plan.rules().size(), 3u);
+  EXPECT_EQ(plan.rules()[0],
+            (FaultRule{FaultPoint::kWorkerAbort, 3, 1}));
+  EXPECT_EQ(plan.rules()[1], (FaultRule{FaultPoint::kWorkerStall, 5, 0}));
+  EXPECT_EQ(plan.rules()[2],
+            (FaultRule{FaultPoint::kTruncateOutput, 7, 0}));
+}
+
+TEST(FaultInjectTest, FiresMatchesJobPointAndAttemptWindow) {
+  const FaultInjectPlan plan =
+      FaultInjectPlan::parse("worker_abort@job=3:times=2,worker_stall@job=5");
+
+  // times=2: attempts 0 and 1 fire, attempt 2 (the retry that should
+  // succeed) does not.
+  EXPECT_TRUE(plan.fires(FaultPoint::kWorkerAbort, 3, 0));
+  EXPECT_TRUE(plan.fires(FaultPoint::kWorkerAbort, 3, 1));
+  EXPECT_FALSE(plan.fires(FaultPoint::kWorkerAbort, 3, 2));
+
+  // Wrong job or wrong point never fires.
+  EXPECT_FALSE(plan.fires(FaultPoint::kWorkerAbort, 4, 0));
+  EXPECT_FALSE(plan.fires(FaultPoint::kWorkerStall, 3, 0));
+
+  // No times qualifier: a poison pill on every attempt.
+  EXPECT_TRUE(plan.fires(FaultPoint::kWorkerStall, 5, 0));
+  EXPECT_TRUE(plan.fires(FaultPoint::kWorkerStall, 5, 99));
+}
+
+TEST(FaultInjectTest, CanonicalSpecRoundTrips) {
+  const std::string spec =
+      "worker_abort@job=3:times=1,worker_stall@job=5,truncate_output@job=7";
+  const FaultInjectPlan plan = FaultInjectPlan::parse(spec);
+  EXPECT_EQ(plan.spec(), spec);
+  EXPECT_EQ(FaultInjectPlan::parse(plan.spec()).rules(), plan.rules());
+}
+
+TEST(FaultInjectTest, MalformedEntriesThrowNamingTheEntry) {
+  for (const char* spec :
+       {"worker_abort",               // no @job=
+        "worker_abort@job=",          // missing number
+        "worker_abort@job=x",         // non-digit
+        "frobnicate@job=1",           // unknown point
+        "worker_abort@job=1:times=",  // missing times value
+        "worker_abort@job=1:bogus=2", // unknown qualifier
+        "worker_abort@job=9999999"}) {
+    EXPECT_THROW(FaultInjectPlan::parse(spec), Error) << "spec: " << spec;
+  }
+}
+
+TEST(FaultInjectTest, ToStringNamesMatchTheGrammar) {
+  EXPECT_STREQ(to_string(FaultPoint::kWorkerAbort), "worker_abort");
+  EXPECT_STREQ(to_string(FaultPoint::kWorkerStall), "worker_stall");
+  EXPECT_STREQ(to_string(FaultPoint::kTruncateOutput), "truncate_output");
+}
+
+}  // namespace
+}  // namespace mfd

@@ -152,5 +152,94 @@ TEST(JobResultJson, CodesignResultsIncludeStatsWithoutWallClock) {
   EXPECT_EQ(json.at("stats").get("eval_seconds"), nullptr);
 }
 
+TEST(JobResultJson, RoundTripsThroughTheWorkerWire) {
+  // from_json(to_json(r)) must reproduce every serialized field — this is
+  // the supervisor's view of a worker's output line.
+  JobResult result;
+  result.index = 6;
+  result.id = "cd-2";
+  result.kind = JobKind::kCodesign;
+  result.status = Status::Ok();
+  result.chip_text = "chip x\ngrid 3 3\n";
+  result.makespan = 42.5;
+  result.exec_original = 50.0;
+  result.exec_dft_unoptimized = 60.0;
+  result.exec_dft_optimized = 55.0;
+  result.dft_valves = 7;
+  result.shared_valves = 3;
+  result.stats.evaluations = 11;
+  result.stats.cache_hits = 4;
+  result.queue_wait_seconds = 1.5;  // service-side: must not travel
+
+  const JobResult back =
+      JobResult::from_json(Json::parse(result.to_json().dump()));
+  EXPECT_EQ(back.to_json().dump(), result.to_json().dump());
+  EXPECT_EQ(back.index, 6);
+  EXPECT_EQ(back.kind, JobKind::kCodesign);
+  EXPECT_TRUE(back.status.ok());
+  EXPECT_EQ(back.chip_text, result.chip_text);
+  EXPECT_DOUBLE_EQ(back.makespan, 42.5);
+  EXPECT_EQ(back.dft_valves, 7);
+  EXPECT_EQ(back.stats.evaluations, 11);
+  // Wall-clock members never travel: they stay at their defaults.
+  EXPECT_DOUBLE_EQ(back.queue_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(back.run_seconds, 0.0);
+
+  // The diagnosis-only fields ride the diagnosis serialization.
+  JobResult diagnosis;
+  diagnosis.kind = JobKind::kDiagnosis;
+  diagnosis.vectors = 12;
+  diagnosis.total_faults = 40;
+  diagnosis.distinct_signatures = 30;
+  diagnosis.ambiguous_faults = 5;
+  diagnosis.undetected_faults = 2;
+  diagnosis.resolution = 0.75;
+  const JobResult diag_back =
+      JobResult::from_json(Json::parse(diagnosis.to_json().dump()));
+  EXPECT_EQ(diag_back.to_json().dump(), diagnosis.to_json().dump());
+  EXPECT_EQ(diag_back.distinct_signatures, 30);
+  EXPECT_DOUBLE_EQ(diag_back.resolution, 0.75);
+}
+
+TEST(JobResultJson, RoundTripsFailureStatusesIncludingUnavailable) {
+  for (const Outcome outcome :
+       {Outcome::kDeadlineExceeded, Outcome::kInternalError,
+        Outcome::kUnavailable}) {
+    JobResult result;
+    result.index = 1;
+    result.kind = JobKind::kCoverage;
+    result.status = Status::Fail(outcome, "worker", "killed by signal 6");
+    const JobResult back =
+        JobResult::from_json(Json::parse(result.to_json().dump()));
+    EXPECT_EQ(back.status.outcome, outcome);
+    EXPECT_EQ(back.status.stage, "worker");
+    EXPECT_EQ(back.status.message, "killed by signal 6");
+  }
+}
+
+TEST(JobResultJson, FromJsonRejectsGarbage) {
+  EXPECT_THROW(JobResult::from_json(Json::parse(R"([1,2])")), Error);
+  EXPECT_THROW(JobResult::from_json(Json::parse(
+                   R"({"index":0,"id":"","kind":"brew_coffee",
+                       "status":{"outcome":"ok"}})")),
+               Error);
+  EXPECT_THROW(JobResult::from_json(Json::parse(
+                   R"({"index":0,"id":"","kind":"testgen",
+                       "status":{"outcome":"half_done"}})")),
+               Error);
+}
+
+TEST(JobKindNames, RoundTripThroughStrings) {
+  for (const JobKind kind : {JobKind::kCodesign, JobKind::kTestgen,
+                             JobKind::kCoverage, JobKind::kDiagnosis}) {
+    JobKind parsed = JobKind::kCodesign;
+    ASSERT_TRUE(job_kind_from_name(to_string(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  JobKind unused = JobKind::kCodesign;
+  EXPECT_FALSE(job_kind_from_name("brew_coffee", &unused));
+  EXPECT_FALSE(job_kind_from_name("", &unused));
+}
+
 }  // namespace
 }  // namespace mfd::svc

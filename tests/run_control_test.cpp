@@ -81,6 +81,28 @@ TEST(StatusTest, FormattingAndPredicates) {
   EXPECT_NE(s.to_string().find("no schedule"), std::string::npos);
 }
 
+TEST(StatusTest, OutcomeNamesRoundTripThroughStrings) {
+  // Every outcome — including kUnavailable, the quarantine verdict for
+  // jobs that keep crashing their worker — must survive the JSONL wire:
+  // outcome_name() and outcome_from_name() are exact inverses.
+  const Outcome all[] = {
+      Outcome::kOk,           Outcome::kCancelled,
+      Outcome::kDeadlineExceeded, Outcome::kInvalidOptions,
+      Outcome::kInfeasible,   Outcome::kInternalError,
+      Outcome::kUnavailable,
+  };
+  for (const Outcome outcome : all) {
+    const char* name = outcome_name(outcome);
+    ASSERT_NE(name, nullptr);
+    const std::optional<Outcome> parsed = outcome_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, outcome) << name;
+  }
+  EXPECT_EQ(std::string(outcome_name(Outcome::kUnavailable)), "unavailable");
+  EXPECT_FALSE(outcome_from_name("no_such_outcome").has_value());
+  EXPECT_FALSE(outcome_from_name("").has_value());
+}
+
 TEST(TraceTest, JsonlRoundTripWithBalancedNesting) {
   std::ostringstream out;
   JsonlTraceSink sink(out);

@@ -1,0 +1,316 @@
+// Crash-isolation acceptance tests: worker subprocesses under the
+// Supervisor must match in-process execution byte-for-byte, and every
+// injected failure mode — abort, poison pill, stall, torn output line,
+// unspawnable worker — must end with the batch complete and typed.
+//
+// Workers are real `mfdft_jobd --worker` subprocesses (path injected by
+// CMake as MFDFT_JOBD_BIN), so these tests cover the spawn/pipe/reap layer
+// as well as the recovery logic.
+#include "svc/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_inject.hpp"
+#include "common/json.hpp"
+#include "svc/dispatcher.hpp"
+#include "svc/job.hpp"
+#include "svc/jobd.hpp"
+
+namespace mfd::svc {
+namespace {
+
+WorkerCommand worker_command() {
+  WorkerCommand command;
+  command.argv = {MFDFT_JOBD_BIN, "--worker"};
+  return command;
+}
+
+/// The acceptance workload: 3 chips x 3 workload kinds, 9 jobs.
+std::vector<JobSpec> nine_jobs() {
+  std::vector<JobSpec> specs;
+  for (const char* chip : {"figure4_chip", "IVD_chip", "RA30_chip"}) {
+    for (const JobKind kind :
+         {JobKind::kTestgen, JobKind::kCoverage, JobKind::kDiagnosis}) {
+      JobSpec spec;
+      spec.kind = kind;
+      spec.id = std::string(to_string(kind)) + ":" + chip;
+      spec.chip = chip;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+std::vector<std::string> result_lines(const std::vector<JobResult>& results) {
+  std::vector<std::string> lines;
+  for (const JobResult& result : results) {
+    lines.push_back(result.to_json().dump());
+  }
+  return lines;
+}
+
+/// In-process ground truth for the same batch.
+std::vector<std::string> dispatcher_baseline(
+    const std::vector<JobSpec>& specs) {
+  DispatcherOptions options;
+  options.threads = 2;
+  Dispatcher dispatcher(options);
+  return result_lines(dispatcher.run(specs));
+}
+
+TEST(SupervisorTest, CrashFreeRunMatchesInProcessByteForByte) {
+  const std::vector<JobSpec> specs = nine_jobs();
+  SupervisorOptions options;
+  options.workers = 3;
+  options.worker_command = worker_command();
+  Supervisor supervisor(options);
+  const std::vector<JobResult> results = supervisor.run(specs);
+
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(result_lines(results), dispatcher_baseline(specs));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, static_cast<int>(i));
+  }
+  const ServiceMetrics& metrics = supervisor.metrics();
+  EXPECT_EQ(metrics.jobs_ok, 9);
+  EXPECT_EQ(metrics.jobs_retried, 0);
+  EXPECT_EQ(metrics.jobs_quarantined, 0);
+  EXPECT_EQ(metrics.workers_lost, 0);
+}
+
+TEST(SupervisorTest, AbortedWorkerJobIsRetriedElsewhereAndBatchCompletes) {
+  const std::vector<JobSpec> specs = nine_jobs();
+  SupervisorOptions options;
+  options.workers = 2;
+  options.worker_command = worker_command();
+  options.fault_inject = "worker_abort@job=3:times=1";
+  options.backoff_base_s = 0.01;  // keep the retry delay test-sized
+  Supervisor supervisor(options);
+  const std::vector<JobResult> results = supervisor.run(specs);
+
+  // The crash is invisible in the results: every job, including job 3's
+  // retry on a fresh worker, is byte-identical to a crash-free run.
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(result_lines(results), dispatcher_baseline(specs));
+
+  const ServiceMetrics& metrics = supervisor.metrics();
+  EXPECT_EQ(metrics.jobs_ok, 9);
+  EXPECT_EQ(metrics.jobs_retried, 1);
+  EXPECT_EQ(metrics.jobs_quarantined, 0);
+  EXPECT_GE(metrics.workers_lost, 1);
+}
+
+TEST(SupervisorTest, PoisonJobIsQuarantinedAsUnavailable) {
+  const std::vector<JobSpec> specs = nine_jobs();
+  SupervisorOptions options;
+  options.workers = 2;
+  options.worker_command = worker_command();
+  options.fault_inject = "worker_abort@job=4";  // every attempt: poison pill
+  options.max_attempts = 2;
+  options.backoff_base_s = 0.01;
+  Supervisor supervisor(options);
+  const std::vector<JobResult> results = supervisor.run(specs);
+
+  ASSERT_EQ(results.size(), specs.size());
+  const JobResult& poisoned = results[4];
+  EXPECT_EQ(poisoned.status.outcome, Outcome::kUnavailable);
+  EXPECT_EQ(poisoned.status.stage, "worker");
+  // The message names the crash: SIGABRT (signal 6) from std::abort().
+  EXPECT_NE(poisoned.status.message.find("signal 6"), std::string::npos)
+      << poisoned.status.message;
+  EXPECT_NE(poisoned.status.message.find("2 worker crashes"),
+            std::string::npos)
+      << poisoned.status.message;
+
+  // The other eight jobs are untouched by the poison pill.
+  const std::vector<std::string> baseline = dispatcher_baseline(specs);
+  const std::vector<std::string> lines = result_lines(results);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i == 4) continue;
+    EXPECT_EQ(lines[i], baseline[i]) << "job " << i;
+  }
+
+  const ServiceMetrics& metrics = supervisor.metrics();
+  EXPECT_EQ(metrics.jobs_ok, 8);
+  EXPECT_EQ(metrics.jobs_failed, 1);
+  EXPECT_EQ(metrics.jobs_quarantined, 1);
+  EXPECT_EQ(metrics.jobs_retried, 1);     // attempt 2 was still a retry
+  EXPECT_GE(metrics.workers_lost, 2);
+}
+
+TEST(SupervisorTest, StalledWorkerIsKilledByWatchdogAndJobRetried) {
+  const std::vector<JobSpec> specs = nine_jobs();
+  SupervisorOptions options;
+  options.workers = 2;
+  options.worker_command = worker_command();
+  options.fault_inject = "worker_stall@job=2:times=1";
+  // One watchdog period is the test's only wait. The timeout must beat a
+  // *healthy* job's runtime even under sanitizer slowdown and a loaded CI
+  // machine — a too-tight value makes the watchdog (correctly) kill slow
+  //-but-alive workers, and max_attempts stays generous for the same
+  // reason: a spurious kill is retried with identical bytes, only a
+  // spurious quarantine could fail the batch.
+  options.stall_timeout_s = 2.0;
+  options.max_attempts = 10;
+  options.backoff_base_s = 0.01;
+  Supervisor supervisor(options);
+  const std::vector<JobResult> results = supervisor.run(specs);
+
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(result_lines(results), dispatcher_baseline(specs));
+  const ServiceMetrics& metrics = supervisor.metrics();
+  EXPECT_EQ(metrics.jobs_ok, 9);
+  EXPECT_EQ(metrics.jobs_quarantined, 0);
+  EXPECT_GE(metrics.jobs_retried, 1);  // >= : a slow CI box may add kills
+  EXPECT_GE(metrics.workers_lost, 1);
+}
+
+TEST(SupervisorTest, TruncatedResultLineCountsAsWorkerLoss) {
+  const std::vector<JobSpec> specs = nine_jobs();
+  SupervisorOptions options;
+  options.workers = 2;
+  options.worker_command = worker_command();
+  options.fault_inject = "truncate_output@job=1:times=1";
+  options.backoff_base_s = 0.01;
+  Supervisor supervisor(options);
+  const std::vector<JobResult> results = supervisor.run(specs);
+
+  // The torn half-line is discarded with the dead worker, never parsed
+  // into a bogus result: the retry's bytes are the crash-free bytes.
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(result_lines(results), dispatcher_baseline(specs));
+  const ServiceMetrics& metrics = supervisor.metrics();
+  EXPECT_EQ(metrics.jobs_ok, 9);
+  EXPECT_EQ(metrics.jobs_retried, 1);
+  EXPECT_GE(metrics.workers_lost, 1);
+}
+
+TEST(SupervisorTest, SpawnFailureDegradesToInProcessExecution) {
+  const std::vector<JobSpec> specs = nine_jobs();
+  SupervisorOptions options;
+  options.workers = 2;
+  options.worker_command.argv = {"/nonexistent/mfdft_worker_binary",
+                                 "--worker"};
+  Supervisor supervisor(options);
+  const std::vector<JobResult> results = supervisor.run(specs);
+
+  // No worker ever spawned, yet the batch completes with the same bytes.
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(result_lines(results), dispatcher_baseline(specs));
+  EXPECT_EQ(supervisor.metrics().jobs_ok, 9);
+}
+
+TEST(SupervisorTest, ValidateRejectsBadOptions) {
+  SupervisorOptions good;
+  good.worker_command = worker_command();
+  EXPECT_TRUE(good.validate().ok());
+
+  SupervisorOptions bad = good;
+  bad.workers = 0;
+  bad.max_attempts = 0;
+  bad.stall_timeout_s = -1.0;
+  bad.backoff_base_s = 0.5;
+  bad.backoff_max_s = 0.1;
+  const Status status = bad.validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.outcome, Outcome::kInvalidOptions);
+  EXPECT_NE(status.message.find("workers"), std::string::npos);
+  EXPECT_NE(status.message.find("max_attempts"), std::string::npos);
+
+  SupervisorOptions no_argv = good;
+  no_argv.worker_command.argv.clear();
+  EXPECT_FALSE(no_argv.validate().ok());
+}
+
+TEST(SupervisorTest, BackoffDelayIsDeterministicBoundedAndGrowing) {
+  const double d1 = backoff_delay_s(7, 3, 1, 0.05, 2.0);
+  EXPECT_EQ(d1, backoff_delay_s(7, 3, 1, 0.05, 2.0));  // reproducible
+  EXPECT_NE(d1, backoff_delay_s(8, 3, 1, 0.05, 2.0));  // seed-sensitive
+
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const double delay = backoff_delay_s(7, 3, attempt, 0.05, 2.0);
+    // Jitter keeps each delay within [0.5, 1.0) x the exponential step,
+    // and the cap holds for arbitrarily late attempts.
+    EXPECT_GE(delay, 0.0);
+    EXPECT_LT(delay, 2.0);
+  }
+  EXPECT_GE(backoff_delay_s(7, 3, 9, 0.05, 2.0), 0.5 * 2.0 * 0.5);
+}
+
+TEST(SupervisorTest, RunWorkerSpeaksTheEnvelopeProtocol) {
+  // Drive the worker loop in-process: two envelopes in, two result lines
+  // out, each answering its request's job index.
+  JobSpec spec;
+  spec.kind = JobKind::kTestgen;
+  spec.id = "t";
+  spec.chip = "figure4_chip";
+  Json first = Json::object();
+  first.set("job", Json(static_cast<std::int64_t>(5)));
+  first.set("attempt", Json(static_cast<std::int64_t>(0)));
+  first.set("spec", spec.to_json());
+  Json second = Json::object();
+  second.set("job", Json(static_cast<std::int64_t>(2)));
+  second.set("spec", spec.to_json());
+
+  std::istringstream in(first.dump() + "\n" + second.dump() + "\n");
+  std::ostringstream out;
+  const FaultInjectPlan no_faults;
+  EXPECT_EQ(run_worker(in, out, &no_faults), 0);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const Json reply1 = Json::parse(line);
+  EXPECT_EQ(reply1.at("index").as_int(), 5);
+  EXPECT_EQ(reply1.at("status").at("outcome").as_string(), "ok");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(Json::parse(line).at("index").as_int(), 2);
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(SupervisorTest, RunWorkerAnswersMalformedEnvelopesInLockstep) {
+  // A garbage request still yields exactly one reply line; the protocol
+  // never skews and the supervisor sees a typed error, not a hang.
+  std::istringstream in("{\"job\":1}\n");
+  std::ostringstream out;
+  const FaultInjectPlan no_faults;
+  EXPECT_EQ(run_worker(in, out, &no_faults), 0);
+  const Json reply = Json::parse(out.str());
+  EXPECT_EQ(reply.at("index").as_int(), 1);
+  EXPECT_EQ(reply.at("status").at("outcome").as_string(), "internal_error");
+  EXPECT_EQ(reply.at("status").at("stage").as_string(), "worker_protocol");
+}
+
+TEST(SupervisorTest, RunJobdWithWorkersMatchesThreadsByteForByte) {
+  // The full driver path: run_jobd with workers > 0 spawns subprocesses
+  // and must emit the very bytes the thread-pool path emits.
+  std::string input;
+  for (const JobSpec& spec : nine_jobs()) {
+    input += spec.to_json().dump() + "\n";
+  }
+
+  JobdOptions threads;
+  threads.threads = 4;
+  std::istringstream in_threads(input);
+  std::ostringstream out_threads;
+  const JobdReport report_threads = run_jobd(in_threads, out_threads, threads);
+  EXPECT_EQ(report_threads.jobs_ok, 9);
+
+  JobdOptions workers;
+  workers.workers = 2;
+  workers.worker_command = {MFDFT_JOBD_BIN, "--worker"};
+  std::istringstream in_workers(input);
+  std::ostringstream out_workers;
+  const JobdReport report_workers = run_jobd(in_workers, out_workers, workers);
+  EXPECT_EQ(report_workers.jobs_ok, 9);
+  EXPECT_EQ(report_workers.metrics.workers_lost, 0);
+
+  EXPECT_EQ(out_threads.str(), out_workers.str());
+}
+
+}  // namespace
+}  // namespace mfd::svc

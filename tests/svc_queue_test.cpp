@@ -77,6 +77,64 @@ TEST(BoundedQueue, CloseWakesBlockedConsumers) {
   EXPECT_EQ(seen, std::nullopt);
 }
 
+TEST(BoundedQueue, CloseWakesProducersBlockedOnFullQueue) {
+  // The supervisor-era shutdown path: producers can be parked on a full
+  // queue when close() arrives. They must wake promptly with push() ->
+  // false, not deadlock waiting for room that will never come.
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));
+  constexpr int kBlocked = 3;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kBlocked);
+  for (int p = 0; p < kBlocked; ++p) {
+    producers.emplace_back([&queue, &rejected, p] {
+      if (!queue.push(p + 1)) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(rejected.load(), kBlocked);
+  // The item admitted before close still drains.
+  EXPECT_EQ(queue.pop(), std::optional<int>(0));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseRacingProducersLosesNoAdmittedItem) {
+  // Stress the close()/push() race under TSan: every push that reported
+  // admission must be popped exactly once; every rejected push must leave
+  // no trace. The tally popped == admitted holds whichever way each
+  // individual race lands.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  BoundedQueue<int> queue(4);
+  std::atomic<int> admitted{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (queue.pop()) popped.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, &admitted, p] {
+      for (int i = 0;; ++i) {
+        if (!queue.push(p * 1000000 + i)) return;  // closed mid-stream
+        admitted.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  queue.close();
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(popped.load(), admitted.load());
+  EXPECT_GT(admitted.load(), 0);
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing) {
   constexpr int kProducers = 3;
   constexpr int kConsumers = 3;

@@ -1,18 +1,33 @@
 // Batch job driver: runs a JSONL file of JobSpecs through the svc
 // dispatcher and writes one JobResult JSON line per job, in input order.
-// Output is byte-identical for a fixed job file regardless of --threads.
+// Output is byte-identical for a fixed job file regardless of --threads,
+// and — for crash-free runs — regardless of --workers.
 //
 //   ./build/tools/mfdft_jobd --in jobs.jsonl --out results.jsonl
 //       --threads 8 --deadline-s 30
+//   ./build/tools/mfdft_jobd --in jobs.jsonl --out results.jsonl
+//       --workers 4 --stall-timeout-s 60
 //
-//   --in PATH         job file, one JSON object per line (default: stdin)
-//   --out PATH        result file (default: stdout)
-//   --threads N       job-level workers incl. the caller (0 = hardware)
-//   --deadline-s S    default per-job deadline for jobs that set none
-//   --trace PATH      JSONL trace of per-job spans and service counters
+//   --in PATH          job file, one JSON object per line (default: stdin)
+//   --out PATH         result file (default: stdout)
+//   --threads N        job-level workers incl. the caller (0 = hardware)
+//   --workers N        crash-isolated worker subprocesses instead of
+//                      threads; a crashing or wedged job costs one worker,
+//                      never the batch (requeued with backoff, quarantined
+//                      as "unavailable" after --max-attempts crashes)
+//   --stall-timeout-s S  per-job watchdog in worker mode (0 = off)
+//   --max-attempts K   attempts per job before quarantine (worker mode)
+//   --deadline-s S     default per-job deadline for jobs that set none
+//   --trace PATH       JSONL trace of per-job spans and service counters
+//   --worker           internal: run as a supervisor-driven worker process
+//                      (one request envelope per stdin line, one result
+//                      line per job on stdout)
 //
 // Exit status: 0 when every job ran OK, 3 when some jobs failed or were
 // stopped (their Status is in the results file), 2 on usage or I/O errors.
+// SIGPIPE is ignored: a closed downstream pipe surfaces as a clean write
+// error on stderr, not a mid-batch kill.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +35,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "common/trace.hpp"
 #include "svc/jobd.hpp"
@@ -29,17 +47,35 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--in PATH] [--out PATH] [--threads N] "
-               "[--deadline-s S] [--trace PATH]\n",
+               "[--workers N] [--stall-timeout-s S] [--max-attempts K] "
+               "[--deadline-s S] [--trace PATH] [--worker]\n",
                argv0);
   return 2;
+}
+
+/// Path of this binary (workers are spawned from the same executable);
+/// falls back to argv[0] when /proc is unavailable.
+std::string self_path(const char* argv0) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n > 0) {
+    buffer[n] = '\0';
+    return std::string(buffer);
+  }
+  return std::string(argv0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A closed downstream pipe (e.g. `mfdft_jobd | head`) must surface as a
+  // stream write failure, not kill the process mid-batch.
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::string in_path;
   std::string out_path;
   std::string trace_path;
+  bool worker_mode = false;
   mfd::svc::JobdOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +95,18 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       options.threads = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      options.workers = std::atoi(v);
+    } else if (arg == "--stall-timeout-s") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      options.stall_timeout_s = std::atof(v);
+    } else if (arg == "--max-attempts") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      options.max_attempts = std::atoi(v);
     } else if (arg == "--deadline-s") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -67,6 +115,8 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       trace_path = v;
+    } else if (arg == "--worker") {
+      worker_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -75,10 +125,25 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (options.threads < 0 || options.deadline_s < 0.0) {
-    std::fprintf(stderr, "%s: --threads and --deadline-s must be >= 0\n",
+
+  if (worker_mode) {
+    const int rc = mfd::svc::run_worker(std::cin, std::cout);
+    if (rc != 0) {
+      std::fprintf(stderr, "%s: worker: write to stdout failed\n", argv[0]);
+    }
+    return rc;
+  }
+
+  if (options.threads < 0 || options.workers < 0 || options.deadline_s < 0.0 ||
+      options.stall_timeout_s < 0.0 || options.max_attempts < 1) {
+    std::fprintf(stderr,
+                 "%s: --threads/--workers/--deadline-s/--stall-timeout-s "
+                 "must be >= 0 and --max-attempts >= 1\n",
                  argv[0]);
     return 2;
+  }
+  if (options.workers > 0) {
+    options.worker_command = {self_path(argv[0]), "--worker"};
   }
 
   std::ifstream in_file;
@@ -117,17 +182,30 @@ int main(int argc, char** argv) {
   std::istream& in = in_path.empty() ? std::cin : in_file;
   std::ostream& out = out_path.empty() ? std::cout : out_file;
   const mfd::svc::JobdReport report = mfd::svc::run_jobd(in, out, options);
-  if (!out_path.empty() && !out_file) {
-    std::fprintf(stderr, "%s: write to '%s' failed\n", argv[0],
-                 out_path.c_str());
+  // run_jobd flushes; a bad stream here means results were lost downstream
+  // (file error or a closed pipe) — fail loudly rather than exit 0 on a
+  // truncated results file.
+  if (!out) {
+    std::fprintf(stderr, "%s: write to '%s' failed; results are incomplete\n",
+                 argv[0], out_path.empty() ? "<stdout>" : out_path.c_str());
     return 2;
   }
 
+  std::string worker_summary;
+  if (options.workers > 0) {
+    worker_summary = ", " + std::to_string(report.metrics.jobs_retried) +
+                     " retried, " +
+                     std::to_string(report.metrics.jobs_quarantined) +
+                     " quarantined, " +
+                     std::to_string(report.metrics.workers_lost) +
+                     " workers lost";
+  }
   std::fprintf(stderr,
-               "mfdft_jobd: %d jobs (%d ok, %d stopped, %d failed) "
+               "mfdft_jobd: %d jobs (%d ok, %d stopped, %d failed%s) "
                "in %.2fs wall, max queue wait %.3fs\n",
                report.jobs_total, report.jobs_ok, report.jobs_stopped,
-               report.jobs_failed, report.metrics.wall_seconds,
+               report.jobs_failed, worker_summary.c_str(),
+               report.metrics.wall_seconds,
                report.metrics.queue_wait_seconds_max);
   return report.jobs_ok == report.jobs_total ? 0 : 3;
 }
