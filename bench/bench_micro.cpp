@@ -2,12 +2,26 @@
 // queries, max-flow, LP/ILP solves, pressure simulation, vector generation,
 // and scheduling. These are the inner loops of the PSO fitness evaluation,
 // so their cost bounds the codesign runtime directly.
+//
+// Run:  ./build/bench/bench_micro [--json PATH | google-benchmark flags]
+//   --json PATH — skip the google-benchmark suite and instead time the
+//   revised-simplex engine against the dense oracle (micro LP plus
+//   end-to-end plan_dft_paths on the paper chips), writing BENCH_ilp.json
+//   (schema in EXPERIMENTS.md). MFDFT_BENCH_REPS controls the best-of reps.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+
 #include "arch/chips.hpp"
+#include "bench_util.hpp"
+#include "common/json.hpp"
 #include "core/codesign.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/traversal.hpp"
+#include "ilp/revised_simplex.hpp"
 #include "ilp/solver.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/pressure.hpp"
@@ -120,6 +134,130 @@ void BM_ScheduleCpaOnMrna(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleCpaOnMrna);
 
+// ---- --json mode: revised engine vs dense oracle ------------------------
+
+// Best-of-`reps` wall time of `body()`, seconds.
+template <typename Body>
+double best_of(int reps, Body&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+// The BM_LpRelaxation model, reused for the backend comparison.
+ilp::Model micro_lp_model() {
+  ilp::Model model;
+  ilp::LinearExpr objective;
+  for (int i = 0; i < 120; ++i) {
+    const ilp::VarId v = model.add_binary();
+    objective.add(v, 1.0 + (i % 7) * 0.1);
+  }
+  for (int c = 0; c < 40; ++c) {
+    ilp::LinearExpr row;
+    for (int i = c; i < 120; i += 3) row.add(i, 1.0);
+    model.add_constraint(std::move(row), ilp::Sense::kGreaterEqual, 2.0);
+  }
+  model.set_objective(std::move(objective));
+  return model;
+}
+
+int run_ilp_comparison(const std::string& json_path) {
+  const int reps = bench::env_int("MFDFT_BENCH_REPS", 3);
+  const char* chip_filter = std::getenv("MFDFT_BENCH_CHIP");
+  Json report = Json::object();
+  report.set("bench", Json("ilp"));
+  report.set("reps", Json(std::int64_t{reps}));
+
+  {
+    const ilp::Model model = micro_lp_model();
+    const double revised_s =
+        best_of(reps, [&] { benchmark::DoNotOptimize(ilp::solve_lp(model)); });
+    ilp::LpOptions dense_options;
+    dense_options.use_dense = true;
+    const double dense_s = best_of(reps, [&] {
+      benchmark::DoNotOptimize(ilp::solve_lp(model, {}, {}, dense_options));
+    });
+    Json lp = Json::object();
+    lp.set("variables", Json(std::int64_t{model.variable_count()}));
+    lp.set("rows", Json(std::int64_t{model.constraint_count()}));
+    lp.set("revised_seconds", Json(revised_s));
+    lp.set("dense_seconds", Json(dense_s));
+    lp.set("speedup", Json(dense_s / revised_s));
+    report.set("lp", std::move(lp));
+    std::printf("lp relaxation: revised %.6fs dense %.6fs speedup %.2fx\n",
+                revised_s, dense_s, dense_s / revised_s);
+  }
+
+  Json chips = Json::array();
+  for (const arch::Biochip& chip : arch::make_paper_chips()) {
+    if (chip_filter != nullptr && chip.name() != chip_filter) continue;
+    testgen::PathPlan revised_plan;
+    const double revised_s = best_of(reps, [&] {
+      revised_plan = testgen::plan_dft_paths(chip);
+    });
+    testgen::PathPlanOptions dense_options;
+    dense_options.use_dense_lp = true;
+    testgen::PathPlan dense_plan;
+    const double dense_s = best_of(reps, [&] {
+      dense_plan = testgen::plan_dft_paths(chip, dense_options);
+    });
+    const ilp::SolveStats& stats = revised_plan.stats;
+    const double hit_rate =
+        stats.warm_start_attempts > 0
+            ? static_cast<double>(stats.warm_start_hits) /
+                  static_cast<double>(stats.warm_start_attempts)
+            : 0.0;
+    Json row = Json::object();
+    row.set("chip", Json(chip.name()));
+    row.set("feasible", Json(revised_plan.feasible));
+    row.set("plans_match",
+            Json(revised_plan.feasible == dense_plan.feasible &&
+                 revised_plan.paths == dense_plan.paths &&
+                 revised_plan.added_edges == dense_plan.added_edges));
+    row.set("paths_used", Json(std::int64_t{revised_plan.paths_used}));
+    row.set("added_edges",
+            Json(static_cast<std::int64_t>(revised_plan.added_edges.size())));
+    row.set("revised_seconds", Json(revised_s));
+    row.set("dense_seconds", Json(dense_s));
+    row.set("speedup", Json(dense_s / revised_s));
+    row.set("lp_solves", Json(stats.lp_solves));
+    row.set("pivots", Json(stats.pivots));
+    row.set("refactorizations", Json(stats.refactorizations));
+    row.set("warm_start_attempts", Json(stats.warm_start_attempts));
+    row.set("warm_start_hits", Json(stats.warm_start_hits));
+    row.set("warm_start_hit_rate", Json(hit_rate));
+    chips.push_back(std::move(row));
+    std::printf(
+        "%-10s revised %.3fs dense %.3fs speedup %.2fx "
+        "(pivots %lld, warm hit rate %.2f)\n",
+        chip.name().c_str(), revised_s, dense_s, dense_s / revised_s,
+        static_cast<long long>(stats.pivots), hit_rate);
+  }
+  report.set("chips", std::move(chips));
+  report.save(json_path);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json PATH` switches to the backend-comparison report; anything else
+  // goes to google-benchmark unchanged.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      return run_ilp_comparison(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -211,9 +211,24 @@ CodesignResult run_codesign(const arch::Biochip& chip,
         chip, options.config_pool_size, plan_opts);
     trace_counter(tracer, "config_pool",
                   static_cast<std::int64_t>(result.pool.size()));
+    trace_counter(
+        tracer, "fallback_plans",
+        static_cast<std::int64_t>(std::count_if(
+            result.pool.begin(), result.pool.end(),
+            [](const testgen::PathPlan& p) {
+              return p.method == testgen::PathPlan::Method::kGreedyFallback;
+            })));
   }
   if (check_stop("enumerate_configurations")) {
+    // Degrade gracefully: a deadline during enumeration may still have
+    // produced usable plans (possibly via the greedy fallback); keep the
+    // best-so-far artifacts alongside the stop status.
     result.status = *stop;
+    if (!result.pool.empty()) {
+      result.plan = result.pool.front();
+      result.dft_valve_count =
+          static_cast<int>(result.plan.added_edges.size());
+    }
     result.stats = baseline;
     result.runtime_seconds = elapsed();
     return result;

@@ -1,0 +1,707 @@
+#include "ilp/revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mfd::ilp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+LpEngine::LpEngine(const Model& model, const LpOptions& options)
+    : options_(options),
+      structural_(model.variable_count()),
+      matrix_(model.variable_count()) {
+  orientation_ = model.minimize() ? 1.0 : -1.0;
+
+  base_lower_.resize(static_cast<std::size_t>(structural_));
+  base_upper_.resize(static_cast<std::size_t>(structural_));
+  for (VarId v = 0; v < structural_; ++v) {
+    const Variable& var = model.variable(v);
+    base_lower_[static_cast<std::size_t>(v)] = var.lower;
+    base_upper_[static_cast<std::size_t>(v)] = var.upper;
+  }
+
+  set_objective(model.objective(), model.minimize());
+  for (const Constraint& c : model.constraints()) add_constraint(c);
+}
+
+void LpEngine::add_constraint(const Constraint& constraint) {
+  // Lazy cuts may arrive unnormalized (duplicate variables, embedded
+  // constants); mirror Model::add_constraint's canonical form.
+  LinearExpr expr = constraint.expr;
+  expr.normalize();
+  matrix_.add_row(expr);
+  rhs_.push_back(constraint.rhs - expr.constant());
+  switch (constraint.sense) {
+    case Sense::kLessEqual:
+      slack_lower_.push_back(0.0);
+      slack_upper_.push_back(kInf);
+      break;
+    case Sense::kEqual:
+      slack_lower_.push_back(0.0);
+      slack_upper_.push_back(0.0);
+      break;
+    case Sense::kGreaterEqual:
+      slack_lower_.push_back(-kInf);
+      slack_upper_.push_back(0.0);
+      break;
+  }
+  ++rows_;
+}
+
+void LpEngine::set_objective(const LinearExpr& objective, bool minimize) {
+  orientation_ = minimize ? 1.0 : -1.0;
+  cost_.assign(static_cast<std::size_t>(structural_), 0.0);
+  for (const LinearTerm& t : objective.terms()) {
+    MFD_REQUIRE(t.var >= 0 && t.var < structural_,
+                "LpEngine::set_objective(): variable out of range");
+    cost_[static_cast<std::size_t>(t.var)] += orientation_ * t.coeff;
+  }
+  objective_constant_ = objective.constant();
+}
+
+// One solve's working state. Kept separate from the engine so the engine's
+// persistent data (matrix, bounds, costs) stays immutable during a solve.
+class RevisedSolve {
+ public:
+  RevisedSolve(LpEngine& engine, const std::vector<double>& lower_override,
+               const std::vector<double>& upper_override, const Basis* warm)
+      : e_(engine),
+        n_(engine.structural_),
+        m_(engine.rows_),
+        cols_(n_ + m_),
+        tol_(engine.options_.tol) {
+    build_bounds(lower_override, upper_override);
+    warm_ = warm;
+  }
+
+  LpResult run() {
+    LpResult result;
+    ++e_.stats_.lp_solves;
+
+    // An attempt is any solve that received a warm basis, even one presolve
+    // answers outright; a hit requires actually adopting the basis.
+    const bool have_warm = warm_ != nullptr && !warm_->empty();
+    if (have_warm) ++e_.stats_.warm_start_attempts;
+
+    if (!presolve()) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+
+    if (have_warm && load_warm_basis(*warm_)) {
+      ++e_.stats_.warm_start_hits;
+    } else {
+      load_slack_basis();
+    }
+
+    result.status = optimize(result.iterations);
+    if (result.status == LpStatus::kOptimal) {
+      extract(result);
+    }
+    return result;
+  }
+
+ private:
+  // ---- setup -----------------------------------------------------------
+
+  void build_bounds(const std::vector<double>& lower_override,
+                    const std::vector<double>& upper_override) {
+    lower_.resize(static_cast<std::size_t>(cols_));
+    upper_.resize(static_cast<std::size_t>(cols_));
+    for (int j = 0; j < n_; ++j) {
+      lower_[static_cast<std::size_t>(j)] =
+          lower_override.empty() ? e_.base_lower_[static_cast<std::size_t>(j)]
+                                 : lower_override[static_cast<std::size_t>(j)];
+      upper_[static_cast<std::size_t>(j)] =
+          upper_override.empty() ? e_.base_upper_[static_cast<std::size_t>(j)]
+                                 : upper_override[static_cast<std::size_t>(j)];
+    }
+    for (int i = 0; i < m_; ++i) {
+      lower_[static_cast<std::size_t>(n_ + i)] =
+          e_.slack_lower_[static_cast<std::size_t>(i)];
+      upper_[static_cast<std::size_t>(n_ + i)] =
+          e_.slack_upper_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // Lightweight presolve on the effective bounds: bound-conflict and
+  // fixed-column detection, empty/singleton-row handling, and activity-based
+  // row infeasibility/redundancy analysis. Tightenings derived from
+  // singleton rows are exact implications, so applying them never changes
+  // the feasible region. Returns false when the LP is proven infeasible.
+  bool presolve() {
+    SolveStats& stats = e_.stats_;
+    for (int j = 0; j < n_; ++j) {
+      const double l = lower_[static_cast<std::size_t>(j)];
+      const double u = upper_[static_cast<std::size_t>(j)];
+      if (l > u + tol_) return false;
+      if (u - l <= tol_) ++stats.presolve_fixed_columns;
+    }
+
+    // Structural entry count per row (for empty/singleton classification)
+    // and activity bounds, accumulated column-wise.
+    row_entries_.assign(static_cast<std::size_t>(m_), 0);
+    row_single_.assign(static_cast<std::size_t>(m_), SparseEntry{-1, 0.0});
+    act_min_.assign(static_cast<std::size_t>(m_), 0.0);
+    act_max_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      const double l = lower_[static_cast<std::size_t>(j)];
+      const double u = upper_[static_cast<std::size_t>(j)];
+      for (const SparseEntry& entry : e_.matrix_.column(j)) {
+        const std::size_t i = static_cast<std::size_t>(entry.row);
+        ++row_entries_[i];
+        row_single_[i] = {j, entry.value};
+        const double lo = entry.value >= 0.0 ? entry.value * l
+                                             : entry.value * u;
+        const double hi = entry.value >= 0.0 ? entry.value * u
+                                             : entry.value * l;
+        act_min_[i] += lo;
+        act_max_[i] += hi;
+      }
+    }
+
+    for (int i = 0; i < m_; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      const double b = e_.rhs_[si];
+      // The row reads a.x + s = b with s in [sl, su], so a.x must land in
+      // [b - su, b - sl].
+      const double need_lo = b - e_.slack_upper_[si];
+      const double need_hi = b - e_.slack_lower_[si];
+      if (row_entries_[si] == 0) {
+        // Empty constraint row: satisfied by the slack alone or infeasible.
+        if (need_lo > tol_ || need_hi < -tol_) return false;
+        ++stats.presolve_redundant_rows;
+        continue;
+      }
+      if (act_min_[si] > need_hi + tol_ || act_max_[si] < need_lo - tol_) {
+        return false;  // activity bounds prove the row unsatisfiable
+      }
+      if (act_min_[si] >= need_lo - tol_ && act_max_[si] <= need_hi + tol_) {
+        ++stats.presolve_redundant_rows;
+      }
+      if (row_entries_[si] == 1) {
+        // Singleton row a*x + s = b: implied bounds on x, applied exactly.
+        const int j = row_single_[si].row >= 0 ? row_single_[si].row : -1;
+        const double a = row_single_[si].value;
+        if (j < 0 || a == 0.0) continue;
+        double implied_lo = a > 0.0 ? need_lo / a : need_hi / a;
+        double implied_hi = a > 0.0 ? need_hi / a : need_lo / a;
+        double& l = lower_[static_cast<std::size_t>(j)];
+        double& u = upper_[static_cast<std::size_t>(j)];
+        bool tightened = false;
+        if (implied_lo > l + tol_) {
+          l = implied_lo;
+          tightened = true;
+        }
+        if (implied_hi < u - tol_) {
+          u = implied_hi;
+          tightened = true;
+        }
+        if (tightened) ++stats.presolve_bound_tightenings;
+        if (l > u + tol_) return false;
+      }
+    }
+    return true;
+  }
+
+  // Nonbasic resting value of column j: its finite bound, or 0 for a free
+  // column ("superbasic at zero").
+  [[nodiscard]] double nonbasic_value(int j) const {
+    const double l = lower_[static_cast<std::size_t>(j)];
+    const double u = upper_[static_cast<std::size_t>(j)];
+    if (status_[static_cast<std::size_t>(j)] == VarStatus::kAtUpper) {
+      return u < kInf ? u : (l > -kInf ? l : 0.0);
+    }
+    return l > -kInf ? l : (u < kInf ? u : 0.0);
+  }
+
+  void load_slack_basis() {
+    status_.assign(static_cast<std::size_t>(cols_), VarStatus::kAtLower);
+    for (int j = 0; j < n_; ++j) {
+      if (lower_[static_cast<std::size_t>(j)] <= -kInf &&
+          upper_[static_cast<std::size_t>(j)] < kInf) {
+        status_[static_cast<std::size_t>(j)] = VarStatus::kAtUpper;
+      }
+    }
+    basic_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      basic_[static_cast<std::size_t>(i)] = n_ + i;
+      status_[static_cast<std::size_t>(n_ + i)] = VarStatus::kBasic;
+    }
+    // Slack columns are unit vectors: the basis inverse is the identity.
+    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+                 0.0);
+    for (int i = 0; i < m_; ++i) binv(i, i) = 1.0;
+  }
+
+  // Adopts a snapshot taken on this engine (possibly before rows were
+  // appended): missing rows get their slack basic, statuses are validated
+  // and the inverse refactorized. Returns false when the snapshot is
+  // incompatible or its basis matrix is singular.
+  bool load_warm_basis(const Basis& warm) {
+    if (static_cast<int>(warm.basic.size()) > m_ ||
+        static_cast<int>(warm.status.size()) > cols_) {
+      return false;
+    }
+    status_.assign(static_cast<std::size_t>(cols_), VarStatus::kAtLower);
+    std::copy(warm.status.begin(), warm.status.end(), status_.begin());
+    basic_.assign(static_cast<std::size_t>(m_), -1);
+    std::vector<char> in_basis(static_cast<std::size_t>(cols_), 0);
+    for (std::size_t i = 0; i < warm.basic.size(); ++i) {
+      const int col = warm.basic[i];
+      if (col < 0 || col >= cols_ || in_basis[static_cast<std::size_t>(col)]) {
+        return false;
+      }
+      in_basis[static_cast<std::size_t>(col)] = 1;
+      basic_[i] = col;
+    }
+    for (int i = static_cast<int>(warm.basic.size()); i < m_; ++i) {
+      const int slack = n_ + i;
+      if (in_basis[static_cast<std::size_t>(slack)]) return false;
+      in_basis[static_cast<std::size_t>(slack)] = 1;
+      basic_[static_cast<std::size_t>(i)] = slack;
+    }
+    // Normalize statuses against the basic set and the current bounds.
+    for (int j = 0; j < cols_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (in_basis[sj]) {
+        status_[sj] = VarStatus::kBasic;
+      } else if (status_[sj] == VarStatus::kBasic) {
+        status_[sj] = VarStatus::kAtLower;
+      }
+      if (status_[sj] == VarStatus::kAtUpper &&
+          upper_[sj] >= kInf) {
+        status_[sj] = VarStatus::kAtLower;
+      }
+    }
+    return refactorize();
+  }
+
+  // ---- dense basis inverse --------------------------------------------
+
+  double& binv(int i, int j) {
+    return binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] double binv_at(int i, int j) const {
+    return binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  // Gathers basis column `col` (sparse structural or unit slack) into out.
+  void gather_column(int col, std::vector<double>& out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    if (col < n_) {
+      for (const SparseEntry& entry : e_.matrix_.column(col)) {
+        out[static_cast<std::size_t>(entry.row)] = entry.value;
+      }
+    } else {
+      out[static_cast<std::size_t>(col - n_)] = 1.0;
+    }
+  }
+
+  // Rebuilds binv_ = B^-1 by Gauss-Jordan with partial pivoting from the
+  // sparse basis columns. Returns false on a (numerically) singular basis.
+  bool refactorize() {
+    ++e_.stats_.refactorizations;
+    work_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+                 0.0);
+    scratch_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      gather_column(basic_[static_cast<std::size_t>(i)], scratch_);
+      for (int r = 0; r < m_; ++r) {
+        work_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
+              static_cast<std::size_t>(i)] = scratch_[static_cast<std::size_t>(r)];
+      }
+    }
+    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+                 0.0);
+    for (int i = 0; i < m_; ++i) binv(i, i) = 1.0;
+    auto w = [&](int r, int c) -> double& {
+      return work_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) +
+                   static_cast<std::size_t>(c)];
+    };
+    for (int col = 0; col < m_; ++col) {
+      int pivot = col;
+      for (int r = col + 1; r < m_; ++r) {
+        if (std::abs(w(r, col)) > std::abs(w(pivot, col))) pivot = r;
+      }
+      if (std::abs(w(pivot, col)) <= 1e-12) return false;
+      if (pivot != col) {
+        for (int c = 0; c < m_; ++c) {
+          std::swap(w(pivot, c), w(col, c));
+          std::swap(binv(pivot, c), binv(col, c));
+        }
+      }
+      const double diag = w(col, col);
+      for (int c = 0; c < m_; ++c) {
+        w(col, c) /= diag;
+        binv(col, c) /= diag;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = w(r, col);
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m_; ++c) {
+          w(r, c) -= factor * w(col, c);
+          binv(r, c) -= factor * binv(col, c);
+        }
+      }
+    }
+    return true;
+  }
+
+  // ---- per-iteration quantities ---------------------------------------
+
+  // beta = B^-1 (rhs - N x_N), the values of the basic variables.
+  void compute_beta() {
+    effective_.assign(e_.rhs_.begin(), e_.rhs_.end());
+    for (int j = 0; j < cols_; ++j) {
+      if (status_[static_cast<std::size_t>(j)] == VarStatus::kBasic) continue;
+      const double value = nonbasic_value(j);
+      if (value == 0.0) continue;
+      if (j < n_) {
+        for (const SparseEntry& entry : e_.matrix_.column(j)) {
+          effective_[static_cast<std::size_t>(entry.row)] -=
+              entry.value * value;
+        }
+      } else {
+        effective_[static_cast<std::size_t>(j - n_)] -= value;
+      }
+    }
+    beta_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      double sum = 0.0;
+      const double* row =
+          &binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_)];
+      for (int k = 0; k < m_; ++k) {
+        sum += row[k] * effective_[static_cast<std::size_t>(k)];
+      }
+      beta_[static_cast<std::size_t>(i)] = sum;
+    }
+  }
+
+  // Total primal infeasibility of the basic values, filling the phase-1
+  // gradient (-1 below lower, +1 above upper) as a side effect.
+  double basic_infeasibility() {
+    phase1_grad_.assign(static_cast<std::size_t>(m_), 0.0);
+    double total = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      const int col = basic_[si];
+      const double value = beta_[si];
+      const double l = lower_[static_cast<std::size_t>(col)];
+      const double u = upper_[static_cast<std::size_t>(col)];
+      if (value < l - tol_) {
+        phase1_grad_[si] = -1.0;
+        total += l - value;
+      } else if (value > u + tol_) {
+        phase1_grad_[si] = 1.0;
+        total += value - u;
+      }
+    }
+    return total;
+  }
+
+  // y = c_B B^-1 for the active phase's costs.
+  void compute_duals(bool repair_phase) {
+    y_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      double cb;
+      if (repair_phase) {
+        cb = phase1_grad_[static_cast<std::size_t>(i)];
+      } else {
+        const int col = basic_[static_cast<std::size_t>(i)];
+        cb = col < n_ ? e_.cost_[static_cast<std::size_t>(col)] : 0.0;
+      }
+      if (cb == 0.0) continue;
+      const double* row =
+          &binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_)];
+      for (int k = 0; k < m_; ++k) {
+        y_[static_cast<std::size_t>(k)] += cb * row[k];
+      }
+    }
+  }
+
+  // Reduced cost of nonbasic column j under the active phase: sparse dot
+  // against the column's nonzero list (the pricing step the sparse
+  // representation exists for).
+  [[nodiscard]] double reduced_cost(int j, bool repair_phase) const {
+    double d = repair_phase || j >= n_
+                   ? 0.0
+                   : e_.cost_[static_cast<std::size_t>(j)];
+    if (j < n_) {
+      for (const SparseEntry& entry : e_.matrix_.column(j)) {
+        d -= y_[static_cast<std::size_t>(entry.row)] * entry.value;
+      }
+    } else {
+      d -= y_[static_cast<std::size_t>(j - n_)];
+    }
+    return d;
+  }
+
+  // alpha = B^-1 a_j (FTRAN) from the sparse column.
+  void ftran(int j) {
+    alpha_.assign(static_cast<std::size_t>(m_), 0.0);
+    if (j < n_) {
+      for (const SparseEntry& entry : e_.matrix_.column(j)) {
+        const double value = entry.value;
+        for (int i = 0; i < m_; ++i) {
+          alpha_[static_cast<std::size_t>(i)] +=
+              binv_at(i, entry.row) * value;
+        }
+      }
+    } else {
+      const int row = j - n_;
+      for (int i = 0; i < m_; ++i) {
+        alpha_[static_cast<std::size_t>(i)] = binv_at(i, row);
+      }
+    }
+  }
+
+  // ---- the simplex loop ------------------------------------------------
+
+  LpStatus optimize(int& iterations_out) {
+    const int iteration_limit =
+        e_.options_.max_iterations > 0
+            ? e_.options_.max_iterations
+            : 200 * (m_ + cols_) + 2000;
+    const int bland_threshold = 10 * (m_ + cols_) + 200;
+    int stall = 0;
+    bool repaired = false;
+
+    for (int iteration = 0; iteration < iteration_limit; ++iteration) {
+      ++iterations_out;
+      if ((iteration & 63) == 0 && stop_requested(e_.options_.control)) {
+        return LpStatus::kIterationLimit;
+      }
+      if ((iteration & 63) == 63) {
+        if (!refactorize()) return LpStatus::kIterationLimit;
+      }
+
+      compute_beta();
+      const double infeasibility = basic_infeasibility();
+      const bool repair_phase = infeasibility > tol_;
+      if (repair_phase && !repaired) {
+        repaired = true;
+        ++e_.stats_.repair_phases;
+      }
+      compute_duals(repair_phase);
+
+      const bool use_bland = stall > bland_threshold;
+      int entering = -1;
+      int direction = 0;  // +1 rises from lower, -1 falls from upper
+      double best_score = tol_;
+      for (int j = 0; j < cols_; ++j) {
+        const std::size_t sj = static_cast<std::size_t>(j);
+        if (status_[sj] == VarStatus::kBasic) continue;
+        const double l = lower_[sj];
+        const double u = upper_[sj];
+        if (u - l <= tol_) continue;  // fixed: never enters
+        const double d = reduced_cost(j, repair_phase);
+        double score = 0.0;
+        int dir = 0;
+        const bool free_column = l <= -kInf && u >= kInf;
+        if (status_[sj] == VarStatus::kAtLower || free_column) {
+          if (d < -tol_) {
+            score = -d;
+            dir = 1;
+          } else if (free_column && d > tol_) {
+            score = d;
+            dir = -1;
+          }
+        } else if (status_[sj] == VarStatus::kAtUpper && d > tol_) {
+          score = d;
+          dir = -1;
+        }
+        if (dir == 0) continue;
+        if (use_bland) {
+          entering = j;
+          direction = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          entering = j;
+          direction = dir;
+        }
+      }
+      if (entering == -1) {
+        // Phase-optimal: either proven infeasible (repair failed) or done.
+        return repair_phase ? LpStatus::kInfeasible : LpStatus::kOptimal;
+      }
+      ++e_.stats_.pivots;  // an iteration that moves (bound flip or pivot)
+
+      ftran(entering);
+
+      // Ratio test. The entering column moves t >= 0 from its bound in
+      // `direction`; basic i changes at rate g = -direction * alpha_i.
+      // Feasible basics block at the bound they approach; infeasible basics
+      // (repair phase) block at the bound they violate — where they become
+      // feasible and leave the basis.
+      const std::size_t se = static_cast<std::size_t>(entering);
+      double max_step =
+          (lower_[se] > -kInf && upper_[se] < kInf) ? upper_[se] - lower_[se]
+                                                    : kInf;
+      int leaving_row = -1;
+      bool leaving_at_upper = false;
+      for (int i = 0; i < m_; ++i) {
+        const std::size_t si = static_cast<std::size_t>(i);
+        const double g =
+            -static_cast<double>(direction) * alpha_[si];
+        if (std::abs(g) <= tol_) continue;
+        const int col = basic_[si];
+        const double value = beta_[si];
+        const double l = lower_[static_cast<std::size_t>(col)];
+        const double u = upper_[static_cast<std::size_t>(col)];
+        double limit = kInf;
+        bool at_upper = false;
+        if (value < l - tol_) {
+          // Infeasible below: blocks only while rising towards l.
+          if (g > 0.0) {
+            limit = (l - value) / g;
+            at_upper = false;
+          }
+        } else if (value > u + tol_) {
+          if (g < 0.0) {
+            limit = (value - u) / (-g);
+            at_upper = true;
+          }
+        } else if (g < 0.0 && l > -kInf) {
+          limit = (value - l) / (-g);
+          at_upper = false;
+        } else if (g > 0.0 && u < kInf) {
+          limit = (u - value) / g;
+          at_upper = true;
+        }
+        if (limit >= kInf) continue;
+        if (limit < max_step - tol_ ||
+            (limit < max_step + tol_ && leaving_row == -1)) {
+          max_step = std::max(limit, 0.0);
+          leaving_row = i;
+          leaving_at_upper = at_upper;
+        }
+      }
+
+      if (max_step >= kInf) {
+        // No blocking event: unbounded in phase 2. In the repair phase this
+        // cannot happen for an improving direction (some violated basic
+        // moves towards its bound and blocks); treat a numerical escape as
+        // an iteration-limit failure rather than cycling forever.
+        return repair_phase ? LpStatus::kIterationLimit
+                            : LpStatus::kUnbounded;
+      }
+
+      if (best_score * max_step > tol_) {
+        stall = 0;
+      } else {
+        ++stall;
+      }
+
+      if (leaving_row == -1) {
+        // Bound flip: the entering column crosses its whole range.
+        status_[se] =
+            direction > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        continue;
+      }
+
+      // Pivot: entering replaces basic_[leaving_row]; product-form update
+      // of the dense inverse.
+      const int leaving_col = basic_[static_cast<std::size_t>(leaving_row)];
+      status_[static_cast<std::size_t>(leaving_col)] =
+          leaving_at_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      basic_[static_cast<std::size_t>(leaving_row)] = entering;
+      status_[se] = VarStatus::kBasic;
+
+      const double pivot = alpha_[static_cast<std::size_t>(leaving_row)];
+      if (std::abs(pivot) <= 1e-12) {
+        // Numerically hopeless pivot: rebuild and retry from scratch state.
+        if (!refactorize()) return LpStatus::kIterationLimit;
+        continue;
+      }
+      double* pivot_row =
+          &binv_[static_cast<std::size_t>(leaving_row) *
+                 static_cast<std::size_t>(m_)];
+      for (int k = 0; k < m_; ++k) pivot_row[k] /= pivot;
+      for (int i = 0; i < m_; ++i) {
+        if (i == leaving_row) continue;
+        const double factor = alpha_[static_cast<std::size_t>(i)];
+        if (factor == 0.0) continue;
+        double* row =
+            &binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_)];
+        for (int k = 0; k < m_; ++k) row[k] -= factor * pivot_row[k];
+      }
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  void extract(LpResult& result) {
+    compute_beta();
+    basic_row_.assign(static_cast<std::size_t>(cols_), -1);
+    for (int i = 0; i < m_; ++i) {
+      basic_row_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] =
+          i;
+    }
+    result.values.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      const int row = basic_row_[static_cast<std::size_t>(j)];
+      result.values[static_cast<std::size_t>(j)] =
+          row >= 0 ? beta_[static_cast<std::size_t>(row)] : nonbasic_value(j);
+    }
+    double objective = e_.objective_constant_;
+    for (int j = 0; j < n_; ++j) {
+      const double c = e_.cost_[static_cast<std::size_t>(j)];
+      if (c == 0.0) continue;
+      objective +=
+          e_.orientation_ * c * result.values[static_cast<std::size_t>(j)];
+    }
+    result.objective = objective;
+    result.basis.status.assign(status_.begin(), status_.end());
+    result.basis.basic.assign(basic_.begin(), basic_.end());
+  }
+
+  LpEngine& e_;
+  int n_ = 0;
+  int m_ = 0;
+  int cols_ = 0;
+  double tol_ = 1e-7;
+  const Basis* warm_ = nullptr;
+
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basic_;
+  std::vector<int> basic_row_;
+  std::vector<double> binv_;
+  std::vector<double> beta_;
+  std::vector<double> effective_;
+  std::vector<double> y_;
+  std::vector<double> alpha_;
+  std::vector<double> phase1_grad_;
+  std::vector<double> work_;
+  std::vector<double> scratch_;
+  std::vector<int> row_entries_;
+  std::vector<SparseEntry> row_single_;
+  std::vector<double> act_min_;
+  std::vector<double> act_max_;
+};
+
+LpResult LpEngine::solve(const std::vector<double>& lower,
+                         const std::vector<double>& upper, const Basis* warm) {
+  MFD_REQUIRE(lower.empty() ||
+                  lower.size() == static_cast<std::size_t>(structural_),
+              "LpEngine::solve(): lower override size mismatch");
+  MFD_REQUIRE(upper.empty() ||
+                  upper.size() == static_cast<std::size_t>(structural_),
+              "LpEngine::solve(): upper override size mismatch");
+  RevisedSolve solve(*this, lower, upper, warm);
+  return solve.run();
+}
+
+}  // namespace mfd::ilp

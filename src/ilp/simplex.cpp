@@ -1,5 +1,7 @@
 #include "ilp/simplex.hpp"
 
+#include "ilp/revised_simplex.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -503,8 +505,9 @@ class SimplexSolver {
 
 }  // namespace
 
-LpResult solve_lp(const Model& model, const std::vector<double>& lower,
-                  const std::vector<double>& upper, const LpOptions& options) {
+LpResult solve_lp_dense(const Model& model, const std::vector<double>& lower,
+                        const std::vector<double>& upper,
+                        const LpOptions& options) {
   MFD_REQUIRE(lower.empty() ||
                   lower.size() ==
                       static_cast<std::size_t>(model.variable_count()),
@@ -515,6 +518,15 @@ LpResult solve_lp(const Model& model, const std::vector<double>& lower,
               "solve_lp(): upper override size mismatch");
   SimplexSolver solver(model, lower, upper, options);
   return solver.solve(model);
+}
+
+LpResult solve_lp(const Model& model, const std::vector<double>& lower,
+                  const std::vector<double>& upper, const LpOptions& options) {
+  if (options.use_dense) return solve_lp_dense(model, lower, upper, options);
+  LpEngine engine(model, options);
+  LpResult result = engine.solve(lower, upper, options.warm_start);
+  if (options.stats != nullptr) *options.stats += engine.stats();
+  return result;
 }
 
 }  // namespace mfd::ilp

@@ -4,7 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <queue>
+#include <utility>
+
+#include "common/trace.hpp"
+#include "ilp/revised_simplex.hpp"
 
 namespace mfd::ilp {
 
@@ -17,6 +23,9 @@ struct Node {
   std::vector<double> upper;
   double bound = -kInf;  // LP bound in minimize orientation
   int depth = 0;
+  /// Parent's optimal basis: the node's relaxation warm-starts from it
+  /// (shared between siblings, which differ only in one bound).
+  std::shared_ptr<const Basis> warm;
 };
 
 struct NodeOrder {
@@ -64,6 +73,24 @@ void round_integers(const Model& model, std::vector<double>& values) {
 
 Solution solve_ilp(const Model& model, const SolverOptions& options,
                    const LazyConstraintCallback& lazy) {
+  const bool use_dense = options.lp.use_dense;
+
+  // Propagate the run control into the LP so long simplex runs also stop.
+  SolverOptions limits = options;
+  limits.lp.control = options.control;
+  limits.lp.warm_start = nullptr;  // per-node bases are passed explicitly
+
+  // Build phase: the dense oracle re-reads a Model every solve, so it needs
+  // a mutable copy for lazy cuts; the revised engine is built once and
+  // mutated in place. Neither counts towards runtime_seconds.
+  std::optional<Model> work;
+  std::optional<LpEngine> engine;
+  if (use_dense) {
+    work.emplace(model);
+  } else {
+    engine.emplace(model, limits.lp);
+  }
+
   const auto start = std::chrono::steady_clock::now();
   auto elapsed = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -71,21 +98,54 @@ Solution solve_ilp(const Model& model, const SolverOptions& options,
         .count();
   };
 
-  // Working copy: lazy constraints are appended here as they are discovered.
-  Model work = model;
   const double orient = model.minimize() ? 1.0 : -1.0;
 
   Solution result;
-
-  // Propagate the run control into the LP so long simplex runs also stop.
-  SolverOptions limits = options;
-  limits.lp.control = options.control;
-
-  if (stop_requested(options.control)) {
-    result.status = SolveStatus::kStopped;
+  auto finish = [&](SolveStatus status) -> Solution& {
+    result.status = status;
     result.runtime_seconds = elapsed();
+    if (engine.has_value()) {
+      result.stats = engine->stats();
+      if (options.lp.stats != nullptr) *options.lp.stats += engine->stats();
+    }
+    if (Tracer* tracer = tracer_of(options.control)) {
+      trace_counter(tracer, "ilp.nodes", result.nodes_explored);
+      trace_counter(tracer, "ilp.lazy_cuts", result.lazy_constraints_added);
+      trace_counter(tracer, "ilp.pivots", result.stats.pivots);
+      trace_counter(tracer, "ilp.refactorizations",
+                    result.stats.refactorizations);
+      trace_counter(tracer, "ilp.warm_start_attempts",
+                    result.stats.warm_start_attempts);
+      trace_counter(tracer, "ilp.warm_start_hits",
+                    result.stats.warm_start_hits);
+      trace_counter(tracer, "ilp.presolve_fixed_columns",
+                    result.stats.presolve_fixed_columns);
+      trace_counter(tracer, "ilp.presolve_redundant_rows",
+                    result.stats.presolve_redundant_rows);
+      trace_counter(tracer, "ilp.presolve_bound_tightenings",
+                    result.stats.presolve_bound_tightenings);
+      trace_counter(tracer, "ilp.lp_solves", result.stats.lp_solves);
+      trace_counter(tracer, "ilp.repair_phases", result.stats.repair_phases);
+    }
     return result;
-  }
+  };
+
+  auto relax = [&](const std::vector<double>& lower,
+                   const std::vector<double>& upper,
+                   const Basis* warm) -> LpResult {
+    if (use_dense) return solve_lp_dense(*work, lower, upper, limits.lp);
+    return engine->solve(lower, upper, warm);
+  };
+
+  auto add_cut = [&](Constraint cut) {
+    if (use_dense) {
+      work->add_constraint(std::move(cut.expr), cut.sense, cut.rhs);
+    } else {
+      engine->add_constraint(cut);
+    }
+  };
+
+  if (stop_requested(options.control)) return finish(SolveStatus::kStopped);
 
   std::vector<double> root_lower(
       static_cast<std::size_t>(model.variable_count()));
@@ -100,74 +160,66 @@ Solution solve_ilp(const Model& model, const SolverOptions& options,
 
   // Solve the root relaxation first to classify infeasible/unbounded models.
   {
-    const LpResult root = solve_lp(work, root_lower, root_upper, limits.lp);
+    const LpResult root =
+        relax(root_lower, root_upper, options.warm_start);
     ++result.nodes_explored;
-    if (stop_requested(options.control)) {
-      result.status = SolveStatus::kStopped;
-      result.runtime_seconds = elapsed();
-      return result;
-    }
+    if (stop_requested(options.control)) return finish(SolveStatus::kStopped);
     if (root.status == LpStatus::kInfeasible ||
         root.status == LpStatus::kIterationLimit) {
-      result.status = SolveStatus::kInfeasible;
-      result.runtime_seconds = elapsed();
-      return result;
+      return finish(SolveStatus::kInfeasible);
     }
     if (root.status == LpStatus::kUnbounded) {
       // With integer variables the IP could still be bounded, but every model
       // in this library is bounded by construction; report honestly.
-      result.status = SolveStatus::kUnbounded;
-      result.runtime_seconds = elapsed();
-      return result;
+      return finish(SolveStatus::kUnbounded);
     }
-    Node node{root_lower, root_upper, orient * root.objective, 0};
+    Node node{root_lower, root_upper, orient * root.objective, 0,
+              root.basis.empty()
+                  ? nullptr
+                  : std::make_shared<const Basis>(root.basis)};
     open.push(std::move(node));
   }
 
   double incumbent_key = kInf;  // minimize orientation
 
   while (!open.empty()) {
-    if (stop_requested(options.control)) {
-      result.status = SolveStatus::kStopped;
-      result.runtime_seconds = elapsed();
-      return result;
-    }
+    if (stop_requested(options.control)) return finish(SolveStatus::kStopped);
     if (elapsed() > options.time_limit_seconds) {
-      result.status = SolveStatus::kTimeLimit;
-      result.runtime_seconds = elapsed();
-      return result;
+      return finish(SolveStatus::kTimeLimit);
     }
     if (result.nodes_explored >= options.max_nodes) {
-      result.status = SolveStatus::kNodeLimit;
-      result.runtime_seconds = elapsed();
-      return result;
+      return finish(SolveStatus::kNodeLimit);
     }
 
     Node node = open.top();
     open.pop();
     if (node.bound >= incumbent_key - options.absolute_gap) continue;
 
-    const LpResult lp = solve_lp(work, node.lower, node.upper, limits.lp);
+    const LpResult lp = relax(node.lower, node.upper, node.warm.get());
     ++result.nodes_explored;
     if (lp.status != LpStatus::kOptimal) continue;  // infeasible subtree
     const double key = orient * lp.objective;
     if (key >= incumbent_key - options.absolute_gap) continue;
 
     const int branch_var =
-        fractional_variable(work, lp.values, options.integrality_tol);
+        fractional_variable(model, lp.values, options.integrality_tol);
     if (branch_var == -1) {
       // Integral candidate. Give the lazy callback a chance to reject it.
       std::vector<double> candidate = lp.values;
-      round_integers(work, candidate);
+      round_integers(model, candidate);
       if (lazy) {
         std::vector<Constraint> cuts = lazy(candidate);
         if (!cuts.empty()) {
           for (Constraint& cut : cuts) {
-            work.add_constraint(std::move(cut.expr), cut.sense, cut.rhs);
+            add_cut(std::move(cut));
             ++result.lazy_constraints_added;
           }
-          // Re-solve the same node against the strengthened model.
+          // Re-solve the same node against the strengthened model; the
+          // engine extends this node's basis with the new rows' slacks.
           node.bound = key;
+          if (!lp.basis.empty()) {
+            node.warm = std::make_shared<const Basis>(lp.basis);
+          }
           open.push(std::move(node));
           continue;
         }
@@ -175,27 +227,32 @@ Solution solve_ilp(const Model& model, const SolverOptions& options,
       incumbent_key = key;
       result.values = std::move(candidate);
       result.objective = lp.objective;
+      result.basis = lp.basis;
       continue;
     }
 
-    // Branch on the fractional variable.
+    // Branch on the fractional variable; both children resume from this
+    // node's optimal basis.
+    const std::shared_ptr<const Basis> warm =
+        lp.basis.empty() ? node.warm
+                         : std::make_shared<const Basis>(lp.basis);
     const double value = lp.values[static_cast<std::size_t>(branch_var)];
     Node down = node;
     down.upper[static_cast<std::size_t>(branch_var)] = std::floor(value);
     down.bound = key;
     down.depth = node.depth + 1;
+    down.warm = warm;
     Node up = std::move(node);
     up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(value);
     up.bound = key;
     up.depth = down.depth;
+    up.warm = warm;
     open.push(std::move(down));
     open.push(std::move(up));
   }
 
-  result.status = result.has_solution() ? SolveStatus::kOptimal
-                                        : SolveStatus::kInfeasible;
-  result.runtime_seconds = elapsed();
-  return result;
+  return finish(result.has_solution() ? SolveStatus::kOptimal
+                                      : SolveStatus::kInfeasible);
 }
 
 }  // namespace mfd::ilp

@@ -32,7 +32,15 @@ struct Solution {
   std::vector<double> values;
   int nodes_explored = 0;
   int lazy_constraints_added = 0;
+  /// Wall time inside the search (monotonic clock), excluding model copy
+  /// and engine construction.
   double runtime_seconds = 0.0;
+  /// Engine counters accumulated over every LP solved by this call (revised
+  /// engine only; stays zero under SolverOptions::lp.use_dense).
+  SolveStats stats;
+  /// LP basis of the accepted incumbent (revised engine only). Feed it into
+  /// a later related solve via SolverOptions::warm_start.
+  Basis basis;
 
   [[nodiscard]] bool has_solution() const { return !values.empty(); }
 
@@ -59,6 +67,10 @@ struct SolverOptions {
   /// Optional cooperative deadline/cancellation, polled at every node (and
   /// propagated into the simplex iterations). Borrowed, may be null.
   const RunControl* control = nullptr;
+  /// Optional basis seeding the root relaxation (revised engine only) —
+  /// typically Solution::basis from a previous solve of a related model.
+  /// Borrowed, may be null.
+  const Basis* warm_start = nullptr;
 };
 
 /// Called with an integral candidate assignment; returns constraints violated

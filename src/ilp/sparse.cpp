@@ -1,0 +1,17 @@
+#include "ilp/sparse.hpp"
+
+namespace mfd::ilp {
+
+int SparseColumns::add_row(const LinearExpr& expr) {
+  const int row = rows_++;
+  for (const LinearTerm& t : expr.terms()) {
+    MFD_REQUIRE(t.var >= 0 && t.var < cols(),
+                "SparseColumns::add_row(): variable out of range");
+    if (t.coeff == 0.0) continue;
+    cols_[static_cast<std::size_t>(t.var)].push_back({row, t.coeff});
+    ++nonzeros_;
+  }
+  return row;
+}
+
+}  // namespace mfd::ilp

@@ -1,0 +1,45 @@
+// Column-major sparse constraint matrix for the revised simplex.
+//
+// The engine prices and FTRANs against individual columns, and lazy cuts
+// append whole rows; per-column nonzero lists support both directly: pricing
+// walks a column's entries, and a row append pushes one entry onto each
+// touched column. Entries within a column stay ordered by row (rows only
+// ever grow), which keeps the dot products cache-friendly.
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace mfd::ilp {
+
+struct SparseEntry {
+  int row = 0;
+  double value = 0.0;
+};
+
+class SparseColumns {
+ public:
+  SparseColumns() = default;
+  explicit SparseColumns(int cols) : cols_(static_cast<std::size_t>(cols)) {}
+
+  [[nodiscard]] int cols() const { return static_cast<int>(cols_.size()); }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int nonzeros() const { return nonzeros_; }
+
+  [[nodiscard]] const std::vector<SparseEntry>& column(int j) const {
+    return cols_[static_cast<std::size_t>(j)];
+  }
+
+  /// Appends one row holding the expression's terms; returns its row index.
+  /// The expression must already be normalized (unique variables, no zero
+  /// coefficients), which Model::add_constraint guarantees.
+  int add_row(const LinearExpr& expr);
+
+ private:
+  std::vector<std::vector<SparseEntry>> cols_;
+  int rows_ = 0;
+  int nonzeros_ = 0;
+};
+
+}  // namespace mfd::ilp

@@ -1,0 +1,158 @@
+#include "testgen/greedy_paths.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "graph/traversal.hpp"
+
+namespace mfd::testgen {
+
+namespace {
+
+// Sweep weights: an uncovered channel is nearly free (paths are pulled
+// through it), a covered channel stays cheap (re-using the chip is fine),
+// and a free grid edge costs a full unit (each one used becomes a DFT
+// channel, the quantity the exact ILP minimizes).
+constexpr double kUncoveredCost = 1e-3;
+constexpr double kCoveredCost = 5e-2;
+constexpr double kFreeCost = 1.0;
+
+void refresh_weights(const arch::Biochip& chip,
+                     const std::vector<char>& covered,
+                     std::vector<double>& weights) {
+  const graph::Graph& grid = chip.grid().graph();
+  for (graph::EdgeId j = 0; j < grid.edge_count(); ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    if (chip.edge_occupied(j)) {
+      weights[sj] = covered[sj] ? kCoveredCost : kUncoveredCost;
+    } else {
+      weights[sj] = kFreeCost;
+    }
+  }
+}
+
+int cover_path(const arch::Biochip& chip,
+               const std::vector<graph::EdgeId>& edges,
+               std::vector<char>& covered) {
+  int newly = 0;
+  for (graph::EdgeId j : edges) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    if (chip.edge_occupied(j) && !covered[sj]) {
+      covered[sj] = 1;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+}  // namespace
+
+bool greedy_dft_paths(const arch::Biochip& chip, PathPlan& plan) {
+  const graph::Graph& grid = chip.grid().graph();
+  const int edge_count = grid.edge_count();
+  const graph::NodeId s = chip.port(plan.source).node;
+  const graph::NodeId t = chip.port(plan.meter).node;
+  if (s == t) return false;
+
+  std::vector<char> covered(static_cast<std::size_t>(edge_count), 0);
+  int uncovered = 0;
+  for (graph::EdgeId j = 0; j < edge_count; ++j) {
+    if (chip.edge_occupied(j)) ++uncovered;
+  }
+
+  std::vector<std::vector<graph::EdgeId>> paths;
+  std::vector<double> weights(static_cast<std::size_t>(edge_count), 0.0);
+
+  // Sweep phase: cheapest s->t path under the coverage-aware weights; every
+  // sweep must cover at least one new channel or the phase is done.
+  while (uncovered > 0) {
+    refresh_weights(chip, covered, weights);
+    const std::optional<graph::Path> p =
+        graph::shortest_path_weighted(grid, s, t, weights);
+    if (!p.has_value()) return false;  // ports disconnected: no plan exists
+    int newly = 0;
+    for (graph::EdgeId j : p->edges) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (chip.edge_occupied(j) && !covered[sj]) ++newly;
+    }
+    if (newly == 0) break;  // no progress: remaining channels are off-route
+    uncovered -= cover_path(chip, p->edges, covered);
+    paths.push_back(p->edges);
+  }
+
+  // Targeted phase: for each straggler channel (u,v), stitch a simple path
+  // s -> u, (u,v), v -> t from two node-disjoint weighted segments (the
+  // second segment's search runs with every first-segment node sealed off).
+  for (graph::EdgeId e = 0; e < edge_count && uncovered > 0; ++e) {
+    if (!chip.edge_occupied(e) || covered[static_cast<std::size_t>(e)]) {
+      continue;
+    }
+    refresh_weights(chip, covered, weights);
+
+    auto attempt = [&](graph::NodeId a, graph::NodeId b)
+        -> std::optional<std::vector<graph::EdgeId>> {
+      if (b == s) return std::nullopt;  // the walk would revisit the source
+      std::optional<graph::Path> seg1;
+      if (a == s) {
+        seg1 = graph::Path{{s}, {}};
+      } else {
+        graph::EdgeMask avoid_b(edge_count, true);
+        for (graph::EdgeId j : grid.incident_edges(b)) avoid_b.set(j, false);
+        seg1 = graph::shortest_path_weighted(grid, s, a, weights, avoid_b);
+      }
+      if (!seg1.has_value()) return std::nullopt;
+      std::optional<graph::Path> seg2;
+      if (b == t) {
+        seg2 = graph::Path{{t}, {}};
+      } else {
+        graph::EdgeMask avoid_seg1(edge_count, true);
+        avoid_seg1.set(e, false);
+        for (graph::NodeId n : seg1->nodes) {
+          for (graph::EdgeId j : grid.incident_edges(n)) {
+            avoid_seg1.set(j, false);
+          }
+        }
+        seg2 = graph::shortest_path_weighted(grid, b, t, weights, avoid_seg1);
+      }
+      if (!seg2.has_value()) return std::nullopt;
+      std::vector<graph::EdgeId> edges = seg1->edges;
+      edges.push_back(e);
+      edges.insert(edges.end(), seg2->edges.begin(), seg2->edges.end());
+      return edges;
+    };
+
+    const graph::Edge& ge = grid.edge(e);
+    std::optional<std::vector<graph::EdgeId>> edges = attempt(ge.u, ge.v);
+    if (!edges.has_value()) edges = attempt(ge.v, ge.u);
+    if (!edges.has_value()) return false;  // channel unreachable simply
+    uncovered -= cover_path(chip, *edges, covered);
+    paths.push_back(std::move(*edges));
+  }
+  if (uncovered > 0) return false;
+
+  if (paths.empty()) {
+    // Chip with no channels to cover: still emit one source->meter path so
+    // the plan shape matches the exact planner's.
+    const std::optional<graph::Path> p =
+        graph::shortest_path_weighted(grid, s, t, weights);
+    if (!p.has_value()) return false;
+    paths.push_back(p->edges);
+  }
+
+  std::vector<char> added(static_cast<std::size_t>(edge_count), 0);
+  for (const std::vector<graph::EdgeId>& path : paths) {
+    for (graph::EdgeId j : path) {
+      if (!chip.edge_occupied(j)) added[static_cast<std::size_t>(j)] = 1;
+    }
+  }
+  plan.added_edges.clear();
+  for (graph::EdgeId j = 0; j < edge_count; ++j) {
+    if (added[static_cast<std::size_t>(j)]) plan.added_edges.push_back(j);
+  }
+  plan.paths = std::move(paths);
+  plan.paths_used = static_cast<int>(plan.paths.size());
+  plan.feasible = true;
+  return true;
+}
+
+}  // namespace mfd::testgen

@@ -1,0 +1,24 @@
+// Greedy fallback for DFT path planning.
+//
+// When a RunControl deadline (or time/node limit) interrupts the exact ILP
+// of plan_dft_paths() before any plan is found, this deterministic
+// polynomial-time construction produces a valid — not minimal — plan so the
+// pipeline can degrade gracefully instead of failing outright: repeated
+// weighted shortest-path sweeps over the flow graph (uncovered channels
+// nearly free, covered channels cheap, free edges expensive) followed by
+// targeted source->channel->meter insertions for the stragglers.
+#pragma once
+
+#include "testgen/path_ilp.hpp"
+
+namespace mfd::testgen {
+
+/// Fills `plan` (whose source/meter ports must already be chosen) with
+/// simple source->meter paths covering every original channel, using free
+/// grid edges as sparingly as the greedy heuristic manages. Sets
+/// plan.feasible on success; leaves the plan untouched on failure (a chip
+/// whose channels cannot all be reached from the test ports). Never solves
+/// an ILP and never polls a RunControl: it is the cheap post-deadline path.
+bool greedy_dft_paths(const arch::Biochip& chip, PathPlan& plan);
+
+}  // namespace mfd::testgen

@@ -61,9 +61,14 @@ std::vector<std::size_t> greedy_cover(
   return chosen;
 }
 
-std::optional<std::vector<std::size_t>> exact_cover(
+struct ExactCover {
+  std::vector<std::size_t> chosen;
+  bool proved_optimal = false;
+};
+
+std::optional<ExactCover> exact_cover(
     const std::vector<std::vector<char>>& matrix, std::size_t fault_count,
-    double time_limit) {
+    const MinimizeOptions& options, ilp::SolveStats& stats) {
   ilp::Model model;
   std::vector<ilp::VarId> pick(matrix.size());
   ilp::LinearExpr objective;
@@ -80,16 +85,22 @@ std::optional<std::vector<std::size_t>> exact_cover(
   }
   model.set_objective(std::move(objective));
 
-  ilp::SolverOptions options;
-  options.time_limit_seconds = time_limit;
-  options.absolute_gap = 0.5;  // objective is integral
-  const ilp::Solution solution = ilp::solve_ilp(model, options);
-  if (solution.status != ilp::SolveStatus::kOptimal) return std::nullopt;
-  std::vector<std::size_t> chosen;
+  ilp::SolverOptions solver;
+  solver.time_limit_seconds = options.ilp_time_limit_seconds;
+  solver.absolute_gap = 0.5;  // objective is integral
+  solver.control = options.control;
+  const ilp::Solution solution = ilp::solve_ilp(model, solver);
+  stats += solution.stats;
+  // Every integral incumbent of the cover model is a valid cover, so an
+  // interrupted solve's best-so-far is still usable; only the optimality
+  // claim depends on the solve running to completion.
+  if (!solution.has_solution()) return std::nullopt;
+  ExactCover result;
+  result.proved_optimal = solution.status == ilp::SolveStatus::kOptimal;
   for (std::size_t v = 0; v < matrix.size(); ++v) {
-    if (solution.binary_value(pick[v])) chosen.push_back(v);
+    if (solution.binary_value(pick[v])) result.chosen.push_back(v);
   }
-  return chosen;
+  return result;
 }
 
 }  // namespace
@@ -105,11 +116,12 @@ TestSuite minimize_test_suite(const arch::Biochip& chip,
 
   std::vector<std::size_t> chosen;
   bool exact = false;
+  ilp::SolveStats ilp_stats;
   if (static_cast<int>(suite.vectors.size()) <= options.exact_threshold) {
-    if (auto solved = exact_cover(matrix, faults.size(),
-                                  options.ilp_time_limit_seconds)) {
-      chosen = std::move(*solved);
-      exact = true;
+    if (auto solved =
+            exact_cover(matrix, faults.size(), options, ilp_stats)) {
+      chosen = std::move(solved->chosen);
+      exact = solved->proved_optimal;
     }
   }
   if (chosen.empty()) chosen = greedy_cover(matrix, faults.size());
@@ -123,6 +135,7 @@ TestSuite minimize_test_suite(const arch::Biochip& chip,
     stats->vectors_before = suite.size();
     stats->vectors_after = minimized.size();
     stats->exact = exact;
+    stats->ilp = ilp_stats;
   }
   return minimized;
 }

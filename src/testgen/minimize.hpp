@@ -18,12 +18,20 @@ struct MinimizeOptions {
   /// vectors; otherwise (or on ILP time-out) fall back to greedy set cover.
   int exact_threshold = 64;
   double ilp_time_limit_seconds = 20.0;
+  /// Optional cooperative deadline/cancellation, threaded into the exact
+  /// set-cover ILP. An interrupted solve still contributes its incumbent
+  /// (any integral incumbent of the cover model is a valid cover); only the
+  /// optimality claim is dropped. Borrowed, may be null.
+  const RunControl* control = nullptr;
 };
 
 struct MinimizeStats {
   int vectors_before = 0;
   int vectors_after = 0;
   bool exact = false;  // true when the ILP proved optimality
+  /// LP engine counters from the exact set-cover solve (zero when the
+  /// instance went straight to greedy).
+  ilp::SolveStats ilp;
 };
 
 /// Returns the smallest subset of `suite`'s vectors that keeps fault

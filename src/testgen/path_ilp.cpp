@@ -1,9 +1,11 @@
 #include "testgen/path_ilp.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
 #include "graph/traversal.hpp"
+#include "testgen/greedy_paths.hpp"
 
 namespace mfd::testgen {
 
@@ -312,11 +314,88 @@ std::vector<graph::EdgeId> extract_path(const arch::Biochip& chip,
   return ordered;
 }
 
+// The ILP pins down the union multiset of path edges (the per-use epsilon
+// cost makes the total use count part of the objective), but how that union
+// splits into the |P| individual paths is an arbitrary choice among symmetric
+// optima — and different LP backends (or warm vs cold starts) land on
+// different vertices under degeneracy. Re-partition the union into the
+// lexicographically smallest list of simple s->t paths, so equal unions give
+// bit-identical plans no matter which incumbent the search happened to find.
+// Keeps the original partition when the bounded search does not finish.
+void canonicalize_paths(const arch::Biochip& chip, graph::NodeId s,
+                        graph::NodeId t,
+                        std::vector<std::vector<graph::EdgeId>>& paths) {
+  if (paths.size() < 2) return;
+  const graph::Graph& grid = chip.grid().graph();
+  std::vector<int> remaining(static_cast<std::size_t>(grid.edge_count()), 0);
+  std::size_t left = 0;
+  for (const auto& path : paths) {
+    for (graph::EdgeId j : path) ++remaining[static_cast<std::size_t>(j)];
+    left += path.size();
+  }
+  std::vector<std::vector<graph::EdgeId>> incident(
+      static_cast<std::size_t>(grid.node_count()));
+  for (graph::NodeId i = 0; i < grid.node_count(); ++i) {
+    auto& edges = incident[static_cast<std::size_t>(i)];
+    for (graph::EdgeId j : grid.incident_edges(i)) edges.push_back(j);
+    std::sort(edges.begin(), edges.end());
+  }
+
+  constexpr long kStepBudget = 2'000'000;
+  long steps = 0;
+  std::vector<std::vector<graph::EdgeId>> result(paths.size());
+  // Per-path visited sets: deeper paths must not clobber the state a
+  // backtracking shallower path will restore.
+  std::vector<std::vector<char>> on_path(
+      paths.size(),
+      std::vector<char>(static_cast<std::size_t>(grid.node_count()), 0));
+
+  std::function<bool(std::size_t)> assemble;
+  std::function<bool(std::size_t, graph::NodeId)> extend =
+      [&](std::size_t index, graph::NodeId at) -> bool {
+    if (++steps > kStepBudget) return false;
+    // A simple path reaching the meter must end there.
+    if (at == t && !result[index].empty()) return assemble(index + 1);
+    for (graph::EdgeId j : incident[static_cast<std::size_t>(at)]) {
+      if (remaining[static_cast<std::size_t>(j)] == 0) continue;
+      const graph::NodeId next = grid.edge(j).other(at);
+      if (on_path[index][static_cast<std::size_t>(next)]) continue;
+      --remaining[static_cast<std::size_t>(j)];
+      --left;
+      on_path[index][static_cast<std::size_t>(next)] = 1;
+      result[index].push_back(j);
+      if (extend(index, next)) return true;
+      result[index].pop_back();
+      on_path[index][static_cast<std::size_t>(next)] = 0;
+      ++remaining[static_cast<std::size_t>(j)];
+      ++left;
+    }
+    return false;
+  };
+  assemble = [&](std::size_t index) -> bool {
+    if (index == result.size()) return left == 0;
+    std::fill(on_path[index].begin(), on_path[index].end(), 0);
+    on_path[index][static_cast<std::size_t>(s)] = 1;
+    result[index].clear();
+    return extend(index, s);
+  };
+  if (assemble(0)) paths = std::move(result);
+}
+
+// True when the exact search inside a solve was cut short rather than
+// finishing with a definite answer.
+bool solve_interrupted(ilp::SolveStatus status) {
+  return status == ilp::SolveStatus::kStopped ||
+         status == ilp::SolveStatus::kTimeLimit ||
+         status == ilp::SolveStatus::kNodeLimit;
+}
+
 // One full |P| = initial..max sweep over a fixed candidate edge set.
+// `interrupted` is set (never cleared) when any solve was cut short.
 bool plan_with_candidates(const arch::Biochip& chip,
                           const PathPlanOptions& options,
                           const std::vector<char>& edge_allowed,
-                          PathPlan& plan) {
+                          PathPlan& plan, bool& interrupted) {
   const graph::NodeId s = chip.port(plan.source).node;
   const graph::NodeId t = chip.port(plan.meter).node;
   const graph::Graph& grid = chip.grid().graph();
@@ -331,39 +410,58 @@ bool plan_with_candidates(const arch::Biochip& chip,
     solver_options.time_limit_seconds = options.time_limit_seconds;
     solver_options.absolute_gap = options.unbiased_gap;
     solver_options.control = options.control;
+    solver_options.lp.use_dense = options.use_dense_lp;
     const VarLayout& vars = built.layout;
-    ilp::Solution solution = ilp::solve_ilp(
-        built.model, solver_options,
-        [&](const std::vector<double>& candidate) {
-          return loop_cuts(chip, num_paths, s, vars, candidate);
-        });
+    // Record every lazy cut discovered, so the second stage can replay them
+    // into the same model instead of rediscovering them.
+    std::vector<ilp::Constraint> recorded_cuts;
+    const auto lazy = [&](const std::vector<double>& candidate) {
+      std::vector<ilp::Constraint> cuts =
+          loop_cuts(chip, num_paths, s, vars, candidate);
+      recorded_cuts.insert(recorded_cuts.end(), cuts.begin(), cuts.end());
+      return cuts;
+    };
+    ilp::Solution solution = ilp::solve_ilp(built.model, solver_options, lazy);
     plan.ilp_nodes += solution.nodes_explored;
     plan.lazy_cuts += solution.lazy_constraints_added;
+    plan.stats += solution.stats;
+    if (solve_interrupted(solution.status)) interrupted = true;
     if (!solution.has_solution()) continue;  // infeasible: grow |P|
 
     // Optional lexicographic second stage: keep the minimum channel count
-    // and re-optimize the PSO bias over edge selection.
+    // and re-optimize the PSO bias over edge selection. The stage mutates
+    // the *same* model — replaying the stage-1 lazy cuts and appending the
+    // cardinality cap — and warm-starts from the stage-1 incumbent basis
+    // (the new rows' slacks extend it inside the engine).
     if (!options.edge_weights.empty()) {
       int min_added = 0;
       for (graph::EdgeId j = 0; j < grid.edge_count(); ++j) {
         const ilp::VarId keep = vars.keep[static_cast<std::size_t>(j)];
         if (keep >= 0 && solution.binary_value(keep)) ++min_added;
       }
-      BuiltModel biased = build_model(chip, num_paths, s, t, edge_allowed,
-                                      options, min_added);
+      for (const ilp::Constraint& cut : recorded_cuts) {
+        built.model.add_constraint(cut.expr, cut.sense, cut.rhs);
+      }
+      ilp::LinearExpr total;
+      for (graph::EdgeId j = 0; j < grid.edge_count(); ++j) {
+        const ilp::VarId keep = vars.keep[static_cast<std::size_t>(j)];
+        if (keep >= 0) total.add(keep, 1.0);
+      }
+      built.model.add_constraint(std::move(total), ilp::Sense::kLessEqual,
+                                 static_cast<double>(min_added));
       ilp::SolverOptions biased_options = solver_options;
       biased_options.absolute_gap = options.biased_gap;
-      const VarLayout& biased_vars = biased.layout;
-      ilp::Solution biased_solution = ilp::solve_ilp(
-          biased.model, biased_options,
-          [&](const std::vector<double>& candidate) {
-            return loop_cuts(chip, num_paths, s, biased_vars, candidate);
-          });
+      if (!solution.basis.empty()) {
+        biased_options.warm_start = &solution.basis;
+      }
+      ilp::Solution biased_solution =
+          ilp::solve_ilp(built.model, biased_options, lazy);
       plan.ilp_nodes += biased_solution.nodes_explored;
       plan.lazy_cuts += biased_solution.lazy_constraints_added;
+      plan.stats += biased_solution.stats;
+      if (solve_interrupted(biased_solution.status)) interrupted = true;
       if (biased_solution.has_solution()) {
         solution = std::move(biased_solution);
-        built = std::move(biased);
       }
     }
 
@@ -379,6 +477,7 @@ bool plan_with_candidates(const arch::Biochip& chip,
       }
       plan.paths.push_back(extract_path(chip, s, t, selected));
     }
+    canonicalize_paths(chip, s, t, plan.paths);
     for (graph::EdgeId j = 0; j < grid.edge_count(); ++j) {
       const ilp::VarId keep = final_vars.keep[static_cast<std::size_t>(j)];
       if (keep < 0 || !solution.binary_value(keep)) continue;
@@ -429,6 +528,7 @@ PathPlan plan_dft_paths(const arch::Biochip& chip,
   plan.source = source;
   plan.meter = meter;
 
+  bool interrupted = false;
   const int free_edges =
       chip.grid().graph().edge_count() - chip.valve_count();
   const bool restrict =
@@ -439,15 +539,39 @@ PathPlan plan_dft_paths(const arch::Biochip& chip,
        free_edges > options.auto_restrict_threshold);
   if (restrict) {
     if (plan_with_candidates(chip, options, neighborhood_candidates(chip),
-                             plan)) {
+                             plan, interrupted)) {
       return plan;
     }
   }
   // Unrestricted retry (or first attempt when restriction is disabled).
-  if (stop_requested(options.control)) return plan;
-  std::vector<char> all(
-      static_cast<std::size_t>(chip.grid().graph().edge_count()), 1);
-  plan_with_candidates(chip, options, all, plan);
+  if (!stop_requested(options.control)) {
+    std::vector<char> all(
+        static_cast<std::size_t>(chip.grid().graph().edge_count()), 1);
+    plan_with_candidates(chip, options, all, plan, interrupted);
+  }
+  if (plan.feasible) return plan;
+
+  if (stop_requested(options.control)) interrupted = true;
+  if (!interrupted) return plan;  // genuinely infeasible: no fallback
+
+  // The exact search was cut short before finding any plan. Degrade
+  // gracefully: report how it was interrupted and, when allowed, hand the
+  // instance to the deterministic greedy planner.
+  const StopReason reason =
+      options.control != nullptr ? options.control->check() : StopReason::kNone;
+  const Outcome outcome = reason != StopReason::kNone
+                              ? outcome_of(reason)
+                              : Outcome::kDeadlineExceeded;
+  if (options.heuristic_fallback && greedy_dft_paths(chip, plan)) {
+    plan.method = PathPlan::Method::kGreedyFallback;
+    plan.status = Status::Fail(outcome, "plan_dft_paths",
+                               "exact search interrupted; plan built by the "
+                               "greedy fallback");
+  } else {
+    plan.status = Status::Fail(outcome, "plan_dft_paths",
+                               "exact search interrupted before any plan "
+                               "was found");
+  }
   return plan;
 }
 

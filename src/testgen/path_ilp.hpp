@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "arch/biochip.hpp"
+#include "common/status.hpp"
 #include "ilp/solver.hpp"
 
 namespace mfd::testgen {
@@ -56,6 +57,14 @@ struct PathPlanOptions {
   /// Optional cooperative deadline/cancellation, polled between ILP
   /// re-solves and inside them. Borrowed, may be null.
   const RunControl* control = nullptr;
+  /// Route every LP relaxation through the retained dense simplex instead
+  /// of the revised engine (differential oracle; see LpOptions::use_dense).
+  bool use_dense_lp = false;
+  /// When the exact search is interrupted (RunControl stop, or a time/node
+  /// limit inside a solve) before any plan is found, build one with the
+  /// deterministic greedy planner (greedy_paths.hpp) instead of reporting
+  /// infeasibility. Genuine infeasibility never triggers the fallback.
+  bool heuristic_fallback = true;
 };
 
 struct PathPlan {
@@ -72,6 +81,18 @@ struct PathPlan {
   /// Total branch-and-bound nodes over all |P| attempts.
   int ilp_nodes = 0;
   int lazy_cuts = 0;
+  /// How the plan was produced: the exact ILP, or the greedy fallback that
+  /// activates when the exact search is interrupted.
+  enum class Method { kExactIlp, kGreedyFallback };
+  Method method = Method::kExactIlp;
+  /// kOk for an uninterrupted exact run. kDeadlineExceeded/kCancelled when
+  /// the exact search was cut short — the plan, if feasible, then came from
+  /// the greedy fallback and callers (run_codesign, the job service) can
+  /// surface the degradation instead of a hard failure.
+  Status status = Status::Ok();
+  /// LP engine counters accumulated over every ILP solve of this planning
+  /// run (zero under use_dense_lp).
+  ilp::SolveStats stats;
 };
 
 /// The port pair with the largest grid (Manhattan) distance, favouring long

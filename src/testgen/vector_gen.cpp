@@ -61,6 +61,9 @@ class VectorSearch {
 
     TestSuite suite;
     suite.vectors = std::move(vectors_);
+    suite.seeded_from_fallback =
+        options_.plan != nullptr && options_.plan->feasible &&
+        options_.plan->method == PathPlan::Method::kGreedyFallback;
     suite.coverage =
         sim::evaluate_coverage(chip_, suite.vectors,
                                sim::FaultUniverse::kStuckAt, options_.control);

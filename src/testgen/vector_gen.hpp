@@ -43,6 +43,10 @@ struct VectorGenOptions {
 struct TestSuite {
   std::vector<sim::TestVector> vectors;
   sim::CoverageReport coverage;
+  /// Set when the seeding PathPlan came from the greedy fallback rather
+  /// than the exact ILP (see PathPlan::method) — the suite is complete but
+  /// may use more DFT channels than the minimum.
+  bool seeded_from_fallback = false;
 
   [[nodiscard]] int path_vector_count() const;
   [[nodiscard]] int cut_vector_count() const;

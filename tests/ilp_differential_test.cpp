@@ -1,0 +1,238 @@
+// Differential tests: the sparse revised-simplex engine against the retained
+// dense two-phase simplex (the differential oracle behind
+// LpOptions::use_dense).
+//
+// Randomized LPs and ILPs — mixed bound shapes (fixed, negative, one-sided),
+// degenerate and empty rows, infeasible and unbounded instances — must get
+// the same status and objective from both backends; and a warm-started
+// re-solve after appending a cut must agree with a cold solve of the same
+// strengthened model. The testgen-level suite then pins the end-to-end
+// acceptance bar: identical DFT plans from both backends on the paper chips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "arch/chips.hpp"
+#include "common/rng.hpp"
+#include "ilp/revised_simplex.hpp"
+#include "ilp/simplex.hpp"
+#include "ilp/solver.hpp"
+#include "testgen/path_ilp.hpp"
+
+namespace mfd::ilp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double objective_tol(double reference) {
+  return 1e-5 * (1.0 + std::abs(reference));
+}
+
+// A small random model. Bound shapes are deliberately adversarial: fixed
+// variables, negative lower bounds, narrow ranges, and (continuous-only)
+// infinite upper bounds that admit unbounded instances. Rows are sparse,
+// occasionally empty or duplicated (degenerate).
+Model random_model(Rng& rng, bool integer_vars) {
+  const int n = rng.uniform_int(1, 8);
+  const int m = rng.uniform_int(0, 6);
+  Model model;
+  for (int v = 0; v < n; ++v) {
+    if (integer_vars && rng.flip(0.6)) {
+      if (rng.flip(0.5)) {
+        model.add_binary();
+      } else {
+        const int lower = rng.uniform_int(-2, 1);
+        model.add_variable(VarType::kInteger, lower,
+                           lower + rng.uniform_int(0, 3));
+      }
+      continue;
+    }
+    const double lower = rng.uniform(-4.0, 2.0);
+    double upper;
+    switch (rng.index(5)) {
+      case 0:
+        upper = lower;  // fixed
+        break;
+      case 1:
+        upper = lower + rng.uniform(0.0, 0.5);  // narrow
+        break;
+      case 2:
+        upper = integer_vars ? lower + rng.uniform(0.5, 6.0) : kInf;
+        break;
+      default:
+        upper = lower + rng.uniform(0.5, 6.0);
+        break;
+    }
+    model.add_continuous(lower, upper);
+  }
+  LinearExpr last_row;
+  for (int c = 0; c < m; ++c) {
+    LinearExpr expr;
+    if (c > 0 && rng.flip(0.1)) {
+      expr = last_row;  // duplicated row: degenerate basis territory
+    } else {
+      for (int v = 0; v < n; ++v) {
+        if (rng.flip(0.6)) expr.add(v, rng.uniform(-3.0, 3.0));
+      }
+    }
+    last_row = expr;
+    const Sense sense = static_cast<Sense>(rng.index(3));
+    model.add_constraint(std::move(expr), sense, rng.uniform(-4.0, 4.0));
+  }
+  LinearExpr objective;
+  for (int v = 0; v < n; ++v) {
+    if (rng.flip(0.8)) objective.add(v, rng.uniform(-2.0, 2.0));
+  }
+  objective.add_constant(rng.uniform(-1.0, 1.0));
+  model.set_objective(std::move(objective), rng.flip(0.5));
+  return model;
+}
+
+TEST(IlpDifferentialTest, RandomLpsMatchDenseOracle) {
+  Rng rng(20240817);
+  int optimal = 0;
+  int infeasible = 0;
+  int unbounded = 0;
+  for (int instance = 0; instance < 140; ++instance) {
+    const Model model = random_model(rng, /*integer_vars=*/false);
+    LpOptions dense_options;
+    dense_options.use_dense = true;
+    const LpResult oracle = solve_lp_dense(model, {}, {}, dense_options);
+    const LpResult revised = solve_lp(model);
+    ASSERT_NE(revised.status, LpStatus::kIterationLimit)
+        << "instance " << instance;
+    ASSERT_EQ(revised.status, oracle.status) << "instance " << instance;
+    switch (oracle.status) {
+      case LpStatus::kOptimal:
+        ++optimal;
+        EXPECT_NEAR(revised.objective, oracle.objective,
+                    objective_tol(oracle.objective))
+            << "instance " << instance;
+        EXPECT_FALSE(revised.basis.empty());
+        break;
+      case LpStatus::kInfeasible:
+        ++infeasible;
+        break;
+      case LpStatus::kUnbounded:
+        ++unbounded;
+        break;
+      default:
+        break;
+    }
+  }
+  // The generator must actually exercise all three outcomes.
+  EXPECT_GE(optimal, 30);
+  EXPECT_GE(infeasible, 20);
+  EXPECT_GE(unbounded, 5);
+}
+
+TEST(IlpDifferentialTest, RandomIlpsMatchDenseOracle) {
+  Rng rng(911);
+  int optimal = 0;
+  for (int instance = 0; instance < 80; ++instance) {
+    const Model model = random_model(rng, /*integer_vars=*/true);
+    SolverOptions dense_options;
+    dense_options.lp.use_dense = true;
+    const Solution oracle = solve_ilp(model, dense_options);
+    const Solution revised = solve_ilp(model);
+    ASSERT_EQ(revised.status, oracle.status) << "instance " << instance;
+    if (oracle.status == SolveStatus::kOptimal) {
+      ++optimal;
+      EXPECT_NEAR(revised.objective, oracle.objective,
+                  objective_tol(oracle.objective))
+          << "instance " << instance;
+      EXPECT_TRUE(model.feasible(revised.values, 1e-5))
+          << "instance " << instance;
+    }
+  }
+  EXPECT_GE(optimal, 25);
+}
+
+TEST(IlpDifferentialTest, WarmStartAfterCutMatchesColdStart) {
+  Rng rng(7);
+  int warmed = 0;
+  SolveStats stats;
+  // The generator is adversarial (many infeasible/unbounded instances), so
+  // draw until enough optimal first solves have exercised the warm path.
+  for (int instance = 0; instance < 600 && warmed < 30; ++instance) {
+    Model model = random_model(rng, /*integer_vars=*/false);
+    LpEngine engine(model);
+    const LpResult first = engine.solve();
+    if (first.status != LpStatus::kOptimal) continue;
+
+    // A random cut through the optimum: binding or violating about half the
+    // time, so the warm re-solve actually exercises the repair phase.
+    LinearExpr cut;
+    double at_optimum = 0.0;
+    for (int v = 0; v < model.variable_count(); ++v) {
+      if (!rng.flip(0.5)) continue;
+      const double coeff = rng.uniform(-2.0, 2.0);
+      cut.add(v, coeff);
+      at_optimum += coeff * first.values[static_cast<std::size_t>(v)];
+    }
+    const Constraint constraint{cut, Sense::kLessEqual,
+                                at_optimum + rng.uniform(-1.0, 1.0)};
+    engine.add_constraint(constraint);
+    const LpResult warm = engine.solve({}, {}, &first.basis);
+    const LpResult cold = engine.solve();
+    ASSERT_EQ(warm.status, cold.status) << "instance " << instance;
+    if (warm.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  objective_tol(cold.objective))
+          << "instance " << instance;
+    }
+
+    // The dense oracle on the strengthened model must agree with both.
+    model.add_constraint(constraint.expr, constraint.sense, constraint.rhs);
+    LpOptions dense_options;
+    dense_options.use_dense = true;
+    const LpResult oracle = solve_lp_dense(model, {}, {}, dense_options);
+    ASSERT_EQ(warm.status, oracle.status) << "instance " << instance;
+    if (oracle.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, oracle.objective,
+                  objective_tol(oracle.objective))
+          << "instance " << instance;
+    }
+    ++warmed;
+    stats += engine.stats();
+  }
+  EXPECT_GE(warmed, 30);
+  // One attempt is counted per solve that received a warm basis, and the
+  // vast majority must adopt it successfully.
+  EXPECT_GE(stats.warm_start_attempts, 30);
+  EXPECT_GE(stats.warm_start_hits, 1);
+}
+
+}  // namespace
+}  // namespace mfd::ilp
+
+namespace mfd::testgen {
+namespace {
+
+// End-to-end acceptance bar: warm-started incremental planning on the
+// revised engine must produce *identical* DFT plans to the dense oracle on
+// every paper benchmark chip — same |P|, same added channels, same paths.
+TEST(TestgenDifferentialTest, PlansMatchDenseOracleOnPaperChips) {
+  for (const arch::Biochip& chip : arch::make_paper_chips()) {
+    PathPlanOptions options;
+    const PathPlan revised = plan_dft_paths(chip, options);
+    options.use_dense_lp = true;
+    const PathPlan oracle = plan_dft_paths(chip, options);
+    ASSERT_EQ(revised.feasible, oracle.feasible);
+    ASSERT_TRUE(revised.feasible);
+    EXPECT_EQ(revised.paths_used, oracle.paths_used);
+    EXPECT_EQ(revised.added_edges, oracle.added_edges);
+    EXPECT_EQ(revised.paths, oracle.paths);
+    EXPECT_EQ(revised.method, PathPlan::Method::kExactIlp);
+    EXPECT_TRUE(revised.status.ok());
+    // The revised run must actually have warm-started somewhere.
+    EXPECT_GT(revised.stats.warm_start_attempts, 0);
+    EXPECT_GT(revised.stats.warm_start_hits, 0);
+    EXPECT_EQ(oracle.stats.lp_solves, 0);  // oracle path bypasses the engine
+  }
+}
+
+}  // namespace
+}  // namespace mfd::testgen

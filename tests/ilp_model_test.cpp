@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
 
 namespace mfd::ilp {
 namespace {
@@ -110,6 +111,107 @@ TEST(ModelTest, MaximizeFlagRoundTrips) {
   const VarId x = m.add_binary();
   m.set_objective(LinearExpr().add(x, 1.0), /*minimize=*/false);
   EXPECT_FALSE(m.minimize());
+}
+
+// --- presolve edge cases (observed through solve_lp + SolveStats) ---------
+
+TEST(PresolveTest, AllFixedModelSolvesWithoutPivots) {
+  Model m;
+  const VarId x = m.add_continuous(2.0, 2.0);
+  const VarId y = m.add_continuous(-1.0, -1.0);
+  m.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0), Sense::kLessEqual,
+                   5.0);
+  m.set_objective(LinearExpr().add(x, 1.0).add(y, 2.0));
+
+  SolveStats stats;
+  LpOptions options;
+  options.stats = &stats;
+  const LpResult result = solve_lp(m, {}, {}, options);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+  EXPECT_DOUBLE_EQ(result.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.values[1], -1.0);
+  EXPECT_EQ(stats.presolve_fixed_columns, 2);
+  // A fully fixed model needs no simplex pivots at all.
+  EXPECT_EQ(stats.pivots, 0);
+}
+
+TEST(PresolveTest, AllFixedModelViolatingRowIsInfeasible) {
+  Model m;
+  const VarId x = m.add_continuous(2.0, 2.0);
+  m.add_constraint(LinearExpr().add(x, 1.0), Sense::kLessEqual, 1.0);
+  m.set_objective(LinearExpr().add(x, 1.0));
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(PresolveTest, ConflictingBoundOverridesAreInfeasible) {
+  // Model bounds are validated at add_variable(); a conflict can only come
+  // from branch-and-bound overrides, which presolve must reject.
+  Model m;
+  m.add_continuous(0.0, 2.0);
+  m.set_objective(LinearExpr().add(0, 1.0));
+  EXPECT_EQ(solve_lp(m, /*lower=*/{1.5}, /*upper=*/{1.0}).status,
+            LpStatus::kInfeasible);
+}
+
+TEST(PresolveTest, EmptyConstraintRowsAreRedundantOrInfeasible) {
+  {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 1.0);
+    m.add_constraint(LinearExpr(), Sense::kLessEqual, 5.0);  // 0 <= 5: fine
+    m.set_objective(LinearExpr().add(x, 1.0));
+    SolveStats stats;
+    LpOptions options;
+    options.stats = &stats;
+    const LpResult result = solve_lp(m, {}, {}, options);
+    ASSERT_EQ(result.status, LpStatus::kOptimal);
+    EXPECT_GE(stats.presolve_redundant_rows, 1);
+  }
+  {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 1.0);
+    m.add_constraint(LinearExpr(), Sense::kGreaterEqual, 5.0);  // 0 >= 5
+    m.set_objective(LinearExpr().add(x, 1.0));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+  }
+  {
+    Model m;
+    const VarId x = m.add_continuous(0.0, 1.0);
+    m.add_constraint(LinearExpr(), Sense::kEqual, 5.0);  // 0 == 5
+    m.set_objective(LinearExpr().add(x, 1.0));
+    EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+  }
+}
+
+TEST(PresolveTest, SingletonRowTightensBounds) {
+  Model m;
+  const VarId x = m.add_continuous(0.0, 10.0);
+  m.add_constraint(LinearExpr().add(x, 2.0), Sense::kLessEqual, 6.0);
+  m.set_objective(LinearExpr().add(x, 1.0), /*minimize=*/false);
+
+  SolveStats stats;
+  LpOptions options;
+  options.stats = &stats;
+  const LpResult result = solve_lp(m, {}, {}, options);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.values[0], 3.0, 1e-9);
+  EXPECT_GE(stats.presolve_bound_tightenings, 1);
+}
+
+TEST(PresolveTest, BoundTighteningProvesInfeasibility) {
+  // Two singleton rows squeeze x into an empty interval: the first tightens
+  // the lower bound to 1.5, the second the upper bound to 1.0.
+  Model m;
+  const VarId x = m.add_continuous(0.0, 2.0);
+  m.add_constraint(LinearExpr().add(x, 1.0), Sense::kGreaterEqual, 1.5);
+  m.add_constraint(LinearExpr().add(x, 1.0), Sense::kLessEqual, 1.0);
+  m.set_objective(LinearExpr().add(x, 1.0));
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+
+  // The dense oracle agrees.
+  LpOptions dense;
+  dense.use_dense = true;
+  EXPECT_EQ(solve_lp(m, {}, {}, dense).status, LpStatus::kInfeasible);
 }
 
 }  // namespace

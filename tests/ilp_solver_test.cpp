@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/run_control.hpp"
 #include "ilp/solver.hpp"
 
 namespace mfd::ilp {
@@ -212,6 +213,74 @@ TEST_P(IlpBruteForceTest, MatchesExhaustiveEnumeration) {
 
 INSTANTIATE_TEST_SUITE_P(RandomIlps, IlpBruteForceTest,
                          ::testing::Range(1, 41));
+
+// An odd-cycle stable-set instance: the LP relaxation sits at 7.5 (all
+// one-half) while the integer optimum is 7, so the bound stays loose and the
+// search grinds through many nodes after early incumbents appear.
+Model odd_cycle_model(int length) {
+  Model m;
+  LinearExpr objective;
+  for (int i = 0; i < length; ++i) {
+    objective.add(m.add_binary(), 1.0);
+  }
+  for (int i = 0; i < length; ++i) {
+    LinearExpr edge;
+    edge.add(i, 1.0).add((i + 1) % length, 1.0);
+    m.add_constraint(std::move(edge), Sense::kLessEqual, 1.0);
+  }
+  m.set_objective(std::move(objective), /*minimize=*/false);
+  return m;
+}
+
+TEST(IlpSolverTest, NodeLimitRetainsIncumbentAndStats) {
+  // The 12-item knapsack from NodeLimitReturnsStatus takes ~146 nodes to
+  // prove optimality; best-first lands its first incumbent near node 100, so
+  // a 120-node budget deterministically stops *after* one exists.
+  Model m;
+  LinearExpr weight;
+  LinearExpr value;
+  for (int i = 0; i < 12; ++i) {
+    const VarId v = m.add_binary();
+    weight.add(v, 3.0 + (i % 3));
+    value.add(v, 5.0 + (i % 4));
+  }
+  m.add_constraint(std::move(weight), Sense::kLessEqual, 15.6);
+  m.set_objective(std::move(value), /*minimize=*/false);
+
+  SolverOptions options;
+  options.max_nodes = 120;
+  const Solution s = solve_ilp(m, options);
+  ASSERT_EQ(s.status, SolveStatus::kNodeLimit);
+  // A cut-short solve must still surface the incumbent and the work done.
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_TRUE(m.feasible(s.values, 1e-6));
+  EXPECT_GT(s.objective, 0.0);
+  EXPECT_EQ(s.nodes_explored, 120);
+  EXPECT_GT(s.runtime_seconds, 0.0);
+  EXPECT_GT(s.stats.lp_solves, 0);
+  EXPECT_GT(s.stats.pivots, 0);
+  EXPECT_FALSE(s.basis.empty());
+}
+
+TEST(IlpSolverTest, CancelDuringSearchKeepsIncumbentStats) {
+  const Model m = odd_cycle_model(15);
+  RunControl control;
+  SolverOptions options;
+  options.control = &control;
+  // Cancel from the lazy callback the moment the first integral candidate
+  // appears: the candidate is accepted (no cuts), then the loop observes the
+  // stop — a deterministic "stopped with incumbent" state.
+  const Solution s = solve_ilp(m, options, [&](const std::vector<double>&) {
+    control.request_cancel();
+    return std::vector<Constraint>{};
+  });
+  ASSERT_EQ(s.status, SolveStatus::kStopped);
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_TRUE(m.feasible(s.values, 1e-6));
+  EXPECT_GT(s.nodes_explored, 0);
+  EXPECT_GT(s.runtime_seconds, 0.0);
+  EXPECT_GT(s.stats.lp_solves, 0);
+}
 
 }  // namespace
 }  // namespace mfd::ilp

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "arch/chips.hpp"
+#include "common/run_control.hpp"
 #include "testgen/path_ilp.hpp"
 
 namespace mfd::testgen {
@@ -149,6 +150,35 @@ TEST(PathIlpTest, InfeasibleWhenPathBudgetTooSmall) {
   options.max_paths = 1;
   const PathPlan plan = plan_dft_paths(chip, options);
   EXPECT_FALSE(plan.feasible);
+}
+
+TEST(PathIlpTest, ExpiredDeadlineFallsBackToGreedyPlan) {
+  // An already-expired deadline interrupts the exact solver before any plan
+  // exists; the greedy fallback must still deliver a structurally valid one,
+  // tagged so callers can see the result is heuristic.
+  const Biochip chip = arch::make_ivd_chip();
+  RunControl control;
+  control.set_timeout(-1.0);
+  PathPlanOptions options;
+  options.control = &control;
+  const PathPlan plan = plan_dft_paths(chip, options);
+  check_plan(chip, plan);
+  EXPECT_EQ(plan.method, PathPlan::Method::kGreedyFallback);
+  EXPECT_FALSE(plan.status.ok());
+  EXPECT_EQ(plan.status.outcome, Outcome::kDeadlineExceeded);
+}
+
+TEST(PathIlpTest, FallbackDisabledReportsInterruptionWithoutPlan) {
+  const Biochip chip = arch::make_ivd_chip();
+  RunControl control;
+  control.set_timeout(-1.0);
+  PathPlanOptions options;
+  options.control = &control;
+  options.heuristic_fallback = false;
+  const PathPlan plan = plan_dft_paths(chip, options);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.method, PathPlan::Method::kExactIlp);
+  EXPECT_FALSE(plan.status.ok());
 }
 
 TEST(PathIlpTest, PathsStartAndEndAtSelectedPorts) {
