@@ -1,0 +1,189 @@
+// Fitness-cache benchmark: the same multi-job codesign batch run three
+// ways — cold (per-job private caches, `--no-shared-cache` behavior),
+// shared (one in-memory FitnessCache across the batch) and warm (a fresh
+// run that reloads the persistent tier the shared run wrote, i.e. a
+// restarted `mfdft_jobd --cache-dir`). Reports wall time per mode, the
+// shared-tier hit rate and the warm-start load count, and verifies the
+// batch output bytes are identical in all three modes (exit 1 if not).
+//
+// Env knobs: MFDFT_BENCH_ITERATIONS (outer PSO iterations, reduced default
+// 2; MFDFT_BENCH_FULL=1 for the paper-scale 100), MFDFT_BENCH_CACHE_JOBS
+// (jobs per batch, default 3), MFDFT_BENCH_REPS (timing repetitions,
+// best-of, default 1), MFDFT_BENCH_CHIP / MFDFT_BENCH_ASSAY (default
+// IVD_chip / IVD), MFDFT_BENCH_THREADS (eval threads per job).
+// Invocation: ./build/bench/bench_cache [--json PATH] — the flag also
+// writes the results as JSON (schema in EXPERIMENTS.md).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "svc/job.hpp"
+#include "svc/jobd.hpp"
+
+namespace {
+
+using namespace mfd;
+namespace fs = std::filesystem;
+
+int process_id() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(::getpid());
+#endif
+}
+
+std::string batch_jsonl(int jobs, const std::string& chip,
+                        const std::string& assay, int iterations) {
+  std::string lines;
+  for (int i = 0; i < jobs; ++i) {
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::kCodesign;
+    spec.id = "job-" + std::to_string(i);
+    spec.chip = chip;
+    spec.assay = assay;
+    spec.threads = bench::bench_threads();
+    spec.outer_iterations = iterations;
+    spec.outer_particles = 3;
+    spec.config_pool_size = 2;
+    lines += spec.to_json().dump() + "\n";
+  }
+  return lines;
+}
+
+struct ModeRun {
+  double seconds = 0.0;
+  std::string bytes;
+  svc::JobdReport report;
+};
+
+ModeRun run_mode(const std::string& jsonl, const svc::JobdOptions& options) {
+  std::istringstream in(jsonl);
+  std::ostringstream out;
+  const auto start = std::chrono::steady_clock::now();
+  ModeRun run;
+  run.report = svc::run_jobd(in, out, options);
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  run.bytes = out.str();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path(argc, argv);
+  const int iterations = bench::outer_iterations(2);
+  const int jobs = bench::env_int("MFDFT_BENCH_CACHE_JOBS", 3);
+  const int reps = bench::env_int("MFDFT_BENCH_REPS", 1);
+  const char* chip_env = std::getenv("MFDFT_BENCH_CHIP");
+  const char* assay_env = std::getenv("MFDFT_BENCH_ASSAY");
+  const std::string chip = chip_env != nullptr ? chip_env : "IVD_chip";
+  const std::string assay = assay_env != nullptr ? assay_env : "IVD";
+  const std::string jsonl = batch_jsonl(jobs, chip, assay, iterations);
+
+  const fs::path cache_root =
+      fs::temp_directory_path() /
+      ("mfdft-bench-cache-" + std::to_string(process_id()));
+  std::error_code ignore;
+  fs::remove_all(cache_root, ignore);
+
+  std::printf("Fitness-cache batch benchmark: %d identical codesign jobs "
+              "(%s / %s, %d outer iterations, best of %d)\n\n",
+              jobs, chip.c_str(), assay.c_str(), iterations, reps);
+
+  // Best-of timings; metrics and bytes come from the first repetition. Each
+  // repetition gets a fresh cache directory so "shared" is always a cold
+  // disk tier and "warm" always reloads exactly that repetition's segments.
+  ModeRun cold, shared, warm;
+  for (int rep = 0; rep < reps; ++rep) {
+    const fs::path dir = cache_root / ("rep-" + std::to_string(rep));
+
+    svc::JobdOptions cold_options;
+    cold_options.shared_cache = false;
+    ModeRun r_cold = run_mode(jsonl, cold_options);
+
+    svc::JobdOptions shared_options;
+    shared_options.cache_dir = dir.string();
+    ModeRun r_shared = run_mode(jsonl, shared_options);
+    ModeRun r_warm = run_mode(jsonl, shared_options);
+
+    if (rep == 0) {
+      cold = r_cold;
+      shared = r_shared;
+      warm = r_warm;
+    } else {
+      cold.seconds = std::min(cold.seconds, r_cold.seconds);
+      shared.seconds = std::min(shared.seconds, r_shared.seconds);
+      warm.seconds = std::min(warm.seconds, r_warm.seconds);
+    }
+  }
+
+  const bool identical =
+      cold.bytes == shared.bytes && shared.bytes == warm.bytes;
+  const std::int64_t lookups = shared.report.metrics.cache_shared_hits +
+                               shared.report.metrics.cache_shared_misses;
+  const double hit_rate =
+      lookups > 0
+          ? static_cast<double>(shared.report.metrics.cache_shared_hits) /
+                static_cast<double>(lookups)
+          : 0.0;
+
+  const double scale = cold.seconds > 0 ? cold.seconds / 40.0 : 1.0;
+  const auto row = [&](const char* mode, const ModeRun& run) {
+    std::printf("%-8s %9.3fs  hits %6lld  entries %6lld  disk %6lld  %s\n",
+                mode, run.seconds,
+                static_cast<long long>(run.report.metrics.cache_shared_hits),
+                static_cast<long long>(run.report.metrics.cache_entries),
+                static_cast<long long>(run.report.metrics.cache_disk_loaded),
+                bench::bar(run.seconds, scale).c_str());
+  };
+  row("cold", cold);
+  row("shared", shared);
+  row("warm", warm);
+  std::printf("\nshared-tier hit rate %.1f%% (%lld / %lld lookups); "
+              "results byte-identical: %s\n",
+              100.0 * hit_rate,
+              static_cast<long long>(shared.report.metrics.cache_shared_hits),
+              static_cast<long long>(lookups), identical ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    Json report = Json::object();
+    report.set("bench", Json("cache"));
+    report.set("chip", Json(chip));
+    report.set("assay", Json(assay));
+    report.set("jobs", Json(std::int64_t{jobs}));
+    report.set("iterations", Json(std::int64_t{iterations}));
+    report.set("reps", Json(std::int64_t{reps}));
+    report.set("cold_seconds", Json(cold.seconds));
+    report.set("shared_seconds", Json(shared.seconds));
+    report.set("warm_seconds", Json(warm.seconds));
+    report.set("shared_hits",
+               Json(shared.report.metrics.cache_shared_hits));
+    report.set("shared_misses",
+               Json(shared.report.metrics.cache_shared_misses));
+    report.set("shared_hit_rate", Json(hit_rate));
+    report.set("cache_entries", Json(shared.report.metrics.cache_entries));
+    report.set("warm_disk_entries_loaded",
+               Json(warm.report.metrics.cache_disk_loaded));
+    report.set("results_identical", Json(identical));
+    report.save(json_path);
+  }
+
+  fs::remove_all(cache_root, ignore);
+  return identical ? 0 : 1;
+}

@@ -22,6 +22,13 @@ struct EvalStats {
   std::int64_t scheduler_runs = 0;
   /// Test-suite generations (only feasible schedules reach this stage).
   std::int64_t testgen_runs = 0;
+  /// Evaluations served from a *shared* FitnessCache tier instead of being
+  /// recomputed. These are physical savings only: for determinism the
+  /// logical counters above (evaluations, scheduler_runs, testgen_runs)
+  /// still advance exactly as if the work had run, so serialized results
+  /// are byte-identical with the shared cache on or off — which is also why
+  /// this counter is deliberately *not* serialized in JobResult JSON.
+  std::int64_t shared_hits = 0;
   /// Outer-level PSO objective calls (each runs one inner sub-swarm).
   std::int64_t outer_evaluations = 0;
   /// Inner-level PSO positions evaluated across all sub-swarms.
@@ -38,6 +45,7 @@ struct EvalStats {
     cache_hits += other.cache_hits;
     scheduler_runs += other.scheduler_runs;
     testgen_runs += other.testgen_runs;
+    shared_hits += other.shared_hits;
     outer_evaluations += other.outer_evaluations;
     inner_evaluations += other.inner_evaluations;
     schedule_seconds += other.schedule_seconds;

@@ -1,0 +1,109 @@
+// Stable content hashing for cache keys.
+//
+// The fitness cache (core/fitness_cache.hpp) keys entries by a 128-bit
+// content hash of everything that determines an evaluation's result — chip
+// text, assay structure, option fields, sharing vector — so two processes
+// (or two runs of the same daemon, days apart) derive the same key for the
+// same work. That rules out std::hash, whose values are unspecified and
+// may differ per process; everything here is a fixed algorithm over
+// explicitly encoded words, identical on every run and platform.
+//
+// splitmix64 is the usual finalizer (Steele et al.'s SplitMix generator's
+// output function): cheap, full-avalanche, and a strictly better bit mixer
+// than the ad-hoc xor/shift folds it replaces.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mfd {
+
+/// SplitMix64 finalizer: bijective on uint64, full avalanche.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// A 128-bit content hash. Wide enough that distinct cache inputs colliding
+/// is not a practical concern (the persistent tier stores values under this
+/// key alone, with no way to verify the preimage).
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool operator==(const Hash128&) const = default;
+};
+
+/// unordered_map adapter; the low word is already well mixed.
+struct Hash128Hasher {
+  [[nodiscard]] std::size_t operator()(const Hash128& h) const {
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Streaming content hasher: feed words/strings/vectors, read a Hash128.
+/// Copyable, so a partially fed hasher can serve as a reusable prefix (the
+/// evaluator keeps one per DFT configuration and forks it per candidate).
+/// Every input is length-prefixed or fixed-width, so concatenation
+/// ambiguities ("ab"+"c" vs "a"+"bc") cannot produce equal digests.
+class ContentHasher {
+ public:
+  void mix(std::uint64_t word) {
+    a_ = splitmix64(a_ ^ word);
+    b_ = splitmix64(b_ + std::rotl(word, 23) + 0x6a09e667f3bcc909ull);
+  }
+
+  void mix_i64(std::int64_t word) {
+    mix(static_cast<std::uint64_t>(word));
+  }
+  void mix_int(int word) { mix_i64(word); }
+  void mix_bool(bool flag) { mix(flag ? 1u : 0u); }
+  /// Doubles hash by bit pattern: +0.0 and -0.0 (or two NaNs) differ, which
+  /// is the safe direction for a cache key.
+  void mix_double(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+
+  void mix_bytes(std::string_view bytes) {
+    mix(bytes.size());
+    std::uint64_t word = 0;
+    std::size_t filled = 0;
+    for (const char c : bytes) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+              << (8 * filled);
+      if (++filled == 8) {
+        mix(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) mix(word);
+  }
+
+  template <typename T>
+  void mix_span(std::span<const T> values) {
+    mix(values.size());
+    for (const T& value : values) mix_i64(static_cast<std::int64_t>(value));
+  }
+  template <typename T>
+  void mix_vector(const std::vector<T>& values) {
+    mix_span(std::span<const T>(values));
+  }
+
+  [[nodiscard]] Hash128 digest() const {
+    // One more finalization round so closing states that differ only in one
+    // lane still avalanche into both output words.
+    return Hash128{splitmix64(a_ + 0x510e527fade682d1ull + b_),
+                   splitmix64(b_ ^ splitmix64(a_))};
+  }
+
+ private:
+  std::uint64_t a_ = 0x6d66646674686173ull;  // "mfdfthas"
+  std::uint64_t b_ = 0x68636f6e74656e74ull;  // "hcontent"
+};
+
+}  // namespace mfd

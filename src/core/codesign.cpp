@@ -271,7 +271,12 @@ CodesignResult run_codesign(const arch::Biochip& chip,
   ThreadPool pool(options.threads == 0 ? ThreadPool::hardware_threads()
                                        : options.threads);
   result.threads_used = pool.thread_count();
-  Evaluator evaluator(assay, options.sched, options.vectors, pool, control);
+  Evaluator evaluator(EvaluatorOptions{.assay = &assay,
+                                       .sched = options.sched,
+                                       .vectors = options.vectors,
+                                       .pool = &pool,
+                                       .control = control,
+                                       .cache = options.cache});
   for (std::size_t i = 0; i < augmented.size(); ++i) {
     evaluator.add_config(augmented[i],
                          result.pool[i]);

@@ -59,6 +59,11 @@ struct CodesignOptions {
   /// Stops are polled only at serial synchronization points, so a truncated
   /// run is reproducible given the same cut-off point. Null disables both.
   const RunControl* control = nullptr;
+  /// Optional shared fitness cache, borrowed for the run and injected into
+  /// the Evaluator (see core/fitness_cache.hpp). The service layer passes
+  /// one per batch so jobs over the same chip × assay reuse each other's
+  /// evaluations; null keeps the run's cache private, as in standalone use.
+  FitnessCache* cache = nullptr;
 
   /// Checks every field and reports all violations in one Status (stage
   /// "options", outcome kInvalidOptions); Ok() when the options are usable.

@@ -1,22 +1,57 @@
 #include "core/evaluation.hpp"
 
-#include <mutex>
-
+#include "arch/serialize.hpp"
 #include "common/error.hpp"
 
 namespace mfd::core {
 
-Evaluator::Evaluator(const sched::Assay& assay,
-                     const sched::ScheduleOptions& sched_options,
-                     const testgen::VectorGenOptions& vector_options,
-                     ThreadPool& pool, const RunControl* control)
-    : assay_(assay),
-      sched_options_(sched_options),
-      vector_options_(vector_options),
-      pool_(pool),
-      control_(control),
-      contexts_(static_cast<std::size_t>(pool.thread_count())),
-      slot_stats_(static_cast<std::size_t>(pool.thread_count())) {
+namespace {
+
+/// Everything shared by every configuration of one evaluator: the assay
+/// structure and the option fields that influence schedule or test-suite
+/// results. Trace/control members are excluded on purpose — they affect
+/// logging and truncation (never cached), not values.
+ContentHasher base_hasher(const sched::Assay& assay,
+                          const sched::ScheduleOptions& sched,
+                          const testgen::VectorGenOptions& vectors) {
+  ContentHasher h;
+  h.mix_bytes(assay.name());
+  h.mix_int(assay.operation_count());
+  for (const sched::Operation& op : assay.operations()) {
+    h.mix_int(static_cast<int>(op.kind));
+    h.mix_double(op.duration);
+    h.mix_bytes(op.name);
+  }
+  const graph::Digraph& dag = assay.dag();
+  for (graph::NodeId n = 0; n < dag.node_count(); ++n) {
+    h.mix_vector(dag.successors(n));
+  }
+
+  h.mix_double(sched.transport_time_per_edge);
+  h.mix_int(sched.route_retries);
+  h.mix_int(sched.detour_tolerance);
+  h.mix_double(sched.time_limit);
+  h.mix(sched.seed);
+
+  h.mix_int(vectors.attempts_per_fault);
+  h.mix(vectors.seed);
+  h.mix_bool(vectors.use_bulk_cuts);
+  return h;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const EvaluatorOptions& options)
+    : assay_(*options.assay),
+      sched_options_(options.sched),
+      vector_options_(options.vectors),
+      pool_(*options.pool),
+      control_(options.control),
+      shared_cache_(options.cache),
+      contexts_(static_cast<std::size_t>(options.pool->thread_count())),
+      slot_stats_(static_cast<std::size_t>(options.pool->thread_count())) {
+  MFD_REQUIRE(options.assay != nullptr, "EvaluatorOptions::assay is required");
+  MFD_REQUIRE(options.pool != nullptr, "EvaluatorOptions::pool is required");
   sched_options_.control = control_;
   vector_options_.control = control_;
 }
@@ -25,6 +60,27 @@ void Evaluator::add_config(const arch::Biochip& augmented,
                            const testgen::PathPlan& plan) {
   configs_.push_back(&augmented);
   plans_.push_back(&plan);
+
+  // The per-configuration key prefix: base (assay + options) extended with
+  // the augmented chip's full structure and the path plan's content. Forked
+  // and completed with the sharing vector by candidate_key().
+  ContentHasher h = base_hasher(assay_, sched_options_, vector_options_);
+  h.mix_bytes(arch::chip_to_string(augmented));
+  h.mix_int(plan.source);
+  h.mix_int(plan.meter);
+  h.mix(plan.paths.size());
+  for (const std::vector<graph::EdgeId>& path : plan.paths) {
+    h.mix_vector(path);
+  }
+  h.mix_vector(plan.added_edges);
+  config_prefix_.push_back(h);
+}
+
+Hash128 Evaluator::candidate_key(int config_index,
+                                 const SharingScheme& scheme) const {
+  ContentHasher h = config_prefix_[static_cast<std::size_t>(config_index)];
+  h.mix_vector(scheme.partner);
+  return h.digest();
 }
 
 Evaluation Evaluator::compute(int config_index, const SharingScheme& scheme,
@@ -68,20 +124,46 @@ Evaluation Evaluator::compute(int config_index, const SharingScheme& scheme,
   return eval;
 }
 
-Evaluation Evaluator::evaluate(int config_index, const SharingScheme& scheme) {
-  CacheKey key{config_index, scheme.partner};
-  {
-    const std::shared_lock lock(cache_mutex_);
-    const auto cached = cache_.find(key);
-    if (cached != cache_.end()) {
-      ++stats_.cache_hits;
-      return cached->second;
-    }
+bool Evaluator::probe_shared(const Hash128& key, Evaluation* out) {
+  if (shared_cache_ == nullptr) return false;
+  FitnessRecord record;
+  if (!shared_cache_->get(key, &record)) return false;
+  // The record is the pure-function outcome another evaluator computed for
+  // exactly these content-hashed inputs. Serve it, remember it privately,
+  // and advance the logical counters exactly as compute() would have — so
+  // serialized results cannot tell a shared hit from a recompute.
+  out->makespan = record.makespan;
+  out->schedule_ok = record.schedule_ok;
+  out->tests_ok = record.tests_ok;
+  out->aborted = false;
+  cache_.emplace(key, *out);
+  ++stats_.shared_hits;
+  ++stats_.evaluations;
+  ++stats_.scheduler_runs;
+  if (record.schedule_ok) ++stats_.testgen_runs;
+  return true;
+}
+
+void Evaluator::publish(const Hash128& key, const Evaluation& eval) {
+  cache_.emplace(key, eval);
+  if (shared_cache_ != nullptr) {
+    shared_cache_->put(
+        key, FitnessRecord{eval.makespan, eval.schedule_ok, eval.tests_ok});
   }
-  const Evaluation eval = compute(config_index, scheme, 0, stats_);
+}
+
+Evaluation Evaluator::evaluate(int config_index, const SharingScheme& scheme) {
+  const Hash128 key = candidate_key(config_index, scheme);
+  if (const auto cached = cache_.find(key); cached != cache_.end()) {
+    ++stats_.cache_hits;
+    return cached->second;
+  }
+  Evaluation eval;
+  if (probe_shared(key, &eval)) return eval;
+  eval = compute(config_index, scheme, 0, stats_);
   if (eval.aborted) return eval;  // never memoize aborted work
-  const std::unique_lock lock(cache_mutex_);
-  return cache_.emplace(std::move(key), eval).first->second;
+  publish(key, eval);
+  return eval;
 }
 
 void Evaluator::evaluate_batch(int config_index,
@@ -90,36 +172,44 @@ void Evaluator::evaluate_batch(int config_index,
   MFD_REQUIRE(schemes.size() == makespans.size(),
               "evaluate_batch(): one output slot per scheme required");
 
-  // Phase 1 (serial, batch order): resolve cache hits and collapse in-batch
-  // duplicates. Fixes every counter before any parallel work starts, so the
-  // numbers cannot depend on the thread count.
+  // Phase 1 (serial, batch order): resolve private-tier hits, shared-tier
+  // hits, and in-batch duplicates. Fixes every counter before any parallel
+  // work starts, so the numbers cannot depend on the thread count — and a
+  // shared hit's counter increments mirror compute()'s, so they cannot
+  // depend on the cache configuration either.
   constexpr std::size_t kPending = static_cast<std::size_t>(-1);
+  constexpr std::size_t kResolved = static_cast<std::size_t>(-2);
   std::vector<std::size_t> unique_of(schemes.size(), kPending);
   std::vector<std::size_t> unique_items;  // batch index of each unique miss
-  std::vector<CacheKey> unique_keys;
-  std::unordered_map<CacheKey, std::size_t, CacheKeyHash> batch_index;
-  {
-    const std::shared_lock lock(cache_mutex_);
-    for (std::size_t i = 0; i < schemes.size(); ++i) {
-      CacheKey key{config_index, schemes[i].partner};
-      const auto cached = cache_.find(key);
-      if (cached != cache_.end()) {
-        makespans[i] = cached->second.makespan;
-        ++stats_.cache_hits;
-        continue;
-      }
-      const auto seen = batch_index.find(key);
-      if (seen != batch_index.end()) {
-        // Duplicate within this batch: computed once, counted as a hit.
-        unique_of[i] = seen->second;
-        ++stats_.cache_hits;
-        continue;
-      }
-      unique_of[i] = unique_items.size();
-      batch_index.emplace(key, unique_items.size());
-      unique_items.push_back(i);
-      unique_keys.push_back(std::move(key));
+  std::vector<Hash128> unique_keys;
+  std::unordered_map<Hash128, std::size_t, Hash128Hasher> batch_index;
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const Hash128 key = candidate_key(config_index, schemes[i]);
+    if (const auto cached = cache_.find(key); cached != cache_.end()) {
+      makespans[i] = cached->second.makespan;
+      unique_of[i] = kResolved;
+      ++stats_.cache_hits;
+      continue;
     }
+    if (const auto seen = batch_index.find(key); seen != batch_index.end()) {
+      // Duplicate within this batch: computed once, counted as a hit.
+      unique_of[i] = seen->second;
+      ++stats_.cache_hits;
+      continue;
+    }
+    Evaluation eval;
+    if (probe_shared(key, &eval)) {
+      // probe_shared() cached the record privately, so later duplicates of
+      // this key in the batch resolve as ordinary cache hits — exactly as
+      // they would had the first occurrence been computed.
+      makespans[i] = eval.makespan;
+      unique_of[i] = kResolved;
+      continue;
+    }
+    unique_of[i] = unique_items.size();
+    batch_index.emplace(key, unique_items.size());
+    unique_items.push_back(i);
+    unique_keys.push_back(key);
   }
 
   // Phase 2 (parallel): compute the unique misses. Each runner owns the
@@ -143,18 +233,15 @@ void Evaluator::evaluate_batch(int config_index,
     slot = EvalStats{};
   }
 
-  // Phase 3 (serial, batch order): publish results and fill the outputs.
-  // Aborted evaluations are skipped: a stop mid-batch must not leak
-  // timing-dependent values into the (otherwise deterministic) cache.
-  {
-    const std::unique_lock lock(cache_mutex_);
-    for (std::size_t u = 0; u < unique_items.size(); ++u) {
-      if (results[u].aborted) continue;
-      cache_.emplace(std::move(unique_keys[u]), results[u]);
-    }
+  // Phase 3 (serial, batch order): publish results to both tiers and fill
+  // the outputs. Aborted evaluations are skipped: a stop mid-batch must not
+  // leak timing-dependent values into the (otherwise deterministic) caches.
+  for (std::size_t u = 0; u < unique_items.size(); ++u) {
+    if (results[u].aborted) continue;
+    publish(unique_keys[u], results[u]);
   }
   for (std::size_t i = 0; i < schemes.size(); ++i) {
-    if (unique_of[i] != kPending) {
+    if (unique_of[i] != kPending && unique_of[i] != kResolved) {
       makespans[i] = results[unique_of[i]].makespan;
     }
   }

@@ -4,28 +4,46 @@
 // scheduling the assay on the shared chip and regenerating the test suite
 // (Section 4.1/4.2's validations). Candidates recur heavily during the
 // two-level PSO — sub-swarms revisit sharing vectors that decode to the same
-// scheme — so every result is memoized under (config index, partner vector).
+// scheme — so every result is memoized, keyed by a stable 128-bit content
+// hash of everything that determines it: the augmented chip's structure, the
+// assay, the scheduling/vector-generation options, the ILP path plan, and
+// the canonical sharing vector (see common/hash.hpp).
+//
+// The cache has two tiers:
+//   * a private per-evaluator map — the default, and the source of the
+//     deterministic `cache_hits` counter: it only ever holds keys this
+//     evaluator has itself resolved, so its hits cannot depend on what other
+//     jobs happen to have computed;
+//   * an optional shared core::FitnessCache injected via EvaluatorOptions
+//     (typically one per service batch, possibly disk-backed). A shared-tier
+//     hit skips the recompute but — because the evaluation is a pure
+//     function of the content-hashed inputs — yields bit-identical values,
+//     and the logical counters (evaluations, scheduler_runs, testgen_runs)
+//     advance exactly as if the work had run. Only the non-serialized
+//     EvalStats::shared_hits counter records the physical saving, which is
+//     what keeps per-job results byte-identical with the shared cache on,
+//     off, or pre-warmed.
 //
 // Batches are evaluated in three phases so the outcome is independent of the
 // thread count:
-//   1. serially dedupe against the cache and within the batch (in batch
-//      order) — this fixes `evaluations` and `cache_hits` before any worker
-//      runs;
+//   1. serially resolve both cache tiers and in-batch duplicates (in batch
+//      order) — this fixes every counter before any worker runs;
 //   2. compute the unique misses on the thread pool, each runner using its
 //      own sched::EvaluationContext (the evaluation itself is a pure
 //      function of the candidate: scheduler and vector generator are seeded
 //      from the options, never from shared state);
-//   3. serially insert the results and fill the output values.
+//   3. serially publish the results into both tiers and fill the outputs.
 #pragma once
 
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "arch/biochip.hpp"
 #include "common/eval_stats.hpp"
+#include "common/hash.hpp"
 #include "common/thread_pool.hpp"
+#include "core/fitness_cache.hpp"
 #include "sched/scheduler.hpp"
 #include "testgen/path_ilp.hpp"
 #include "testgen/vector_gen.hpp"
@@ -52,9 +70,28 @@ struct Evaluation {
   /// A complete test suite exists under the sharing scheme.
   bool tests_ok = false;
   /// A RunControl stop was observed while (or before) this candidate was
-  /// computed: the value is not trustworthy and is never memoized, so a
-  /// truncated run's cache holds only deterministic entries.
+  /// computed: the value is not trustworthy and is never memoized (in either
+  /// tier), so a truncated run's cache holds only deterministic entries.
   bool aborted = false;
+};
+
+/// Everything an Evaluator needs. The referenced assay and thread pool (and
+/// every configuration added later) must outlive the evaluator; control and
+/// cache are borrowed too, and both are optional.
+struct EvaluatorOptions {
+  /// Required: the bioassay being scheduled.
+  const sched::Assay* assay = nullptr;
+  sched::ScheduleOptions sched;
+  testgen::VectorGenOptions vectors;
+  /// Required: workers for evaluate_batch().
+  ThreadPool* pool = nullptr;
+  /// Optional cooperative deadline/cancel, threaded into the scheduler and
+  /// testgen runs so a stop aborts in-flight evaluations.
+  const RunControl* control = nullptr;
+  /// Optional shared fitness cache (one per service batch, possibly
+  /// disk-backed). nullptr — the default — keeps the evaluator fully
+  /// private, reproducing standalone behavior exactly.
+  FitnessCache* cache = nullptr;
 };
 
 /// Thread-safe memoizing evaluator over a pool of DFT configurations.
@@ -63,14 +100,7 @@ struct Evaluation {
 /// cache misses out to the pool.
 class Evaluator {
  public:
-  /// The assay, options and every added configuration must outlive the
-  /// evaluator; `pool` is shared with the caller. When `control` is given it
-  /// is threaded into the scheduler/testgen runs so a deadline or cancel
-  /// aborts in-flight evaluations.
-  Evaluator(const sched::Assay& assay,
-            const sched::ScheduleOptions& sched_options,
-            const testgen::VectorGenOptions& vector_options, ThreadPool& pool,
-            const RunControl* control = nullptr);
+  explicit Evaluator(const EvaluatorOptions& options);
 
   void add_config(const arch::Biochip& augmented,
                   const testgen::PathPlan& plan);
@@ -85,7 +115,12 @@ class Evaluator {
     return *plans_[static_cast<std::size_t>(index)];
   }
 
-  /// Scores one candidate, serving it from the cache when possible.
+  /// The stable content-hash key of one candidate — what both cache tiers
+  /// key on. Exposed for tests and tooling.
+  [[nodiscard]] Hash128 candidate_key(int config_index,
+                                      const SharingScheme& scheme) const;
+
+  /// Scores one candidate, serving it from the cache tiers when possible.
   Evaluation evaluate(int config_index, const SharingScheme& scheme);
 
   /// Scores a whole batch: makespans[i] receives the score of schemes[i].
@@ -99,43 +134,37 @@ class Evaluator {
   [[nodiscard]] EvalStats& stats() { return stats_; }
 
  private:
-  struct CacheKey {
-    int config = 0;
-    std::vector<arch::ValveId> partner;
-
-    [[nodiscard]] bool operator==(const CacheKey&) const = default;
-  };
-  struct CacheKeyHash {
-    std::size_t operator()(const CacheKey& key) const {
-      std::size_t h = std::hash<int>{}(key.config);
-      for (const arch::ValveId v : key.partner) {
-        h ^= std::hash<int>{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
-             (h >> 2);
-      }
-      return h;
-    }
-  };
-
   /// Uncached evaluation: schedule, then (if feasible) regenerate vectors.
   /// Pure function of the candidate; `slot` picks the scratch context.
   Evaluation compute(int config_index, const SharingScheme& scheme,
                      std::size_t slot, EvalStats& stats);
+
+  /// Probes the shared tier; on a hit reconstructs the evaluation, caches it
+  /// privately and advances the logical counters as if it had been computed.
+  [[nodiscard]] bool probe_shared(const Hash128& key, Evaluation* out);
+
+  /// Publishes a freshly computed, non-aborted evaluation to both tiers.
+  void publish(const Hash128& key, const Evaluation& eval);
 
   const sched::Assay& assay_;
   sched::ScheduleOptions sched_options_;
   testgen::VectorGenOptions vector_options_;
   ThreadPool& pool_;
   const RunControl* control_ = nullptr;
+  FitnessCache* shared_cache_ = nullptr;
 
   std::vector<const arch::Biochip*> configs_;
   std::vector<const testgen::PathPlan*> plans_;
+  /// Partially fed content hasher per configuration: assay + options + chip
+  /// + plan, missing only the sharing vector. Forked per candidate.
+  std::vector<ContentHasher> config_prefix_;
 
   /// One scheduler scratch context and stats block per pool slot.
   std::vector<sched::EvaluationContext> contexts_;
   std::vector<EvalStats> slot_stats_;
 
-  std::shared_mutex cache_mutex_;
-  std::unordered_map<CacheKey, Evaluation, CacheKeyHash> cache_;
+  /// Private tier: everything this evaluator has resolved itself.
+  std::unordered_map<Hash128, Evaluation, Hash128Hasher> cache_;
   EvalStats stats_;
 };
 

@@ -28,26 +28,6 @@ struct QueuedJob {
 
 }  // namespace
 
-void ServiceMetrics::tally(const JobResult& result) {
-  switch (result.status.outcome) {
-    case Outcome::kOk:
-      ++jobs_ok;
-      break;
-    case Outcome::kDeadlineExceeded:
-    case Outcome::kCancelled:
-      ++jobs_stopped;
-      break;
-    default:
-      ++jobs_failed;
-      break;
-  }
-  queue_wait_seconds_total += result.queue_wait_seconds;
-  if (result.queue_wait_seconds > queue_wait_seconds_max) {
-    queue_wait_seconds_max = result.queue_wait_seconds;
-  }
-  stats += result.stats;
-}
-
 Status DispatcherOptions::validate() const {
   std::string problems;
   const auto flag = [&problems](bool bad, const std::string& what) {
@@ -89,7 +69,7 @@ void Dispatcher::run_one(int index, const JobSpec& spec,
       options_.tracer,
       "job[" + std::to_string(index) + "]:" + std::string(to_string(spec.kind)));
   const Clock::time_point started = Clock::now();
-  result = run_job(spec, control);
+  result = run_job(spec, control, options_.cache);
   result.index = index;
   result.queue_wait_seconds = queue_wait_seconds;
   result.run_seconds = seconds_between(started, Clock::now());
@@ -97,6 +77,11 @@ void Dispatcher::run_one(int index, const JobSpec& spec,
 
 std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
   const Clock::time_point batch_start = Clock::now();
+  // Cache counters are deltas over this batch (the cache may be long-lived
+  // and shared across batches); snapshot before any job runs.
+  const core::FitnessCacheStats cache_before =
+      options_.cache != nullptr ? options_.cache->stats()
+                                : core::FitnessCacheStats{};
   const int n = static_cast<int>(specs.size());
   std::vector<JobResult> results(specs.size());
   {
@@ -148,6 +133,13 @@ std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
   metrics_.wall_seconds = seconds_between(batch_start, Clock::now());
   for (const JobResult& result : results) {
     metrics_.tally(result);
+  }
+  if (options_.cache != nullptr) {
+    const core::FitnessCacheStats after = options_.cache->stats();
+    metrics_.cache_shared_hits = after.hits - cache_before.hits;
+    metrics_.cache_shared_misses = after.misses - cache_before.misses;
+    metrics_.cache_entries = static_cast<std::int64_t>(options_.cache->size());
+    metrics_.cache_disk_loaded = after.disk_entries_loaded;
   }
   if (options_.tracer != nullptr) {
     options_.tracer->counter("svc.jobs_ok", metrics_.jobs_ok);

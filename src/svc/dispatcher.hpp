@@ -19,10 +19,11 @@
 #include <mutex>
 #include <vector>
 
-#include "common/eval_stats.hpp"
 #include "common/run_control.hpp"
 #include "common/trace.hpp"
+#include "core/fitness_cache.hpp"
 #include "svc/job.hpp"
+#include "svc/job_runner.hpp"
 
 namespace mfd::svc {
 
@@ -37,47 +38,24 @@ struct DispatcherOptions {
   /// Optional tracer: one span per job plus service-level counters at the
   /// end of the batch. Borrowed; must outlive the dispatcher.
   Tracer* tracer = nullptr;
+  /// Optional shared fitness cache handed to every job of the batch, so
+  /// codesign jobs over the same chip × assay reuse each other's
+  /// evaluations (metrics gain the cache_* counters). Borrowed; must
+  /// outlive the dispatcher. Null = per-job private caches.
+  core::FitnessCache* cache = nullptr;
 
   /// All violations in one Status, CodesignOptions::validate() style.
   [[nodiscard]] Status validate() const;
 };
 
-/// Service-level snapshot aggregated over one dispatched batch.
-struct ServiceMetrics {
-  int jobs_total = 0;
-  /// Outcome buckets: ok / stopped (deadline, cancel) / failed (invalid,
-  /// infeasible, internal, unavailable). The three sum to jobs_total.
-  int jobs_ok = 0;
-  int jobs_stopped = 0;
-  int jobs_failed = 0;
-  /// Crash-isolation counters (always 0 for in-process dispatch): jobs
-  /// requeued after a worker loss, jobs quarantined as kUnavailable after
-  /// exhausting their retry budget, and worker processes lost to crashes,
-  /// stalls or torn output.
-  int jobs_retried = 0;
-  int jobs_quarantined = 0;
-  int workers_lost = 0;
-  /// Queue latency (push -> pop) across jobs, seconds.
-  double queue_wait_seconds_total = 0.0;
-  double queue_wait_seconds_max = 0.0;
-  /// End-to-end batch wall time, seconds.
-  double wall_seconds = 0.0;
-  /// Deterministic evaluation counters summed over every job.
-  EvalStats stats;
-
-  /// Buckets one finished job: outcome counters, queue-wait aggregates and
-  /// EvalStats. Shared by the dispatcher and the supervisor.
-  void tally(const JobResult& result);
-};
-
-class Dispatcher {
+class Dispatcher : public JobRunner {
  public:
   explicit Dispatcher(DispatcherOptions options = {});
 
   /// Executes the whole batch and returns one result per spec, in input
   /// order. Blocks until every job has a result (stopped jobs report
   /// kCancelled / kDeadlineExceeded — there is no abandoned work).
-  std::vector<JobResult> run(const std::vector<JobSpec>& specs);
+  std::vector<JobResult> run(const std::vector<JobSpec>& specs) override;
 
   /// Cascading cancellation: marks the batch cancelled, cancels every
   /// in-flight job's RunControl, and makes every not-yet-started job report
@@ -85,7 +63,9 @@ class Dispatcher {
   void cancel_all();
 
   /// Metrics of the most recent completed run().
-  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const ServiceMetrics& metrics() const override {
+    return metrics_;
+  }
 
   [[nodiscard]] int thread_count() const { return threads_; }
 

@@ -1,0 +1,65 @@
+#include "svc/job_runner.hpp"
+
+#include <string>
+#include <utility>
+
+#include "svc/dispatcher.hpp"
+#include "svc/jobd.hpp"
+#include "svc/supervisor.hpp"
+
+namespace mfd::svc {
+
+void ServiceMetrics::tally(const JobResult& result) {
+  switch (result.status.outcome) {
+    case Outcome::kOk:
+      ++jobs_ok;
+      break;
+    case Outcome::kDeadlineExceeded:
+    case Outcome::kCancelled:
+      ++jobs_stopped;
+      break;
+    default:
+      ++jobs_failed;
+      break;
+  }
+  queue_wait_seconds_total += result.queue_wait_seconds;
+  if (result.queue_wait_seconds > queue_wait_seconds_max) {
+    queue_wait_seconds_max = result.queue_wait_seconds;
+  }
+  stats += result.stats;
+}
+
+std::unique_ptr<JobRunner> make_job_runner(const JobdOptions& options,
+                                           core::FitnessCache* cache) {
+  if (options.workers > 0) {
+    SupervisorOptions supervisor_options;
+    supervisor_options.workers = options.workers;
+    supervisor_options.worker_command.argv = options.worker_command;
+    if (!options.cache_dir.empty()) {
+      // Workers own their caches; cross-process sharing goes through the
+      // persistent tier, so ship the directory (and budget) on the command
+      // line rather than a pointer.
+      supervisor_options.worker_command.argv.push_back("--cache-dir");
+      supervisor_options.worker_command.argv.push_back(options.cache_dir);
+      supervisor_options.worker_command.argv.push_back("--cache-mb");
+      supervisor_options.worker_command.argv.push_back(
+          std::to_string(options.cache_mb));
+    }
+    supervisor_options.default_deadline_s = options.deadline_s;
+    supervisor_options.stall_timeout_s = options.stall_timeout_s;
+    supervisor_options.max_attempts = options.max_attempts;
+    supervisor_options.backoff_seed = options.backoff_seed;
+    supervisor_options.fault_inject = options.fault_inject;
+    supervisor_options.tracer = options.tracer;
+    return std::make_unique<Supervisor>(std::move(supervisor_options));
+  }
+  DispatcherOptions dispatcher_options;
+  dispatcher_options.threads = options.threads;
+  dispatcher_options.queue_capacity = options.queue_capacity;
+  dispatcher_options.default_deadline_s = options.deadline_s;
+  dispatcher_options.tracer = options.tracer;
+  dispatcher_options.cache = cache;
+  return std::make_unique<Dispatcher>(std::move(dispatcher_options));
+}
+
+}  // namespace mfd::svc

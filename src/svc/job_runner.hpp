@@ -1,0 +1,88 @@
+// The common batch-execution contract behind the job service.
+//
+// Two backends execute a batch of JobSpecs: the in-process Dispatcher
+// (threads in this process) and the crash-isolating Supervisor (worker
+// subprocesses). Both promise the same thing — run(specs) returns one
+// result per spec, in input order, with deterministic JSON fields that are
+// byte-identical across backends and parallelism degrees for crash-free
+// runs — so callers (run_jobd, tools, benches) program against this
+// interface and pick a backend with make_job_runner() instead of branching
+// on `workers > 0` themselves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/eval_stats.hpp"
+#include "svc/job.hpp"
+
+namespace mfd::core {
+class FitnessCache;
+}  // namespace mfd::core
+
+namespace mfd::svc {
+
+struct JobdOptions;
+
+/// Service-level snapshot aggregated over one executed batch.
+struct ServiceMetrics {
+  int jobs_total = 0;
+  /// Outcome buckets: ok / stopped (deadline, cancel) / failed (invalid,
+  /// infeasible, internal, unavailable). The three sum to jobs_total.
+  int jobs_ok = 0;
+  int jobs_stopped = 0;
+  int jobs_failed = 0;
+  /// Crash-isolation counters (always 0 for in-process dispatch): jobs
+  /// requeued after a worker loss, jobs quarantined as kUnavailable after
+  /// exhausting their retry budget, and worker processes lost to crashes,
+  /// stalls or torn output.
+  int jobs_retried = 0;
+  int jobs_quarantined = 0;
+  int workers_lost = 0;
+  /// Shared fitness cache, when one was attached to the batch (see
+  /// core/fitness_cache.hpp): lookups served / missed across all jobs,
+  /// entries resident afterwards, and entries that arrived warm from the
+  /// persistent tier. All physical-savings accounting — the deterministic
+  /// per-job counters in `stats` are unaffected by the cache configuration.
+  /// Worker-subprocess batches leave these at 0 (each worker owns its
+  /// cache; sharing is disk-mediated and counted in the worker).
+  std::int64_t cache_shared_hits = 0;
+  std::int64_t cache_shared_misses = 0;
+  std::int64_t cache_entries = 0;
+  std::int64_t cache_disk_loaded = 0;
+  /// Queue latency (push -> pop) across jobs, seconds.
+  double queue_wait_seconds_total = 0.0;
+  double queue_wait_seconds_max = 0.0;
+  /// End-to-end batch wall time, seconds.
+  double wall_seconds = 0.0;
+  /// Deterministic evaluation counters summed over every job.
+  EvalStats stats;
+
+  /// Buckets one finished job: outcome counters, queue-wait aggregates and
+  /// EvalStats. Shared by the dispatcher and the supervisor.
+  void tally(const JobResult& result);
+};
+
+/// Abstract batch runner: the Dispatcher/Supervisor contract.
+class JobRunner {
+ public:
+  virtual ~JobRunner() = default;
+
+  /// Executes the whole batch and returns one result per spec, in input
+  /// order. Blocks until every job has a result.
+  virtual std::vector<JobResult> run(const std::vector<JobSpec>& specs) = 0;
+
+  /// Metrics of the most recent completed run().
+  [[nodiscard]] virtual const ServiceMetrics& metrics() const = 0;
+};
+
+/// Picks the backend for one jobd batch: a Supervisor over worker
+/// subprocesses when options.workers > 0 (with the cache directory flags
+/// appended to the worker command so workers share the persistent tier),
+/// an in-process Dispatcher wired to `cache` otherwise. `cache` is
+/// borrowed, may be null, and must outlive the runner.
+[[nodiscard]] std::unique_ptr<JobRunner> make_job_runner(
+    const JobdOptions& options, core::FitnessCache* cache = nullptr);
+
+}  // namespace mfd::svc

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -12,9 +13,10 @@
 #include "common/fault_inject.hpp"
 #include "common/json.hpp"
 #include "common/run_control.hpp"
+#include "core/fitness_cache.hpp"
 #include "svc/job.hpp"
+#include "svc/job_runner.hpp"
 #include "svc/run_job.hpp"
-#include "svc/supervisor.hpp"
 
 namespace mfd::svc {
 
@@ -64,35 +66,27 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
     }
   }
 
-  // Phase 2: run the well-formed jobs as one batch — crash-isolated worker
-  // subprocesses when workers are requested, the in-process dispatcher
-  // otherwise. Both return results in input order with identical
-  // deterministic bytes for crash-free runs.
-  ServiceMetrics metrics;
-  std::vector<JobResult> ran;
-  if (options.workers > 0) {
-    SupervisorOptions supervisor_options;
-    supervisor_options.workers = options.workers;
-    supervisor_options.worker_command.argv = options.worker_command;
-    supervisor_options.default_deadline_s = options.deadline_s;
-    supervisor_options.stall_timeout_s = options.stall_timeout_s;
-    supervisor_options.max_attempts = options.max_attempts;
-    supervisor_options.backoff_seed = options.backoff_seed;
-    supervisor_options.fault_inject = options.fault_inject;
-    supervisor_options.tracer = options.tracer;
-    Supervisor supervisor(supervisor_options);
-    ran = supervisor.run(runnable);
-    metrics = supervisor.metrics();
-  } else {
-    DispatcherOptions dispatcher_options;
-    dispatcher_options.threads = options.threads;
-    dispatcher_options.queue_capacity = options.queue_capacity;
-    dispatcher_options.default_deadline_s = options.deadline_s;
-    dispatcher_options.tracer = options.tracer;
-    Dispatcher dispatcher(dispatcher_options);
-    ran = dispatcher.run(runnable);
-    metrics = dispatcher.metrics();
+  // Phase 2: run the well-formed jobs as one batch on whichever JobRunner
+  // backend the options select (crash-isolated worker subprocesses, or the
+  // in-process dispatcher). Both return results in input order with
+  // identical deterministic bytes for crash-free runs. The in-process
+  // backend gets one shared fitness cache for the whole batch; worker
+  // batches share through the persistent tier instead (each worker loads
+  // cache_dir at startup and appends to it at EOF).
+  std::unique_ptr<core::FitnessCache> cache;
+  if (options.shared_cache && options.workers <= 0) {
+    core::FitnessCacheOptions cache_options;
+    cache_options.dir = options.cache_dir;
+    cache_options.max_bytes =
+        static_cast<std::size_t>(options.cache_mb) << 20;
+    cache = std::make_unique<core::FitnessCache>(std::move(cache_options));
   }
+  const std::unique_ptr<JobRunner> runner =
+      make_job_runner(options, cache.get());
+  std::vector<JobResult> ran = runner->run(runnable);
+  const ServiceMetrics metrics = runner->metrics();
+  Status cache_persist = Status::Ok();
+  if (cache != nullptr) cache_persist = cache->persist();
   for (std::size_t k = 0; k < ran.size(); ++k) {
     ran[k].index = runnable_index[k];
     results[static_cast<std::size_t>(runnable_index[k])] = std::move(ran[k]);
@@ -112,11 +106,12 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
   report.jobs_ok = report.metrics.jobs_ok;
   report.jobs_stopped = report.metrics.jobs_stopped;
   report.jobs_failed = report.metrics.jobs_failed + parse_errors;
+  report.cache_persist = cache_persist;
   return report;
 }
 
 int run_worker(std::istream& in, std::ostream& out,
-               const FaultInjectPlan* plan) {
+               const FaultInjectPlan* plan, core::FitnessCache* cache) {
   const FaultInjectPlan env_plan =
       plan == nullptr ? FaultInjectPlan::from_env() : FaultInjectPlan{};
   const FaultInjectPlan& faults = plan != nullptr ? *plan : env_plan;
@@ -146,7 +141,7 @@ int run_worker(std::istream& in, std::ostream& out,
 
       RunControl control;
       if (spec.deadline_s > 0.0) control.set_timeout(spec.deadline_s);
-      result = run_job(spec, &control);
+      result = run_job(spec, &control, cache);
     } catch (const std::exception& e) {
       // A malformed envelope still gets an answer: the lockstep protocol
       // (one result line per request line) must never skew.
@@ -165,9 +160,14 @@ int run_worker(std::istream& in, std::ostream& out,
     }
     out << out_line << '\n';
     out.flush();
-    if (!out) return 1;  // the supervisor is gone; nothing left to serve
+    if (!out) break;  // the supervisor is gone; nothing left to serve
   }
-  return 0;
+  // Persist what this worker learned before exiting — also on a failed
+  // write, since the results themselves were already computed and valid.
+  // Persist failures are swallowed: the cache is an accelerator, never a
+  // correctness dependency.
+  if (cache != nullptr) (void)cache->persist();
+  return out ? 0 : 1;
 }
 
 }  // namespace mfd::svc

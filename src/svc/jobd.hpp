@@ -55,6 +55,19 @@ struct JobdOptions {
   std::uint64_t backoff_seed = 2024;
   /// Fault-injection spec forwarded to workers (tests; "" = inherit env).
   std::string fault_inject;
+
+  /// Share one fitness cache across every codesign job of the batch
+  /// (in-process dispatch; worker batches share through cache_dir instead).
+  /// Output bytes are identical with the cache on or off — only wall time
+  /// and the ServiceMetrics cache_* counters change. false = per-job
+  /// private caches, exactly the pre-cache behavior.
+  bool shared_cache = true;
+  /// Directory of the persistent cache tier ("" = in-memory only): loaded
+  /// warm at startup, appended to when the batch ends. With workers > 0 the
+  /// flags are forwarded so each worker loads and persists the same tier.
+  std::string cache_dir;
+  /// In-memory cache budget in MiB (0 = unbounded).
+  int cache_mb = 256;
 };
 
 /// Batch summary (forwarded dispatcher metrics plus parse accounting).
@@ -68,6 +81,9 @@ struct JobdReport {
   int jobs_stopped = 0;
   int jobs_failed = 0;
   ServiceMetrics metrics;
+  /// Outcome of writing the persistent cache segment at the end of the
+  /// batch (kOk when no cache_dir was configured or nothing was new).
+  Status cache_persist = Status::Ok();
 };
 
 /// Runs every job on `in` (JSONL, one JobSpec per line) and writes one
@@ -81,9 +97,12 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
 /// line), until EOF. Malformed envelopes answer with a kInternalError
 /// result instead of exiting, keeping the lockstep protocol intact.
 /// `plan` overrides the MFDFT_FAULT_INJECT environment plan (tests);
-/// injected faults abort/stall/truncate exactly as specified. Returns 0 on
-/// clean EOF, 1 when `out` failed (the supervisor is gone).
+/// injected faults abort/stall/truncate exactly as specified. `cache` is
+/// the worker's fitness cache (borrowed, may be null), shared between its
+/// jobs and persisted at EOF when disk-backed. Returns 0 on clean EOF, 1
+/// when `out` failed (the supervisor is gone).
 int run_worker(std::istream& in, std::ostream& out,
-               const FaultInjectPlan* plan = nullptr);
+               const FaultInjectPlan* plan = nullptr,
+               core::FitnessCache* cache = nullptr);
 
 }  // namespace mfd::svc

@@ -37,7 +37,7 @@ sim::FaultUniverse resolve_universe(const JobSpec& spec) {
 }
 
 void run_codesign_job(const JobSpec& spec, const RunControl* control,
-                      JobResult& result) {
+                      core::FitnessCache* cache, JobResult& result) {
   const arch::Biochip chip = resolve_chip(spec);
   const sched::Assay assay = resolve_assay(spec);
   core::CodesignOptions options;
@@ -47,6 +47,7 @@ void run_codesign_job(const JobSpec& spec, const RunControl* control,
   options.threads = spec.threads;
   options.seed = spec.seed;
   options.control = control;
+  options.cache = cache;
   const core::CodesignResult r = core::run_codesign(chip, assay, options);
   result.status = r.status;
   result.dft_valves = r.dft_valve_count;
@@ -139,7 +140,8 @@ void run_diagnosis_job(const JobSpec& spec, const RunControl* control,
 
 }  // namespace
 
-JobResult run_job(const JobSpec& spec, const RunControl* control) {
+JobResult run_job(const JobSpec& spec, const RunControl* control,
+                  core::FitnessCache* cache) {
   JobResult result;
   result.id = spec.id;
   result.kind = spec.kind;
@@ -158,7 +160,7 @@ JobResult run_job(const JobSpec& spec, const RunControl* control) {
   try {
     switch (spec.kind) {
       case JobKind::kCodesign:
-        run_codesign_job(spec, control, result);
+        run_codesign_job(spec, control, cache, result);
         break;
       case JobKind::kTestgen:
         run_testgen_job(spec, control, result);

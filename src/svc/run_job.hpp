@@ -1,21 +1,27 @@
 // Executes one JobSpec against the library.
 //
-// run_job() is a pure function of (spec, control): it resolves the chip and
-// assay, dispatches on the job kind, and returns a JobResult whose
-// deterministic fields depend only on the spec (the paper pipelines are
-// seeded, never wall-clock driven). Exceptions never escape — they come
-// back as Status kInternalError — so one malformed job cannot take down a
+// run_job()'s deterministic result fields are a pure function of the spec
+// alone (the paper pipelines are seeded, never wall-clock driven): it
+// resolves the chip and assay, dispatches on the job kind, and returns a
+// JobResult. A shared FitnessCache only changes *how fast* that function is
+// computed — cache hits serve bit-identical values with logically identical
+// counters — never what it returns. Exceptions never escape; they come back
+// as Status kInternalError, so one malformed job cannot take down a
 // dispatcher worker.
 #pragma once
 
 #include "common/run_control.hpp"
+#include "core/fitness_cache.hpp"
 #include "svc/job.hpp"
 
 namespace mfd::svc {
 
 /// Runs the job to completion (or to the control's deadline/cancel), never
-/// throws. `control` is borrowed and may be null.
+/// throws. `control` and `cache` are borrowed and may be null; a non-null
+/// cache is injected into codesign jobs' evaluators (other kinds have no
+/// fitness evaluations to share).
 [[nodiscard]] JobResult run_job(const JobSpec& spec,
-                                const RunControl* control = nullptr);
+                                const RunControl* control = nullptr,
+                                core::FitnessCache* cache = nullptr);
 
 }  // namespace mfd::svc

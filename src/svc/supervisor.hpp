@@ -34,8 +34,8 @@
 
 #include "common/status.hpp"
 #include "common/trace.hpp"
-#include "svc/dispatcher.hpp"
 #include "svc/job.hpp"
+#include "svc/job_runner.hpp"
 #include "svc/worker_pool.hpp"
 
 namespace mfd::svc {
@@ -73,17 +73,19 @@ struct SupervisorOptions {
 [[nodiscard]] double backoff_delay_s(std::uint64_t seed, int job, int attempt,
                                      double base_s, double max_s);
 
-class Supervisor {
+class Supervisor : public JobRunner {
  public:
   explicit Supervisor(SupervisorOptions options);
 
   /// Executes the whole batch across worker subprocesses and returns one
   /// result per spec, in input order. Never throws on worker loss; blocks
   /// until every job has a result (possibly kUnavailable).
-  std::vector<JobResult> run(const std::vector<JobSpec>& specs);
+  std::vector<JobResult> run(const std::vector<JobSpec>& specs) override;
 
   /// Metrics of the most recent completed run().
-  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const ServiceMetrics& metrics() const override {
+    return metrics_;
+  }
 
  private:
   SupervisorOptions options_;

@@ -49,12 +49,16 @@ struct Fixture {
     return scheme;
   }
 
-  // The evaluator is immovable (it owns a shared_mutex), so tests hold it
+  // The evaluator holds references into the fixture, so tests hold it
   // through a unique_ptr.
   [[nodiscard]] std::unique_ptr<Evaluator> make_evaluator(
-      ThreadPool& pool_ref) {
-    auto evaluator = std::make_unique<Evaluator>(assay, options.sched,
-                                                 options.vectors, pool_ref);
+      ThreadPool& pool_ref, FitnessCache* cache = nullptr) {
+    auto evaluator = std::make_unique<Evaluator>(
+        EvaluatorOptions{.assay = &assay,
+                         .sched = options.sched,
+                         .vectors = options.vectors,
+                         .pool = &pool_ref,
+                         .cache = cache});
     for (std::size_t i = 0; i < augmented.size(); ++i) {
       evaluator->add_config(augmented[i], pool[i]);
     }
@@ -178,6 +182,55 @@ TEST(EvalCacheTest, CountersIndependentOfThreadCount) {
   EXPECT_EQ(std::get<3>(one), std::get<3>(eight));
   EXPECT_EQ(std::get<1>(one), 4);  // four distinct schemes
   EXPECT_EQ(std::get<2>(one), 2);  // two in-batch duplicates
+}
+
+TEST(EvalCacheTest, SharedTierServesSecondEvaluatorWithLogicalCounters) {
+  Fixture f;
+  ThreadPool pool(2);
+  FitnessCache shared;
+  const std::vector<SharingScheme> schemes{
+      f.uniform_scheme(0, 0), f.uniform_scheme(0, 1), f.uniform_scheme(0, 0)};
+
+  // First evaluator computes and populates the shared tier.
+  const auto first = f.make_evaluator(pool, &shared);
+  std::vector<double> first_out(schemes.size(), -1.0);
+  first->evaluate_batch(0, schemes, first_out);
+  EXPECT_EQ(first->stats().shared_hits, 0);
+  EXPECT_GT(shared.size(), 0u);
+
+  // A private-cache evaluator defines the expected logical counters.
+  const auto lone = f.make_evaluator(pool);
+  std::vector<double> lone_out(schemes.size(), -1.0);
+  lone->evaluate_batch(0, schemes, lone_out);
+
+  // Second shared evaluator: same outputs, same logical counters, but all
+  // unique work served from the shared tier.
+  const auto second = f.make_evaluator(pool, &shared);
+  std::vector<double> second_out(schemes.size(), -1.0);
+  second->evaluate_batch(0, schemes, second_out);
+  EXPECT_EQ(second_out, lone_out);
+  EXPECT_EQ(second->stats().evaluations, lone->stats().evaluations);
+  EXPECT_EQ(second->stats().cache_hits, lone->stats().cache_hits);
+  EXPECT_EQ(second->stats().scheduler_runs, lone->stats().scheduler_runs);
+  EXPECT_EQ(second->stats().testgen_runs, lone->stats().testgen_runs);
+  EXPECT_EQ(second->stats().shared_hits, second->stats().evaluations);
+  EXPECT_EQ(second->stats().schedule_seconds, 0.0);  // nothing recomputed
+}
+
+TEST(EvalCacheTest, CandidateKeyStableAcrossEvaluatorsAndConfigs) {
+  Fixture f;
+  ThreadPool pool(1);
+  const auto one = f.make_evaluator(pool);
+  const auto two = f.make_evaluator(pool);
+  const SharingScheme a = f.uniform_scheme(0, 0);
+  const SharingScheme b = f.uniform_scheme(0, 1);
+  EXPECT_EQ(one->candidate_key(0, a), two->candidate_key(0, a));
+  EXPECT_FALSE(one->candidate_key(0, a) == one->candidate_key(0, b));
+  if (f.pool.size() >= 2 && f.dft_count(0) == f.dft_count(1)) {
+    // Same partner vector on a different configuration: distinct keys (the
+    // old (config, partner) key's collision-prone spot).
+    EXPECT_FALSE(one->candidate_key(0, a) == one->candidate_key(1, a));
+  }
 }
 
 }  // namespace

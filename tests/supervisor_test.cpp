@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/fault_inject.hpp"
 #include "common/json.hpp"
@@ -310,6 +313,60 @@ TEST(SupervisorTest, RunJobdWithWorkersMatchesThreadsByteForByte) {
   EXPECT_EQ(report_workers.metrics.workers_lost, 0);
 
   EXPECT_EQ(out_threads.str(), out_workers.str());
+}
+
+TEST(SupervisorTest, WorkersShareFitnessCacheThroughDiskTier) {
+  // Worker subprocesses share evaluations through the persistent cache
+  // tier: the batch leaves segment files behind, a rerun starts warm, and
+  // the output bytes never change — cache off, cold, or warm.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("mfdft_supervisor_cache_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  JobSpec spec;
+  spec.kind = JobKind::kCodesign;
+  spec.id = "cd";
+  spec.chip = "IVD_chip";
+  spec.assay = "IVD";
+  spec.outer_iterations = 1;
+  spec.outer_particles = 2;
+  spec.config_pool_size = 1;
+  std::string input;
+  input += spec.to_json().dump() + "\n";
+  spec.id = "cd2";
+  input += spec.to_json().dump() + "\n";
+
+  const auto run = [&](const std::string& cache_dir) {
+    JobdOptions options;
+    options.workers = 2;
+    options.worker_command = {MFDFT_JOBD_BIN, "--worker"};
+    options.cache_dir = cache_dir;
+    std::istringstream in(input);
+    std::ostringstream out;
+    const JobdReport report = run_jobd(in, out, options);
+    EXPECT_EQ(report.jobs_ok, 2);
+    return out.str();
+  };
+
+  const std::string without_cache = run("");
+  const std::string cold = run(dir.string());
+
+  // The workers persisted what they computed...
+  int segments = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    segments += entry.path().extension() == ".mfc" ? 1 : 0;
+  }
+  EXPECT_GT(segments, 0);
+
+  // ...and a restarted batch over the warm tier emits identical bytes.
+  const std::string warm = run(dir.string());
+  EXPECT_EQ(without_cache, cold);
+  EXPECT_EQ(cold, warm);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -18,10 +18,19 @@
 //   --stall-timeout-s S  per-job watchdog in worker mode (0 = off)
 //   --max-attempts K   attempts per job before quarantine (worker mode)
 //   --deadline-s S     default per-job deadline for jobs that set none
+//   --cache-dir PATH   persistent fitness-cache directory: loaded warm at
+//                      startup, appended to at exit, so repeated batches
+//                      over the same chips skip recomputed evaluations
+//                      (results are byte-identical either way)
+//   --cache-mb N       in-memory fitness-cache budget in MiB (default 256,
+//                      0 = unbounded)
+//   --no-shared-cache  give every job a private cache (disables cross-job
+//                      sharing; useful for timing comparisons)
 //   --trace PATH       JSONL trace of per-job spans and service counters
 //   --worker           internal: run as a supervisor-driven worker process
 //                      (one request envelope per stdin line, one result
-//                      line per job on stdout)
+//                      line per job on stdout; --cache-dir/--cache-mb are
+//                      honored per worker)
 //
 // Exit status: 0 when every job ran OK, 3 when some jobs failed or were
 // stopped (their Status is in the results file), 2 on usage or I/O errors.
@@ -40,6 +49,7 @@
 #include <unistd.h>
 
 #include "common/trace.hpp"
+#include "core/fitness_cache.hpp"
 #include "svc/jobd.hpp"
 
 namespace {
@@ -48,7 +58,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--in PATH] [--out PATH] [--threads N] "
                "[--workers N] [--stall-timeout-s S] [--max-attempts K] "
-               "[--deadline-s S] [--trace PATH] [--worker]\n",
+               "[--deadline-s S] [--cache-dir PATH] [--cache-mb N] "
+               "[--no-shared-cache] [--trace PATH] [--worker]\n",
                argv0);
   return 2;
 }
@@ -111,6 +122,16 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       options.deadline_s = std::atof(v);
+    } else if (arg == "--cache-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      options.cache_dir = v;
+    } else if (arg == "--cache-mb") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      options.cache_mb = std::atoi(v);
+    } else if (arg == "--no-shared-cache") {
+      options.shared_cache = false;
     } else if (arg == "--trace") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -126,8 +147,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (options.cache_mb < 0) {
+    std::fprintf(stderr, "%s: --cache-mb must be >= 0\n", argv[0]);
+    return 2;
+  }
+
   if (worker_mode) {
-    const int rc = mfd::svc::run_worker(std::cin, std::cout);
+    // Worker-side cache: each worker owns one, warm-loaded from the shared
+    // --cache-dir (if any) and persisted at EOF — cross-process sharing is
+    // disk-mediated.
+    std::unique_ptr<mfd::core::FitnessCache> cache;
+    if (options.shared_cache) {
+      mfd::core::FitnessCacheOptions cache_options;
+      cache_options.dir = options.cache_dir;
+      cache_options.max_bytes = static_cast<std::size_t>(options.cache_mb)
+                                << 20;
+      cache = std::make_unique<mfd::core::FitnessCache>(cache_options);
+    }
+    const int rc =
+        mfd::svc::run_worker(std::cin, std::cout, nullptr, cache.get());
     if (rc != 0) {
       std::fprintf(stderr, "%s: worker: write to stdout failed\n", argv[0]);
     }
@@ -200,12 +238,27 @@ int main(int argc, char** argv) {
                      std::to_string(report.metrics.workers_lost) +
                      " workers lost";
   }
+  std::string cache_summary;
+  if (options.shared_cache && options.workers <= 0) {
+    cache_summary =
+        ", cache " + std::to_string(report.metrics.cache_shared_hits) +
+        " shared hits / " + std::to_string(report.metrics.cache_entries) +
+        " entries" +
+        (report.metrics.cache_disk_loaded > 0
+             ? " (" + std::to_string(report.metrics.cache_disk_loaded) +
+                   " warm from disk)"
+             : "");
+  }
   std::fprintf(stderr,
                "mfdft_jobd: %d jobs (%d ok, %d stopped, %d failed%s) "
-               "in %.2fs wall, max queue wait %.3fs\n",
+               "in %.2fs wall, max queue wait %.3fs%s\n",
                report.jobs_total, report.jobs_ok, report.jobs_stopped,
                report.jobs_failed, worker_summary.c_str(),
                report.metrics.wall_seconds,
-               report.metrics.queue_wait_seconds_max);
+               report.metrics.queue_wait_seconds_max, cache_summary.c_str());
+  if (!report.cache_persist.ok()) {
+    std::fprintf(stderr, "mfdft_jobd: cache persist failed: %s\n",
+                 report.cache_persist.to_string().c_str());
+  }
   return report.jobs_ok == report.jobs_total ? 0 : 3;
 }
