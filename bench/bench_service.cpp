@@ -1,0 +1,197 @@
+// Networked job-daemon service benchmark: synthetic open-loop traffic
+// (Poisson arrivals, seeded) against a loopback JobDaemon, split across
+// the two scheduling classes. Each request is one client connection
+// carrying one interactive-kind job (testgen/coverage/diagnosis rotated
+// over the paper chips); the measured latency is the full service path —
+// connect, hello, admission, queueing, execution, ordered result delivery.
+// Reports per-class request counts and p50/p90/p99 latency, the daemon's
+// shed/admission counters, and verifies every request got exactly one
+// well-formed result (exit 1 if not).
+//
+// Env knobs: MFDFT_BENCH_SERVICE_REQUESTS (total requests, default 40),
+// MFDFT_BENCH_SERVICE_RATE (mean arrival rate in req/s, default 40),
+// MFDFT_BENCH_SERVICE_EXECUTORS (daemon executor threads, default 2),
+// MFDFT_BENCH_SERVICE_QUEUE (queue capacity, default 64), MFDFT_BENCH_SEED
+// (arrival-process seed, default 2024).
+// Invocation: ./build/bench/bench_service [--json PATH] — the flag also
+// writes the results as BENCH_service JSON (schema in EXPERIMENTS.md).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "svc/daemon.hpp"
+#include "svc/job.hpp"
+
+namespace {
+
+using namespace mfd;
+using Clock = std::chrono::steady_clock;
+
+struct Request {
+  double arrival_s = 0.0;       ///< Offset from benchmark start.
+  svc::JobClass job_class = svc::JobClass::kInteractive;
+  std::string jsonl;            ///< One JobSpec line.
+};
+
+struct Completion {
+  svc::JobClass job_class = svc::JobClass::kInteractive;
+  double latency_ms = 0.0;
+  bool ok = false;
+};
+
+/// One interactive-kind job, rotated over chips and kinds by index.
+std::string job_line(int index) {
+  static const char* kChips[] = {"figure4_chip", "IVD_chip", "RA30_chip"};
+  static const svc::JobKind kKinds[] = {svc::JobKind::kTestgen,
+                                        svc::JobKind::kCoverage,
+                                        svc::JobKind::kDiagnosis};
+  svc::JobSpec spec;
+  spec.kind = kKinds[index % 3];
+  spec.chip = kChips[(index / 3) % 3];
+  spec.id = "req-" + std::to_string(index);
+  return spec.to_json().dump() + "\n";
+}
+
+double percentile_ms(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path(argc, argv);
+  const int requests = bench::env_int("MFDFT_BENCH_SERVICE_REQUESTS", 40);
+  const double rate_hz = bench::env_double("MFDFT_BENCH_SERVICE_RATE", 40.0);
+  const int executors = bench::env_int("MFDFT_BENCH_SERVICE_EXECUTORS", 2);
+  const int queue_capacity = bench::env_int("MFDFT_BENCH_SERVICE_QUEUE", 64);
+  const auto seed =
+      static_cast<std::uint64_t>(bench::env_int("MFDFT_BENCH_SEED", 2024));
+
+  // The whole arrival process is drawn up front (seeded), so a run is
+  // reproducible and the load threads do no RNG work.
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> interarrival(rate_hz);
+  std::bernoulli_distribution is_bulk(0.5);
+  std::vector<Request> plan;
+  plan.reserve(static_cast<std::size_t>(requests));
+  double clock_s = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    clock_s += interarrival(rng);
+    plan.push_back(Request{clock_s,
+                           is_bulk(rng) ? svc::JobClass::kBulk
+                                        : svc::JobClass::kInteractive,
+                           job_line(i)});
+  }
+
+  svc::DaemonOptions daemon_options;
+  daemon_options.executors = executors;
+  daemon_options.queue_capacity =
+      static_cast<std::size_t>(queue_capacity);
+  svc::JobDaemon daemon(daemon_options);
+  const Status started = daemon.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bench_service: %s\n", started.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("Service benchmark: %d Poisson requests at %.0f req/s against "
+              "a loopback daemon (%d executors, queue %d)\n\n",
+              requests, rate_hz, executors, queue_capacity);
+
+  std::vector<Completion> completions(plan.size());
+  std::vector<std::thread> clients;
+  clients.reserve(plan.size());
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const Request& request = plan[i];
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(request.arrival_s)));
+    clients.emplace_back([&request, &completion = completions[i],
+                          port = daemon.port()] {
+      svc::ClientOptions options;
+      options.port = port;
+      options.priority = to_string(request.job_class);
+      const Clock::time_point sent = Clock::now();
+      std::istringstream in(request.jsonl);
+      std::ostringstream out;
+      int results = 0;
+      const Status status =
+          svc::run_daemon_client(in, out, options, &results);
+      completion.latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - sent)
+              .count();
+      completion.job_class = request.job_class;
+      completion.ok = status.ok() && results == 1 && !out.str().empty();
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  daemon.stop();
+
+  int failed = 0;
+  std::vector<double> latencies[svc::kJobClassCount];
+  for (const Completion& completion : completions) {
+    if (!completion.ok) ++failed;
+    latencies[static_cast<int>(completion.job_class)].push_back(
+        completion.latency_ms);
+  }
+  for (auto& series : latencies) std::sort(series.begin(), series.end());
+
+  double p50[svc::kJobClassCount];
+  double p90[svc::kJobClassCount];
+  double p99[svc::kJobClassCount];
+  for (int c = 0; c < svc::kJobClassCount; ++c) {
+    p50[c] = percentile_ms(latencies[c], 0.50);
+    p90[c] = percentile_ms(latencies[c], 0.90);
+    p99[c] = percentile_ms(latencies[c], 0.99);
+    std::printf("%-12s %5zu reqs   p50 %8.2f ms   p90 %8.2f ms   "
+                "p99 %8.2f ms\n",
+                to_string(static_cast<svc::JobClass>(c)),
+                latencies[c].size(), p50[c], p90[c], p99[c]);
+  }
+  const svc::DaemonMetrics metrics = daemon.metrics();
+  std::printf("\ndaemon: %lld done (%lld shed, %lld parse errors), "
+              "%lld admitted interactive / %lld bulk; "
+              "all requests answered: %s\n",
+              static_cast<long long>(metrics.jobs_done),
+              static_cast<long long>(metrics.jobs_shed),
+              static_cast<long long>(metrics.jobs_parse_error),
+              static_cast<long long>(metrics.admitted_interactive),
+              static_cast<long long>(metrics.admitted_bulk),
+              failed == 0 ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    Json report = Json::object();
+    report.set("bench", Json(std::string("service")));
+    report.set("requests", Json(std::int64_t{requests}));
+    report.set("rate_hz", Json(rate_hz));
+    report.set("executors", Json(std::int64_t{executors}));
+    report.set("queue_capacity", Json(std::int64_t{queue_capacity}));
+    report.set("seed", Json(static_cast<std::int64_t>(seed)));
+    for (int c = 0; c < svc::kJobClassCount; ++c) {
+      const std::string prefix = to_string(static_cast<svc::JobClass>(c));
+      report.set(prefix + "_count",
+                 Json(static_cast<std::int64_t>(latencies[c].size())));
+      report.set(prefix + "_p50_ms", Json(p50[c]));
+      report.set(prefix + "_p90_ms", Json(p90[c]));
+      report.set(prefix + "_p99_ms", Json(p99[c]));
+    }
+    report.set("jobs_done", Json(metrics.jobs_done));
+    report.set("jobs_shed", Json(metrics.jobs_shed));
+    report.set("jobs_admitted", Json(metrics.jobs_admitted));
+    report.set("clients_served", Json(metrics.clients_served));
+    report.set("all_answered", Json(failed == 0));
+    report.save(json_path);
+  }
+  return failed == 0 ? 0 : 1;
+}

@@ -156,12 +156,32 @@ void FitnessCache::load() {
   std::error_code ec;
   fs::create_directories(options_.dir, ec);
   std::vector<fs::path> segments;
+  std::vector<fs::path> temps;
   for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
     if (entry.path().extension() == kSegmentSuffix) {
       segments.push_back(entry.path());
+    } else if (entry.path().extension() == ".tmp" &&
+               fs::path(entry.path().stem()).extension() == kSegmentSuffix) {
+      temps.push_back(entry.path());
     }
   }
   if (ec) return;  // unreadable dir: start cold, persist() will retry I/O
+
+  // Sweep leftover write temps: a persist() that died between write and
+  // rename leaves "<segment>.mfc.tmp" behind forever (the extension filter
+  // above skips it, so it used to just accumulate). Only temps old enough
+  // that no live writer can still own them are removed — a concurrent
+  // process mid-persist keeps its fresh temp.
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::path& temp : temps) {
+    std::error_code temp_ec;
+    const auto written = fs::last_write_time(temp, temp_ec);
+    if (temp_ec || now - written < kStaleTempAge) continue;
+    if (fs::remove(temp, temp_ec) && !temp_ec) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.disk_temps_swept;
+    }
+  }
   // Deterministic load order (directory iteration order is unspecified).
   std::sort(segments.begin(), segments.end());
 

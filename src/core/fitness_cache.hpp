@@ -32,6 +32,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -83,6 +84,9 @@ struct FitnessCacheStats {
   std::int64_t disk_segments_loaded = 0;
   std::int64_t disk_segments_rejected = 0;
   std::int64_t disk_entries_persisted = 0;
+  /// Stale ".tmp" segment files (a writer that died between write and
+  /// rename) removed at load time.
+  std::int64_t disk_temps_swept = 0;
 };
 
 /// Thread-safe two-tier fitness cache. One instance is typically shared by
@@ -120,6 +124,11 @@ class FitnessCache {
 
   /// The segment-file suffix, exposed for tooling and tests.
   static constexpr const char* kSegmentSuffix = ".mfc";
+
+  /// How old a leftover "<segment>.tmp" file must be before load() sweeps
+  /// it: long past any plausible in-flight persist(), so only writers that
+  /// died mid-persist are cleaned up.
+  static constexpr std::chrono::minutes kStaleTempAge{15};
 
  private:
   struct Shard {

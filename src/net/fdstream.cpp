@@ -1,0 +1,72 @@
+#include "net/fdstream.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mfd::net {
+
+namespace {
+
+constexpr std::size_t kBufferSize = 4096;
+
+bool fd_is_socket(int fd) {
+  struct stat info = {};
+  return ::fstat(fd, &info) == 0 && S_ISSOCK(info.st_mode);
+}
+
+}  // namespace
+
+FdStreamBuf::FdStreamBuf(int fd)
+    : fd_(fd),
+      is_socket_(fd_is_socket(fd)),
+      in_buffer_(kBufferSize),
+      out_buffer_(kBufferSize) {
+  setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data());
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_buffer_.data(), in_buffer_.size());
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buffer_.data(), in_buffer_.data(),
+       in_buffer_.data() + static_cast<std::size_t>(n));
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::flush_put_area() {
+  const char* data = pbase();
+  std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+  while (left > 0) {
+    const ssize_t n = is_socket_ ? ::send(fd_, data, left, MSG_NOSIGNAL)
+                                 : ::write(fd_, data, left);
+    if (n > 0) {
+      data += n;
+      left -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_put_area()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flush_put_area() ? 0 : -1; }
+
+}  // namespace mfd::net

@@ -1,0 +1,54 @@
+// std::iostream adapter over a raw fd, for code written against streams.
+//
+// run_worker() (svc/jobd.hpp) takes std::istream/std::ostream so tests can
+// drive it with stringstreams and the tool with stdin/stdout. A remote
+// worker speaks the same loop over a TCP socket; FdStreamBuf makes the
+// socket *be* those streams: blocking buffered reads, EINTR-retried writes
+// via MSG_NOSIGNAL on sockets (a vanished daemon surfaces as a failed
+// stream, never SIGPIPE), and sync() flushing the put area whole — which
+// run_worker's per-line flush turns into one frame per result line.
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+#include <streambuf>
+#include <vector>
+
+namespace mfd::net {
+
+class FdStreamBuf : public std::streambuf {
+ public:
+  /// Borrows `fd` (the caller keeps ownership and closes it).
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flush_put_area();
+
+  int fd_;
+  bool is_socket_;
+  std::vector<char> in_buffer_;
+  std::vector<char> out_buffer_;
+};
+
+/// One duplex stream pair over a single fd (e.g. a connected socket):
+/// `in()` and `out()` share the buffer, so reads and writes interleave the
+/// way run_worker's request/response lockstep needs.
+class FdDuplexStream {
+ public:
+  explicit FdDuplexStream(int fd) : buffer_(fd), in_(&buffer_), out_(&buffer_) {}
+
+  [[nodiscard]] std::istream& in() { return in_; }
+  [[nodiscard]] std::ostream& out() { return out_; }
+
+ private:
+  FdStreamBuf buffer_;
+  std::istream in_;
+  std::ostream out_;
+};
+
+}  // namespace mfd::net

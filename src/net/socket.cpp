@@ -1,0 +1,175 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace mfd::net {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// getaddrinfo for a numeric-or-named host; *result must be freed with
+/// freeaddrinfo. `passive` asks for a bindable address.
+bool resolve(const std::string& host, int port, bool passive,
+             struct addrinfo** result, std::string* error) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, result);
+  if (rc != 0) {
+    set_error(error, "cannot resolve '" + host + ":" + port_text +
+                         "': " + gai_strerror(rc));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_host_port(const std::string& spec, Endpoint* endpoint,
+                     std::string* error) {
+  Endpoint parsed;
+  std::string port_text = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (!spec.empty() && spec[0] != ':') parsed.host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  if (port_text.empty()) {
+    set_error(error, "missing port in '" + spec + "'");
+    return false;
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    set_error(error, "bad port '" + port_text + "' in '" + spec +
+                         "' (want 0..65535)");
+    return false;
+  }
+  parsed.port = static_cast<int>(port);
+  *endpoint = parsed;
+  return true;
+}
+
+int tcp_listen(const std::string& host, int port, int backlog,
+               std::string* error) {
+  struct addrinfo* addresses = nullptr;
+  if (!resolve(host, port, /*passive=*/true, &addresses, error)) return -1;
+
+  int fd = -1;
+  std::string last_error = "no address to bind";
+  for (struct addrinfo* ai = addresses; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last_error = std::string(errno == EADDRINUSE ? "bind" : "bind/listen") +
+                   ": " + strerror(errno);
+      close_fd(fd);
+      fd = -1;
+      continue;
+    }
+    break;
+  }
+  ::freeaddrinfo(addresses);
+  if (fd < 0) {
+    set_error(error, "cannot listen on " + host + ":" + std::to_string(port) +
+                         ": " + last_error);
+  }
+  return fd;
+}
+
+int bound_port(int listen_fd) {
+  struct sockaddr_storage address = {};
+  socklen_t length = sizeof(address);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&address),
+                    &length) != 0) {
+    return -1;
+  }
+  if (address.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<struct sockaddr_in*>(&address)->sin_port);
+  }
+  if (address.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<struct sockaddr_in6*>(&address)->sin6_port);
+  }
+  return -1;
+}
+
+int tcp_connect(const std::string& host, int port, std::string* error) {
+  struct addrinfo* addresses = nullptr;
+  if (!resolve(host, port, /*passive=*/false, &addresses, error)) return -1;
+
+  int fd = -1;
+  std::string last_error = "no address to connect to";
+  for (struct addrinfo* ai = addresses; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + strerror(errno);
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      last_error = std::string("connect: ") + strerror(errno);
+      close_fd(fd);
+      fd = -1;
+      continue;
+    }
+    break;
+  }
+  ::freeaddrinfo(addresses);
+  if (fd < 0) {
+    set_error(error, "cannot connect to " + host + ":" + std::to_string(port) +
+                         ": " + last_error);
+  }
+  return fd;
+}
+
+int tcp_connect_backoff(const std::string& host, int port, int attempts,
+                        double base_s, double max_s, std::string* error) {
+  std::string last_error;
+  double delay = base_s;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      delay = std::min(delay * 2.0, max_s);
+    }
+    const int fd = tcp_connect(host, port, &last_error);
+    if (fd >= 0) return fd;
+  }
+  set_error(error, last_error + " (after " + std::to_string(attempts) +
+                       (attempts == 1 ? " attempt)" : " attempts)"));
+  return -1;
+}
+
+}  // namespace mfd::net

@@ -1,0 +1,618 @@
+#include "svc/daemon.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/run_control.hpp"
+#include "net/fdstream.hpp"
+#include "net/framed.hpp"
+#include "net/listener.hpp"
+#include "net/socket.hpp"
+#include "svc/job.hpp"
+#include "svc/jobd.hpp"
+#include "svc/priority_queue.hpp"
+#include "svc/run_job.hpp"
+#include "svc/supervisor.hpp"
+
+namespace mfd::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// Same construction as run_jobd()'s parse slot, so a malformed line gets
+/// byte-identical bytes back over the socket and over a local pipe.
+JobResult parse_error_result(int index, int line_number,
+                             const std::string& what) {
+  JobResult result;
+  result.index = index;
+  result.status =
+      Status::Fail(Outcome::kInvalidOptions, "parse",
+                   "line " + std::to_string(line_number) + ": " + what);
+  return result;
+}
+
+/// Same envelope the Supervisor writes over worker pipes.
+std::string request_line(int job, int attempt, const JobSpec& spec) {
+  Json request = Json::object();
+  request.set("job", Json(std::int64_t{job}));
+  request.set("attempt", Json(std::int64_t{attempt}));
+  request.set("spec", spec.to_json());
+  return request.dump();
+}
+
+/// One client connection's result side: slots finished lines by the
+/// client's own input index and writes them out strictly in that order, so
+/// the stream a client reads is byte-identical to a local run_jobd() no
+/// matter which executor or remote worker finished which job first.
+///
+/// The writer is a dup of the session socket: the session thread keeps
+/// reading specs on its own FramedConnection while executors deliver here,
+/// and the two directions never share mutable state.
+class ClientSession {
+ public:
+  explicit ClientSession(net::FramedConnection writer)
+      : writer_(std::move(writer)) {}
+
+  /// Slots one finished line; flushes every consecutively-ready line. A
+  /// failed socket write still advances the cursor (the client is gone;
+  /// the session accounting must still complete).
+  void deliver(int index, const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ready_.emplace(index, line);
+    for (auto it = ready_.find(next_); it != ready_.end();
+         it = ready_.find(next_)) {
+      if (!write_failed_ && !writer_.write_line(it->second)) {
+        write_failed_ = true;
+      }
+      ready_.erase(it);
+      ++next_;
+    }
+    maybe_finish();
+  }
+
+  /// The reader hit EOF after `total` jobs; once every one is delivered
+  /// the session is complete.
+  void finish_input(int total) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_ = total;
+    maybe_finish();
+  }
+
+  /// Blocks until finish_input() was called and every job is delivered.
+  void wait_complete() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    complete_.wait(lock, [this] { return done_; });
+  }
+
+ private:
+  /// Must hold mutex_.
+  void maybe_finish() {
+    if (total_ >= 0 && next_ >= total_ && !done_) {
+      done_ = true;
+      writer_.shutdown_write();
+      complete_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable complete_;
+  net::FramedConnection writer_;
+  std::map<int, std::string> ready_;
+  int next_ = 0;
+  int total_ = -1;
+  bool write_failed_ = false;
+  bool done_ = false;
+};
+
+/// What travels through the daemon's priority queue: which client the job
+/// belongs to, its index in that client's stream, and its retry state.
+struct Task {
+  std::shared_ptr<ClientSession> session;
+  int index = 0;
+  JobSpec spec;
+  int attempt = 0;
+};
+
+}  // namespace
+
+Status DaemonOptions::validate() const {
+  std::string problems;
+  const auto flag = [&problems](bool bad, const std::string& what) {
+    if (!bad) return;
+    if (!problems.empty()) problems += "; ";
+    problems += what;
+  };
+  flag(port < 0 || port > 65535, "port must be in [0, 65535]");
+  flag(executors < 0, "executors must be >= 0");
+  flag(queue_capacity == 0, "queue_capacity must be >= 1");
+  flag(default_deadline_s < 0.0, "default_deadline_s must be >= 0");
+  flag(cache_mb < 0, "cache_mb must be >= 0");
+  flag(max_attempts < 1, "max_attempts must be >= 1");
+  flag(backoff_base_s < 0.0, "backoff_base_s must be >= 0");
+  flag(backoff_max_s < backoff_base_s,
+       "backoff_max_s must be >= backoff_base_s");
+  if (problems.empty()) return Status::Ok();
+  return Status::Fail(Outcome::kInvalidOptions, "daemon", std::move(problems));
+}
+
+struct JobDaemon::Impl {
+  explicit Impl(DaemonOptions opts)
+      : options(std::move(opts)),
+        // Clamped so invalid options surface through start()'s validate()
+        // as a Status instead of a constructor precondition throw.
+        queue(options.queue_capacity > 0 ? options.queue_capacity : 1,
+              kJobClassCount, options.age_promote_s) {
+    core::FitnessCacheOptions cache_options;
+    cache_options.dir = options.cache_dir;
+    cache_options.max_bytes = static_cast<std::size_t>(options.cache_mb) << 20;
+    cache = std::make_unique<core::FitnessCache>(std::move(cache_options));
+  }
+
+  DaemonOptions options;
+  PriorityQueue<Task> queue;
+
+  /// Warm state shared by every job the daemon ever runs.
+  std::unique_ptr<core::FitnessCache> cache;
+  JobContext context;
+
+  std::unique_ptr<net::Listener> listener;
+  /// The bound port, kept past stop() (which destroys the listener so
+  /// reconnecting workers get connection-refused, not a silent backlog).
+  int bound_port = 0;
+  std::thread accept_thread;
+  std::vector<std::thread> executor_threads;
+
+  std::mutex sessions_mutex;
+  std::vector<std::thread> session_threads;
+  /// Client session sockets, shut down (reads only) on stop() so reader
+  /// threads never block a shutdown on a silent client.
+  std::unordered_set<int> client_fds;
+
+  mutable std::mutex metrics_mutex;
+  DaemonMetrics counters;
+
+  bool started = false;
+  bool stopped = false;
+
+  template <typename Fn>
+  void count(Fn&& fn) {
+    const std::lock_guard<std::mutex> lock(metrics_mutex);
+    fn(counters);
+  }
+
+  /// One in-process executor: drains the priority queue until it is closed
+  /// and empty, running each job against the daemon's warm cache/context.
+  void executor_loop() {
+    while (std::optional<Task> task = queue.pop()) {
+      RunControl control;
+      const double deadline_s = task->spec.deadline_s > 0.0
+                                    ? task->spec.deadline_s
+                                    : options.default_deadline_s;
+      if (deadline_s > 0.0) control.set_timeout(deadline_s);
+      JobResult result =
+          run_job(task->spec, &control, cache.get(), &context);
+      result.index = task->index;
+      task->session->deliver(task->index, result.to_json().dump());
+      count([](DaemonMetrics& m) { ++m.jobs_done; });
+    }
+  }
+
+  /// Serves one client connection: reads its JSONL spec stream (the exact
+  /// bytes run_jobd() would read), admits each job into the shared queue,
+  /// and completes once every one of its results went out in input order.
+  /// `priority_hint` is the hello's default class for specs without one.
+  /// `reader` is borrowed (owned by serve_connection): the fd must outlive
+  /// its entry in client_fds, or stop() could shut down a recycled fd.
+  void serve_client(net::FramedConnection& reader,
+                    const std::string& priority_hint) {
+    auto session = std::make_shared<ClientSession>(
+        net::FramedConnection(::dup(reader.fd())));
+    int line_number = 0;
+    int index = 0;
+    std::string line;
+    for (;;) {
+      const net::FramedConnection::ReadStatus status = reader.read_line(&line);
+      if (status != net::FramedConnection::ReadStatus::kLine) break;
+      ++line_number;
+      if (blank(line)) continue;
+      const int job_index = index++;
+      JobSpec spec;
+      try {
+        spec = JobSpec::from_json(Json::parse(line));
+      } catch (const std::exception& e) {
+        count([](DaemonMetrics& m) {
+          ++m.jobs_parse_error;
+          ++m.jobs_done;
+        });
+        session->deliver(job_index,
+                         parse_error_result(job_index, line_number, e.what())
+                             .to_json()
+                             .dump());
+        continue;
+      }
+      JobClass job_class;
+      if (!job_class_from_name(spec.priority, &job_class) &&
+          !job_class_from_name(priority_hint, &job_class)) {
+        job_class = job_class_of(spec);
+      }
+      JobResult shed;
+      shed.id = spec.id;
+      shed.kind = spec.kind;
+      shed.index = job_index;
+      Task task{session, job_index, std::move(spec), 0};
+      if (queue.try_push(static_cast<int>(job_class), std::move(task))) {
+        count([job_class](DaemonMetrics& m) {
+          ++m.jobs_admitted;
+          if (job_class == JobClass::kInteractive) {
+            ++m.admitted_interactive;
+          } else {
+            ++m.admitted_bulk;
+          }
+        });
+        continue;
+      }
+      // Admission control: a full (or closing) queue sheds the job with an
+      // immediate answer instead of stalling this reader — the client
+      // never deadlocks against a daemon that cannot keep up.
+      shed.status = Status::Fail(
+          Outcome::kUnavailable, "admission",
+          "shed: daemon queue full (capacity " +
+              std::to_string(queue.capacity()) + ") or shutting down");
+      count([](DaemonMetrics& m) {
+        ++m.jobs_shed;
+        ++m.jobs_done;
+      });
+      session->deliver(job_index, shed.to_json().dump());
+    }
+    session->finish_input(index);
+    session->wait_complete();
+    count([](DaemonMetrics& m) { ++m.clients_served; });
+  }
+
+  /// Quarantine a job whose remote attempts are exhausted (Supervisor
+  /// semantics: the job answers kUnavailable; the batch keeps going).
+  void quarantine(const Task& task, const std::string& detail) {
+    JobResult result;
+    result.id = task.spec.id;
+    result.kind = task.spec.kind;
+    result.index = task.index;
+    result.status = Status::Fail(
+        Outcome::kUnavailable, "worker",
+        "quarantined after " + std::to_string(task.attempt) +
+            " remote-worker " + (task.attempt == 1 ? "loss" : "losses") +
+            "; last: " + (detail.empty() ? "connection closed" : detail));
+    count([](DaemonMetrics& m) {
+      ++m.jobs_quarantined;
+      ++m.jobs_done;
+    });
+    task.session->deliver(task.index, result.to_json().dump());
+  }
+
+  /// Requeues a job whose remote worker died mid-flight, after the
+  /// deterministic backoff; quarantines when attempts are exhausted or the
+  /// daemon is stopping (a closed queue refuses the requeue).
+  void requeue_or_quarantine(Task task, const std::string& detail) {
+    ++task.attempt;
+    if (task.attempt >= options.max_attempts) {
+      quarantine(task, detail);
+      return;
+    }
+    count([](DaemonMetrics& m) { ++m.jobs_retried; });
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        backoff_delay_s(options.backoff_seed, task.index, task.attempt,
+                        options.backoff_base_s, options.backoff_max_s)));
+    const int job_class = static_cast<int>(job_class_of(task.spec));
+    Task copy = task;  // push consumes; keep one for the failure path
+    if (!queue.push(job_class, std::move(task))) {
+      quarantine(copy, "daemon stopped before the job could be retried");
+    }
+  }
+
+  /// Serves one remote-worker connection: drives it with the Supervisor's
+  /// request envelope, one job at a time, forwarding each result line to
+  /// the owning client. A worker that vanishes mid-job has the job
+  /// requeued; one that vanishes while idle just leaves the pool.
+  void serve_worker(net::FramedConnection conn) {
+    count([](DaemonMetrics& m) { ++m.workers_joined; });
+    while (std::optional<Task> task = queue.pop()) {
+      if (!conn.write_line(
+              request_line(task->index, task->attempt, task->spec))) {
+        // Died before the request was delivered: the job never ran, so it
+        // goes straight back without burning an attempt.
+        count([](DaemonMetrics& m) { ++m.workers_lost; });
+        const int job_class = static_cast<int>(job_class_of(task->spec));
+        Task copy = *task;
+        if (!queue.push(job_class, std::move(*task))) {
+          quarantine(copy, "daemon stopped before the job could be retried");
+        }
+        return;
+      }
+      std::string line;
+      const net::FramedConnection::ReadStatus status = conn.read_line(&line);
+      if (status != net::FramedConnection::ReadStatus::kLine) {
+        count([](DaemonMetrics& m) { ++m.workers_lost; });
+        requeue_or_quarantine(std::move(*task), conn.loss_detail());
+        return;
+      }
+      std::string violation;
+      try {
+        const JobResult result = JobResult::from_json(Json::parse(line));
+        if (result.index != task->index) {
+          violation = "result for job " + std::to_string(result.index) +
+                      " while job " + std::to_string(task->index) +
+                      " was in flight";
+        }
+      } catch (const std::exception& e) {
+        violation = std::string("malformed result line: ") + e.what();
+      }
+      if (!violation.empty()) {
+        count([](DaemonMetrics& m) { ++m.workers_lost; });
+        requeue_or_quarantine(std::move(*task), violation);
+        return;
+      }
+      // Forward the worker's bytes untouched: they are the same
+      // result.to_json().dump() a local executor would produce.
+      task->session->deliver(task->index, line);
+      count([](DaemonMetrics& m) {
+        ++m.jobs_done;
+        ++m.jobs_remote;
+      });
+    }
+    // Queue closed and drained: the daemon is stopping; closing the socket
+    // reads as a clean EOF on the worker's side (not a loss).
+  }
+
+  /// First line of every connection says what the peer is; anything else
+  /// drops the connection.
+  void serve_connection(int fd) {
+    net::FramedConnection conn(fd);
+    std::string line;
+    if (conn.read_line(&line) != net::FramedConnection::ReadStatus::kLine) {
+      return;
+    }
+    std::string role;
+    std::string priority_hint;
+    try {
+      const Json hello = Json::parse(line);
+      role = hello.at("role").as_string();
+      if (const Json* member = hello.get("priority")) {
+        priority_hint = member->as_string();
+      }
+    } catch (const std::exception&) {
+      return;  // not a peer of ours
+    }
+    if (role == "client") {
+      {
+        const std::lock_guard<std::mutex> lock(sessions_mutex);
+        client_fds.insert(fd);
+      }
+      serve_client(conn, priority_hint);
+      const std::lock_guard<std::mutex> lock(sessions_mutex);
+      client_fds.erase(fd);
+    } else if (role == "worker") {
+      serve_worker(std::move(conn));
+    }
+  }
+
+  void accept_loop() {
+    for (;;) {
+      int fd = -1;
+      std::string error;
+      const net::Listener::AcceptStatus status =
+          listener->accept(-1.0, &fd, &error);
+      if (status == net::Listener::AcceptStatus::kAccepted) {
+        const std::lock_guard<std::mutex> lock(sessions_mutex);
+        session_threads.emplace_back(
+            [this, fd] { serve_connection(fd); });
+        continue;
+      }
+      if (status == net::Listener::AcceptStatus::kError) continue;
+      break;  // kInterrupted: stop() wants us gone
+    }
+  }
+};
+
+JobDaemon::JobDaemon(DaemonOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+JobDaemon::~JobDaemon() { stop(); }
+
+Status JobDaemon::start() {
+  const Status valid = impl_->options.validate();
+  if (!valid.ok()) return valid;
+  MFD_REQUIRE(!impl_->started, "JobDaemon: start() called twice");
+  std::string error;
+  impl_->listener =
+      net::Listener::bind(impl_->options.host, impl_->options.port, &error);
+  if (impl_->listener == nullptr) {
+    return Status::Fail(Outcome::kUnavailable, "daemon",
+                        "cannot listen on " + impl_->options.host + ":" +
+                            std::to_string(impl_->options.port) + ": " +
+                            error);
+  }
+  impl_->bound_port = impl_->listener->port();
+  for (int i = 0; i < impl_->options.executors; ++i) {
+    impl_->executor_threads.emplace_back(
+        [impl = impl_.get()] { impl->executor_loop(); });
+  }
+  impl_->accept_thread = std::thread([impl = impl_.get()] {
+    impl->accept_loop();
+  });
+  impl_->started = true;
+  return Status::Ok();
+}
+
+void JobDaemon::stop() {
+  if (!impl_->started || impl_->stopped) return;
+  impl_->stopped = true;
+
+  // 1. No new connections: wake the accept loop, then close the listening
+  //    socket so reconnect attempts fail fast instead of parking in the
+  //    kernel backlog where nobody will ever serve them.
+  impl_->listener->interrupt();
+  impl_->accept_thread.join();
+  impl_->listener.reset();
+
+  // 2. Unblock every client reader (a silent client must not hold the
+  //    shutdown hostage); their sessions see EOF and start waiting for
+  //    their in-flight results.
+  {
+    const std::lock_guard<std::mutex> lock(impl_->sessions_mutex);
+    for (const int fd : impl_->client_fds) ::shutdown(fd, SHUT_RD);
+  }
+
+  // 3. Close the queue: already-admitted jobs drain through the executors
+  //    and remote workers (no submitted job is silently dropped), new
+  //    admissions shed. Executors exit once the queue is empty; idle
+  //    worker sessions wake and hang up, which their remote ends read as
+  //    a clean EOF.
+  impl_->queue.close();
+  for (std::thread& thread : impl_->executor_threads) thread.join();
+
+  // With executors the closed queue is already drained; without them (a
+  // remote-worker-only daemon whose workers are gone) admitted jobs can
+  // still be parked here. Shed them so every session can complete — no
+  // client is left waiting on a result nobody will ever compute.
+  while (std::optional<Task> task = impl_->queue.pop()) {
+    JobResult shed;
+    shed.id = task->spec.id;
+    shed.kind = task->spec.kind;
+    shed.index = task->index;
+    shed.status = Status::Fail(Outcome::kUnavailable, "admission",
+                               "shed: daemon stopped before the job could run");
+    impl_->count([](DaemonMetrics& m) {
+      ++m.jobs_shed;
+      ++m.jobs_done;
+    });
+    task->session->deliver(task->index, shed.to_json().dump());
+  }
+  for (;;) {
+    std::thread session;
+    {
+      const std::lock_guard<std::mutex> lock(impl_->sessions_mutex);
+      if (impl_->session_threads.empty()) break;
+      session = std::move(impl_->session_threads.back());
+      impl_->session_threads.pop_back();
+    }
+    session.join();
+  }
+
+  // 4. Keep what the fleet learned (failures are non-fatal: the cache is
+  //    an accelerator, never a correctness dependency).
+  (void)impl_->cache->persist();
+}
+
+int JobDaemon::port() const { return impl_->bound_port; }
+
+DaemonMetrics JobDaemon::metrics() const {
+  const std::lock_guard<std::mutex> lock(impl_->metrics_mutex);
+  return impl_->counters;
+}
+
+Status run_daemon_client(std::istream& in, std::ostream& out,
+                         const ClientOptions& options, int* results_out) {
+  std::string error;
+  const int fd = net::tcp_connect_backoff(
+      options.host, options.port, options.connect_attempts,
+      options.connect_base_s, options.connect_max_s, &error);
+  if (fd < 0) {
+    return Status::Fail(Outcome::kUnavailable, "client",
+                        "cannot connect to " + options.host + ":" +
+                            std::to_string(options.port) + ": " + error);
+  }
+  // Two connections over one socket (reader + dup'd writer) so the sender
+  // thread and the result reader never share mutable state.
+  net::FramedConnection reader(fd);
+  net::FramedConnection writer(::dup(fd));
+
+  Json hello = Json::object();
+  hello.set("role", Json(std::string("client")));
+  hello.set("priority", Json(options.priority));
+  if (!writer.write_line(hello.dump())) {
+    return Status::Fail(Outcome::kInternalError, "client",
+                        "daemon hung up during hello: " + writer.last_error());
+  }
+
+  // Sender: every input line verbatim (blank lines included — the daemon
+  // counts them exactly like run_jobd does), then half-close so the daemon
+  // knows the stream is complete.
+  std::thread sender([&in, &writer] {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!writer.write_line(line)) break;
+    }
+    writer.shutdown_write();
+  });
+
+  int results = 0;
+  std::string line;
+  net::FramedConnection::ReadStatus status;
+  while ((status = reader.read_line(&line)) ==
+         net::FramedConnection::ReadStatus::kLine) {
+    out << line << '\n';
+    ++results;
+  }
+  out.flush();
+  sender.join();
+  if (results_out != nullptr) *results_out = results;
+  if (status == net::FramedConnection::ReadStatus::kError ||
+      reader.partial_bytes() > 0) {
+    return Status::Fail(Outcome::kInternalError, "client",
+                        "daemon connection lost: " + reader.loss_detail());
+  }
+  return Status::Ok();
+}
+
+int run_daemon_worker(const std::string& host, int port, int connect_attempts,
+                      double connect_base_s, double connect_max_s,
+                      core::FitnessCache* cache) {
+  int served = 0;
+  for (;;) {
+    std::string error;
+    const int fd = net::tcp_connect_backoff(host, port, connect_attempts,
+                                            connect_base_s, connect_max_s,
+                                            &error);
+    if (fd < 0) break;  // the daemon is gone for good
+    Json hello = Json::object();
+    hello.set("role", Json(std::string("worker")));
+    {
+      // The hello goes through the same stream the worker loop will use,
+      // so no bytes can be split across two buffering layers.
+      net::FdDuplexStream stream(fd);
+      stream.out() << hello.dump() << '\n';
+      stream.out().flush();
+      if (stream.out()) {
+        (void)run_worker(stream.in(), stream.out(), nullptr, cache);
+        ++served;
+      }
+    }
+    ::close(fd);
+  }
+  return served;
+}
+
+}  // namespace mfd::svc

@@ -1,0 +1,169 @@
+// Long-lived networked job daemon (`mfdft_jobd --listen`).
+//
+// run_jobd() serves one batch from one stream and exits. JobDaemon keeps
+// the same JSONL request/result envelope alive across connections: it
+// binds one TCP port, accepts any number of concurrent peers, and stays
+// warm between jobs — one shared core::FitnessCache and one svc::JobContext
+// (parsed chips/assays) serve every job the daemon ever runs, so a second
+// client's codesign sweep starts from the first client's evaluations.
+//
+// One listen port, two peer roles, told apart by a one-line JSON hello:
+//
+//   {"role":"client","priority":"interactive"}   then raw JobSpec JSONL
+//   {"role":"worker"}                            then supervisor envelopes
+//
+// A *client* streams the same bytes it would pipe into run_jobd() and gets
+// the same bytes back: line i of its result stream answers line i of its
+// input (malformed lines included, with run_jobd's exact "line N: ..."
+// parse messages), byte-identical to a local run — regardless of transport,
+// executor count, remote workers, or queue discipline — because results are
+// slotted by each client's own line index before they touch the socket.
+//
+// A *worker* (`mfdft_jobd --connect`, possibly on another machine) donates
+// its process to the daemon's pool: the daemon drives it with the same
+// {"job":N,"attempt":A,"spec":{...}} envelope the Supervisor uses over
+// pipes, one job at a time. A worker that vanishes mid-job has its job
+// requeued (attempt + 1, deterministic backoff) and quarantined as
+// kUnavailable after max_attempts, mirroring the Supervisor's crash policy.
+//
+// Every admitted job flows through one svc::PriorityQueue shared by all
+// clients: interactive work (testgen/coverage/diagnosis) is served ahead of
+// bulk codesign, aging keeps bulk from starving, and when the queue is full
+// the job is *shed* with an immediate kUnavailable (stage "admission")
+// result instead of stalling the client's socket — client reader threads
+// never block on admission, which also rules out the client<->daemon write
+// deadlock a blocking push could cause.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/fitness_cache.hpp"
+
+namespace mfd::svc {
+
+struct DaemonOptions {
+  /// Bind address; port 0 picks a kernel-assigned ephemeral port (the
+  /// bound one is reported by JobDaemon::port()).
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  /// In-process executor threads. 0 means *none*: the daemon serves
+  /// exclusively through remote workers (`mfdft_jobd --connect`), which is
+  /// how a coordinator node with no compute of its own is configured.
+  int executors = 1;
+
+  /// Shared priority queue: capacity bounds admitted-but-unstarted jobs
+  /// across all clients (beyond it, jobs shed as kUnavailable);
+  /// age_promote_s is the bulk-starvation bound (see priority_queue.hpp).
+  std::size_t queue_capacity = 64;
+  double age_promote_s = 5.0;
+
+  /// Deadline applied to jobs whose spec has none (0 = none).
+  double default_deadline_s = 0.0;
+
+  /// Warm fitness cache shared by every job the daemon runs: optional
+  /// persistent tier directory ("" = in-memory only; loaded at start(),
+  /// persisted at stop()) and in-memory budget in MiB (0 = unbounded).
+  std::string cache_dir;
+  int cache_mb = 256;
+
+  /// Remote-worker crash policy (Supervisor semantics): total attempts per
+  /// job before quarantine, and the deterministic requeue backoff.
+  int max_attempts = 3;
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 2.0;
+  std::uint64_t backoff_seed = 2024;
+
+  /// All violations in one Status, CodesignOptions::validate() style.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Service counters, snapshotted by JobDaemon::metrics(). Monotonic over
+/// the daemon's lifetime.
+struct DaemonMetrics {
+  std::int64_t clients_served = 0;  ///< Client connections fully answered.
+  std::int64_t workers_joined = 0;  ///< Remote-worker connections accepted.
+  std::int64_t workers_lost = 0;    ///< Remote workers that died or hung up.
+  std::int64_t jobs_admitted = 0;   ///< Entered the priority queue.
+  std::int64_t jobs_shed = 0;       ///< Refused as kUnavailable (overload).
+  std::int64_t jobs_parse_error = 0;
+  std::int64_t jobs_done = 0;       ///< Results delivered (any outcome).
+  std::int64_t jobs_remote = 0;     ///< Of jobs_done, ran on a remote worker.
+  std::int64_t jobs_retried = 0;    ///< Requeued after a remote-worker loss.
+  std::int64_t jobs_quarantined = 0;
+  /// Admissions by class (index = svc::JobClass).
+  std::int64_t admitted_interactive = 0;
+  std::int64_t admitted_bulk = 0;
+};
+
+class JobDaemon {
+ public:
+  explicit JobDaemon(DaemonOptions options = {});
+  /// stop()s if still running.
+  ~JobDaemon();
+
+  JobDaemon(const JobDaemon&) = delete;
+  JobDaemon& operator=(const JobDaemon&) = delete;
+
+  /// Binds the port and starts the accept loop plus executor threads.
+  /// Fails (kUnavailable, stage "daemon") when the port cannot be bound.
+  [[nodiscard]] Status start();
+
+  /// Graceful shutdown: stops accepting, sheds queued-but-unstarted work
+  /// as kUnavailable, unblocks every session, joins every thread, and
+  /// persists the fitness cache. Idempotent.
+  void stop();
+
+  /// The bound port (only meaningful after a successful start()).
+  [[nodiscard]] int port() const;
+
+  [[nodiscard]] DaemonMetrics metrics() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Options for one client run against a daemon.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Default scheduling class for this client's jobs ("interactive",
+  /// "bulk", or "" = derive per spec); a spec's own priority field wins.
+  std::string priority;
+  /// Reconnect-with-backoff: connection attempts before giving up, with
+  /// base_s * 2^k sleeps (capped at max_s) between consecutive failures.
+  int connect_attempts = 10;
+  double connect_base_s = 0.05;
+  double connect_max_s = 1.0;
+};
+
+/// Streams `in` (JobSpec JSONL, run_jobd()'s input format) to a daemon and
+/// writes the result lines to `out` in input order — the networked
+/// equivalent of run_jobd(in, out). Connects with reconnect-backoff, sends
+/// every input line verbatim (blank lines included, so the daemon's "line
+/// N" parse messages match a local run), half-closes, then drains results.
+/// Fails kUnavailable when no connection could be made, kInternalError
+/// when the daemon vanished mid-stream. *results_out (optional) receives
+/// the number of result lines written.
+Status run_daemon_client(std::istream& in, std::ostream& out,
+                         const ClientOptions& options,
+                         int* results_out = nullptr);
+
+/// Donates this process to a daemon as a remote worker — the networked
+/// `mfdft_jobd --worker`. Connects with reconnect-backoff, sends the
+/// worker hello, then serves run_worker() over the socket until the daemon
+/// hangs up; reconnects and keeps serving until a connection cannot be
+/// made within `connect_attempts` tries (a stopped daemon ends the loop).
+/// `cache` is the worker's fitness cache (borrowed, may be null).
+/// Returns the number of connections served.
+int run_daemon_worker(const std::string& host, int port, int connect_attempts,
+                      double connect_base_s, double connect_max_s,
+                      core::FitnessCache* cache = nullptr);
+
+}  // namespace mfd::svc

@@ -6,7 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
-#include "svc/queue.hpp"
+#include "svc/priority_queue.hpp"
 #include "svc/run_job.hpp"
 
 namespace mfd::svc {
@@ -51,7 +51,8 @@ Dispatcher::Dispatcher(DispatcherOptions options) : options_(options) {
 }
 
 void Dispatcher::run_one(int index, const JobSpec& spec,
-                         double queue_wait_seconds, JobResult& result) {
+                         double queue_wait_seconds, JobContext* context,
+                         JobResult& result) {
   RunControl* control = nullptr;
   {
     const std::lock_guard<std::mutex> lock(controls_mutex_);
@@ -69,7 +70,7 @@ void Dispatcher::run_one(int index, const JobSpec& spec,
       options_.tracer,
       "job[" + std::to_string(index) + "]:" + std::string(to_string(spec.kind)));
   const Clock::time_point started = Clock::now();
-  result = run_job(spec, control, options_.cache);
+  result = run_job(spec, control, options_.cache, context);
   result.index = index;
   result.queue_wait_seconds = queue_wait_seconds;
   result.run_seconds = seconds_between(started, Clock::now());
@@ -94,34 +95,45 @@ std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
     }
   }
 
-  BoundedQueue<QueuedJob> queue(options_.queue_capacity);
+  PriorityQueue<QueuedJob> queue(options_.queue_capacity, kJobClassCount,
+                                 options_.age_promote_s);
+  // Batch-wide warm state: chips/assays parsed once and served to every
+  // consumer thread (deterministic values, so results are unaffected).
+  JobContext context;
+  const auto job_class = [&specs](int index) {
+    return static_cast<int>(
+        job_class_of(specs[static_cast<std::size_t>(index)]));
+  };
   const auto consume = [&] {
     while (std::optional<QueuedJob> item = queue.pop()) {
       const double wait = seconds_between(item->enqueued, Clock::now());
       run_one(item->index, specs[static_cast<std::size_t>(item->index)], wait,
-              results[static_cast<std::size_t>(item->index)]);
+              &context, results[static_cast<std::size_t>(item->index)]);
     }
   };
 
   if (threads_ <= 1) {
-    // Serial path: push -> pop -> run one job at a time, in input order.
+    // Serial path: push -> pop -> run one job at a time, in input order
+    // (one item in the queue at a time, so priority never reorders).
     for (int i = 0; i < n; ++i) {
-      queue.push(QueuedJob{i, Clock::now()});
+      queue.push(job_class(i), QueuedJob{i, Clock::now()});
       const std::optional<QueuedJob> item = queue.pop();
       const double wait = seconds_between(item->enqueued, Clock::now());
       run_one(item->index, specs[static_cast<std::size_t>(item->index)], wait,
-              results[static_cast<std::size_t>(item->index)]);
+              &context, results[static_cast<std::size_t>(item->index)]);
     }
     queue.close();
   } else {
     ThreadPool pool(threads_);
     // Workers consume until the queue drains; the calling thread produces
     // (bounded push = admission backpressure), then joins as a consumer.
+    // Results are slotted by index, so priority scheduling never changes
+    // output bytes — only which job runs next.
     for (int worker = 1; worker < pool.thread_count(); ++worker) {
       pool.submit(consume);
     }
     for (int i = 0; i < n; ++i) {
-      queue.push(QueuedJob{i, Clock::now()});
+      queue.push(job_class(i), QueuedJob{i, Clock::now()});
     }
     queue.close();
     consume();

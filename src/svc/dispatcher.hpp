@@ -1,7 +1,10 @@
 // Multi-job dispatcher: fans a batch of JobSpecs out across a thread pool.
 //
-// Jobs flow through a bounded queue (admission backpressure) into
-// `threads` consumers on the existing common/thread_pool; every job gets
+// Jobs flow through a bounded multi-class priority queue (admission
+// backpressure; interactive testgen/coverage/diagnosis ahead of bulk
+// codesign, with aging-based starvation protection — see
+// svc/priority_queue.hpp) into `threads` consumers on the existing
+// common/thread_pool; every job gets
 // its own RunControl armed with the job's deadline when it *starts* (queue
 // latency never eats into a deadline), and cancel_all() cascades to every
 // in-flight job's control while queued jobs come back kCancelled without
@@ -27,12 +30,18 @@
 
 namespace mfd::svc {
 
+class JobContext;
+
 struct DispatcherOptions {
   /// Total job-level consumers, including the calling thread (1 = run every
   /// job serially, in order). 0 uses the hardware concurrency.
   int threads = 1;
   /// Bounded-queue capacity (admission backpressure for streaming callers).
   std::size_t queue_capacity = 16;
+  /// Front-of-class wait after which a bulk job competes with interactive
+  /// work on arrival order (starvation bound); < 0 = strict priority,
+  /// 0 = plain global FIFO.
+  double age_promote_s = 5.0;
   /// Deadline applied to jobs whose spec has none (0 = none).
   double default_deadline_s = 0.0;
   /// Optional tracer: one span per job plus service-level counters at the
@@ -71,7 +80,7 @@ class Dispatcher : public JobRunner {
 
  private:
   void run_one(int index, const JobSpec& spec, double queue_wait_seconds,
-               JobResult& result);
+               JobContext* context, JobResult& result);
 
   DispatcherOptions options_;
   int threads_ = 1;

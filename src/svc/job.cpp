@@ -75,6 +75,34 @@ bool job_kind_from_name(const std::string& name, JobKind* kind) {
   return false;
 }
 
+const char* to_string(JobClass job_class) {
+  switch (job_class) {
+    case JobClass::kInteractive:
+      return "interactive";
+    case JobClass::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+bool job_class_from_name(const std::string& name, JobClass* job_class) {
+  for (const JobClass candidate :
+       {JobClass::kInteractive, JobClass::kBulk}) {
+    if (name == to_string(candidate)) {
+      *job_class = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+JobClass job_class_of(const JobSpec& spec) {
+  JobClass job_class;
+  if (job_class_from_name(spec.priority, &job_class)) return job_class;
+  return spec.kind == JobKind::kCodesign ? JobClass::kBulk
+                                         : JobClass::kInteractive;
+}
+
 Status JobSpec::validate() const {
   std::string problems;
   const auto flag = [&problems](bool bad, const std::string& what) {
@@ -101,6 +129,11 @@ Status JobSpec::validate() const {
        "universe must be 'stuck_at' or 'stuck_at_leakage'");
   flag(deadline_s < 0.0, "deadline_s must be >= 0");
   flag(threads < 0, "threads must be >= 0");
+  if (!priority.empty()) {
+    JobClass parsed;
+    flag(!job_class_from_name(priority, &parsed),
+         "unknown priority '" + priority + "' (want interactive or bulk)");
+  }
   if (problems.empty()) return Status::Ok();
   return Status::Fail(Outcome::kInvalidOptions, "job_spec",
                       std::move(problems));
@@ -120,6 +153,7 @@ Json JobSpec::to_json() const {
   out.set("outer_iterations", Json(std::int64_t{outer_iterations}));
   out.set("outer_particles", Json(std::int64_t{outer_particles}));
   out.set("config_pool_size", Json(std::int64_t{config_pool_size}));
+  out.set("priority", Json(priority));
   return out;
 }
 
@@ -129,7 +163,8 @@ JobSpec JobSpec::from_json(const Json& json) {
       "kind",       "id",        "chip",
       "chip_text",  "assay",     "universe",
       "deadline_s", "threads",   "seed",
-      "outer_iterations", "outer_particles", "config_pool_size"};
+      "outer_iterations", "outer_particles", "config_pool_size",
+      "priority"};
   for (const auto& [key, _] : json.as_object()) {
     bool known = false;
     for (const char* candidate : kKnownKeys) {
@@ -158,6 +193,7 @@ JobSpec JobSpec::from_json(const Json& json) {
   read_int(json, "outer_iterations", spec.outer_iterations);
   read_int(json, "outer_particles", spec.outer_particles);
   read_int(json, "config_pool_size", spec.config_pool_size);
+  read_string(json, "priority", spec.priority);
   return spec;
 }
 

@@ -40,6 +40,24 @@ enum class JobKind {
 /// Inverse of to_string(JobKind); false for unknown names.
 [[nodiscard]] bool job_kind_from_name(const std::string& name, JobKind* kind);
 
+/// Scheduling class of a job. Lower values are served first by the
+/// service-layer priority queue; aging promotes starved bulk work (see
+/// svc/priority_queue.hpp).
+enum class JobClass {
+  /// Latency-sensitive: testgen / coverage / diagnosis queries.
+  kInteractive = 0,
+  /// Throughput work: codesign sweeps that run for minutes.
+  kBulk = 1,
+};
+
+inline constexpr int kJobClassCount = 2;
+
+[[nodiscard]] const char* to_string(JobClass job_class);
+
+/// Inverse of to_string(JobClass); false for unknown names.
+[[nodiscard]] bool job_class_from_name(const std::string& name,
+                                       JobClass* job_class);
+
 struct JobSpec {
   JobKind kind = JobKind::kTestgen;
   /// Echoed into the result; empty ids are allowed (results are positional).
@@ -72,6 +90,11 @@ struct JobSpec {
   int outer_particles = 5;
   int config_pool_size = 4;
 
+  /// Scheduling class: "interactive", "bulk", or "" to derive it from the
+  /// kind (codesign is bulk, everything else interactive). Only affects
+  /// service order, never result bytes.
+  std::string priority;
+
   /// Checks every field and reports all violations in one Status (stage
   /// "job_spec", outcome kInvalidOptions); Ok() when the spec is runnable.
   [[nodiscard]] Status validate() const;
@@ -85,6 +108,10 @@ struct JobSpec {
 
   [[nodiscard]] bool operator==(const JobSpec&) const = default;
 };
+
+/// Effective scheduling class of a spec: the explicit `priority` override,
+/// or the kind-derived default (codesign = bulk, the rest interactive).
+[[nodiscard]] JobClass job_class_of(const JobSpec& spec);
 
 /// Outcome of one executed job. Wall-clock fields stay out of to_json() so
 /// result files are deterministic; they feed the service metrics instead.

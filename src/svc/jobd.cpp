@@ -116,6 +116,9 @@ int run_worker(std::istream& in, std::ostream& out,
       plan == nullptr ? FaultInjectPlan::from_env() : FaultInjectPlan{};
   const FaultInjectPlan& faults = plan != nullptr ? *plan : env_plan;
 
+  // Warm state for the worker's lifetime: chips/assays parsed once, served
+  // to every later job over the same inputs (results are unaffected).
+  JobContext context;
   std::string line;
   while (std::getline(in, line)) {
     if (blank(line)) continue;
@@ -141,7 +144,7 @@ int run_worker(std::istream& in, std::ostream& out,
 
       RunControl control;
       if (spec.deadline_s > 0.0) control.set_timeout(spec.deadline_s);
-      result = run_job(spec, &control, cache);
+      result = run_job(spec, &control, cache, &context);
     } catch (const std::exception& e) {
       // A malformed envelope still gets an answer: the lockstep protocol
       // (one result line per request line) must never skew.

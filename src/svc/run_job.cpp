@@ -14,7 +14,7 @@ namespace mfd::svc {
 
 namespace {
 
-arch::Biochip resolve_chip(const JobSpec& spec) {
+arch::Biochip build_chip(const JobSpec& spec) {
   if (!spec.chip_text.empty()) return arch::chip_from_string(spec.chip_text);
   if (spec.chip == "IVD_chip") return arch::make_ivd_chip();
   if (spec.chip == "RA30_chip") return arch::make_ra30_chip();
@@ -23,11 +23,22 @@ arch::Biochip resolve_chip(const JobSpec& spec) {
   throw Error("run_job(): unknown chip '" + spec.chip + "'");
 }
 
-sched::Assay resolve_assay(const JobSpec& spec) {
-  if (spec.assay == "IVD") return sched::make_ivd_assay();
-  if (spec.assay == "PID") return sched::make_pid_assay();
-  if (spec.assay == "CPA") return sched::make_cpa_assay();
-  throw Error("run_job(): unknown assay '" + spec.assay + "'");
+sched::Assay build_assay(const std::string& name) {
+  if (name == "IVD") return sched::make_ivd_assay();
+  if (name == "PID") return sched::make_pid_assay();
+  if (name == "CPA") return sched::make_cpa_assay();
+  throw Error("run_job(): unknown assay '" + name + "'");
+}
+
+/// Job-scoped resolvers: warm through the context when one was provided.
+arch::Biochip resolve_chip(const JobSpec& spec, JobContext* context) {
+  if (context != nullptr) return context->chip_for(spec);
+  return build_chip(spec);
+}
+
+sched::Assay resolve_assay(const JobSpec& spec, JobContext* context) {
+  if (context != nullptr) return context->assay_for(spec.assay);
+  return build_assay(spec.assay);
 }
 
 sim::FaultUniverse resolve_universe(const JobSpec& spec) {
@@ -37,9 +48,10 @@ sim::FaultUniverse resolve_universe(const JobSpec& spec) {
 }
 
 void run_codesign_job(const JobSpec& spec, const RunControl* control,
-                      core::FitnessCache* cache, JobResult& result) {
-  const arch::Biochip chip = resolve_chip(spec);
-  const sched::Assay assay = resolve_assay(spec);
+                      core::FitnessCache* cache, JobContext* context,
+                      JobResult& result) {
+  const arch::Biochip chip = resolve_chip(spec, context);
+  const sched::Assay assay = resolve_assay(spec, context);
   core::CodesignOptions options;
   options.outer_iterations = spec.outer_iterations;
   options.outer_particles = spec.outer_particles;
@@ -93,8 +105,8 @@ bool generate_suite(const JobSpec& spec, const RunControl* control,
 }
 
 void run_testgen_job(const JobSpec& spec, const RunControl* control,
-                     JobResult& result) {
-  const arch::Biochip chip = resolve_chip(spec);
+                     JobContext* context, JobResult& result) {
+  const arch::Biochip chip = resolve_chip(spec, context);
   std::optional<testgen::TestSuite> suite;
   if (!generate_suite(spec, control, chip, result, suite)) return;
   result.vectors = suite->size();
@@ -105,8 +117,8 @@ void run_testgen_job(const JobSpec& spec, const RunControl* control,
 }
 
 void run_coverage_job(const JobSpec& spec, const RunControl* control,
-                      JobResult& result) {
-  const arch::Biochip chip = resolve_chip(spec);
+                      JobContext* context, JobResult& result) {
+  const arch::Biochip chip = resolve_chip(spec, context);
   std::optional<testgen::TestSuite> suite;
   if (!generate_suite(spec, control, chip, result, suite)) return;
   const sim::CoverageReport report = sim::evaluate_coverage(
@@ -124,8 +136,8 @@ void run_coverage_job(const JobSpec& spec, const RunControl* control,
 }
 
 void run_diagnosis_job(const JobSpec& spec, const RunControl* control,
-                       JobResult& result) {
-  const arch::Biochip chip = resolve_chip(spec);
+                       JobContext* context, JobResult& result) {
+  const arch::Biochip chip = resolve_chip(spec, context);
   std::optional<testgen::TestSuite> suite;
   if (!generate_suite(spec, control, chip, result, suite)) return;
   const sim::DiagnosisTable table = sim::build_diagnosis_table(
@@ -140,8 +152,46 @@ void run_diagnosis_job(const JobSpec& spec, const RunControl* control,
 
 }  // namespace
 
+arch::Biochip JobContext::chip_for(const JobSpec& spec) {
+  // Key by the source, not the result: a named chip and an inline text of
+  // the same chip are distinct cache entries (their parse paths differ).
+  const std::string key = !spec.chip_text.empty() ? "text:" + spec.chip_text
+                                                  : "name:" + spec.chip;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = chips_.find(key);
+    if (it != chips_.end()) return it->second;
+  }
+  // Parse outside the lock (chip_text can be large); last writer wins and
+  // both writers produced the same deterministic value.
+  arch::Biochip chip = build_chip(spec);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return chips_.emplace(key, std::move(chip)).first->second;
+}
+
+sched::Assay JobContext::assay_for(const std::string& name) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = assays_.find(name);
+    if (it != assays_.end()) return it->second;
+  }
+  sched::Assay assay = build_assay(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return assays_.emplace(name, std::move(assay)).first->second;
+}
+
+std::size_t JobContext::warm_chips() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return chips_.size();
+}
+
+std::size_t JobContext::warm_assays() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return assays_.size();
+}
+
 JobResult run_job(const JobSpec& spec, const RunControl* control,
-                  core::FitnessCache* cache) {
+                  core::FitnessCache* cache, JobContext* context) {
   JobResult result;
   result.id = spec.id;
   result.kind = spec.kind;
@@ -160,16 +210,16 @@ JobResult run_job(const JobSpec& spec, const RunControl* control,
   try {
     switch (spec.kind) {
       case JobKind::kCodesign:
-        run_codesign_job(spec, control, cache, result);
+        run_codesign_job(spec, control, cache, context, result);
         break;
       case JobKind::kTestgen:
-        run_testgen_job(spec, control, result);
+        run_testgen_job(spec, control, context, result);
         break;
       case JobKind::kCoverage:
-        run_coverage_job(spec, control, result);
+        run_coverage_job(spec, control, context, result);
         break;
       case JobKind::kDiagnosis:
-        run_diagnosis_job(spec, control, result);
+        run_diagnosis_job(spec, control, context, result);
         break;
     }
   } catch (const std::exception& e) {

@@ -10,18 +10,53 @@
 // dispatcher worker.
 #pragma once
 
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "arch/biochip.hpp"
 #include "common/run_control.hpp"
 #include "core/fitness_cache.hpp"
+#include "sched/assay.hpp"
 #include "svc/job.hpp"
 
 namespace mfd::svc {
 
+/// Warm per-worker state shared across jobs: parsed chips and assays, keyed
+/// by how the spec named them. A long-lived worker (or daemon executor)
+/// keeps one JobContext for its lifetime so a stream of jobs over the same
+/// chip family stops re-parsing chip_text / rebuilding benchmark chips on
+/// every job. Thread-safe; resolving through a context returns the same
+/// value a fresh parse would (construction is deterministic), so results
+/// are byte-identical with and without one.
+class JobContext {
+ public:
+  /// The spec's chip (named benchmark or inline chip_text), parsed at most
+  /// once per distinct source. Throws mfd::Error for an unknown name or
+  /// malformed text (the error is not cached; a retry re-parses).
+  [[nodiscard]] arch::Biochip chip_for(const JobSpec& spec);
+
+  /// The named assay, built at most once. Throws mfd::Error when unknown.
+  [[nodiscard]] sched::Assay assay_for(const std::string& name);
+
+  /// Distinct chips / assays currently warm (for tests and metrics).
+  [[nodiscard]] std::size_t warm_chips() const;
+  [[nodiscard]] std::size_t warm_assays() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, arch::Biochip> chips_;
+  std::unordered_map<std::string, sched::Assay> assays_;
+};
+
 /// Runs the job to completion (or to the control's deadline/cancel), never
-/// throws. `control` and `cache` are borrowed and may be null; a non-null
-/// cache is injected into codesign jobs' evaluators (other kinds have no
-/// fitness evaluations to share).
+/// throws. `control`, `cache` and `context` are borrowed and may be null; a
+/// non-null cache is injected into codesign jobs' evaluators (other kinds
+/// have no fitness evaluations to share); a non-null context serves parsed
+/// chips/assays warm across jobs without changing any result byte.
 [[nodiscard]] JobResult run_job(const JobSpec& spec,
                                 const RunControl* control = nullptr,
-                                core::FitnessCache* cache = nullptr);
+                                core::FitnessCache* cache = nullptr,
+                                JobContext* context = nullptr);
 
 }  // namespace mfd::svc

@@ -236,10 +236,27 @@ std::vector<JobResult> Supervisor::run(const std::vector<JobSpec>& specs) {
       continue;
     }
 
-    // Assign every ready job a worker, lowest job index first.
-    std::sort(pending.begin(), pending.end(),
-              [](const Pending& a, const Pending& b) { return a.job < b.job; });
+    // Assign every ready job a worker: interactive class first, batch order
+    // within a class — except that a job waiting past age_promote_s is
+    // promoted to compete on batch order alone (bounded starvation, same
+    // rule as svc::PriorityQueue). Results are slotted by index, so this
+    // ordering never changes output bytes.
     const Clock::time_point now = Clock::now();
+    const auto effective_class = [&](const Pending& item) {
+      if (options_.age_promote_s >= 0.0 &&
+          seconds_between(item.enqueued, now) >= options_.age_promote_s) {
+        return 0;
+      }
+      return static_cast<int>(
+          job_class_of(jobs[static_cast<std::size_t>(item.job)]));
+    };
+    std::sort(pending.begin(), pending.end(),
+              [&](const Pending& a, const Pending& b) {
+                const int class_a = effective_class(a);
+                const int class_b = effective_class(b);
+                if (class_a != class_b) return class_a < class_b;
+                return a.job < b.job;
+              });
     for (auto it = pending.begin(); it != pending.end();) {
       if (it->ready_at > now) {
         ++it;
@@ -307,7 +324,9 @@ std::vector<JobResult> Supervisor::run(const std::vector<JobSpec>& specs) {
         const WorkerProcess::ReadResult read = worker->read_line(&line);
         if (read == WorkerProcess::ReadResult::kAgain) break;
         if (read == WorkerProcess::ReadResult::kEof) {
-          lose_worker(slot, "");
+          // A clean EOF has no detail; a failed read or torn line reports
+          // the true loss reason (errno, discarded partial bytes).
+          lose_worker(slot, worker->loss_detail());
           break;
         }
         SlotState& state = slot_state[static_cast<std::size_t>(slot)];

@@ -53,6 +53,13 @@ struct SupervisorOptions {
   double stall_timeout_s = 60.0;
   /// Total attempts per job before quarantine as kUnavailable (>= 1).
   int max_attempts = 3;
+  /// Priority scheduling of pending jobs: interactive (testgen / coverage /
+  /// diagnosis) jobs are assigned to workers ahead of bulk (codesign) jobs,
+  /// except that a bulk job waiting longer than this is promoted to compete
+  /// on batch order (starvation bound). < 0 = strict priority, 0 = plain
+  /// batch order. Never affects result bytes — results are slotted by
+  /// index.
+  double age_promote_s = 5.0;
   /// Requeue backoff: base * 2^(attempt-1) capped at max, scaled by a
   /// deterministic jitter in [0.5, 1.0) drawn from backoff_seed.
   double backoff_base_s = 0.05;

@@ -9,7 +9,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <climits>
 #include <cstddef>
 #include <thread>
 #include <utility>
@@ -126,8 +128,8 @@ std::unique_ptr<WorkerProcess> WorkerProcess::spawn(
   std::unique_ptr<WorkerProcess> worker(new WorkerProcess());
   worker->id_ = worker_id;
   worker->pid_ = pid;
-  worker->in_fd_ = in_pipe[1];
-  worker->out_fd_ = out_pipe[0];
+  worker->in_ = net::FramedConnection(in_pipe[1]);
+  worker->out_ = net::FramedConnection(out_pipe[0]);
   return worker;
 }
 
@@ -136,68 +138,29 @@ WorkerProcess::~WorkerProcess() {
     kill_now();
     join(0.0);
   }
-  close_fd(&in_fd_);
-  close_fd(&out_fd_);
 }
 
 bool WorkerProcess::send_line(const std::string& line) {
-  if (in_fd_ < 0) return false;
-  std::string framed = line;
-  framed += '\n';
-
-  // Block SIGPIPE around the write (and swallow one if the write raised
-  // it), so a dead worker surfaces as EPIPE instead of killing the caller.
-  sigset_t pipe_set;
-  sigemptyset(&pipe_set);
-  sigaddset(&pipe_set, SIGPIPE);
-  sigset_t old_set;
-  pthread_sigmask(SIG_BLOCK, &pipe_set, &old_set);
-
-  bool ok = true;
-  std::size_t written = 0;
-  while (written < framed.size()) {
-    const ssize_t n =
-        ::write(in_fd_, framed.data() + written, framed.size() - written);
-    if (n > 0) {
-      written += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    ok = false;
-    break;
-  }
-
-  if (!ok) {
-    const struct timespec zero = {0, 0};
-    while (sigtimedwait(&pipe_set, nullptr, &zero) == SIGPIPE) {
-    }
-  }
-  pthread_sigmask(SIG_SETMASK, &old_set, nullptr);
-  return ok;
+  if (!in_.valid()) return false;
+  return in_.write_line(line);
 }
 
 WorkerProcess::ReadResult WorkerProcess::read_line(std::string* line) {
-  for (;;) {
-    const std::size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      *line = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
+  switch (out_.read_line(line)) {
+    case net::FramedConnection::ReadStatus::kLine:
       return ReadResult::kLine;
-    }
-    char chunk[4096];
-    const ssize_t n = ::read(out_fd_, chunk, sizeof(chunk));
-    if (n > 0) {
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) return ReadResult::kEof;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadResult::kAgain;
-    if (errno == EINTR) continue;
-    return ReadResult::kEof;  // read error: treat as worker loss
+    case net::FramedConnection::ReadStatus::kAgain:
+      return ReadResult::kAgain;
+    case net::FramedConnection::ReadStatus::kEof:
+    case net::FramedConnection::ReadStatus::kError:
+      // Either way the worker is lost; the errno (kError) and any torn
+      // line stay observable through loss_detail().
+      return ReadResult::kEof;
   }
+  return ReadResult::kEof;
 }
 
-void WorkerProcess::close_stdin() { close_fd(&in_fd_); }
+void WorkerProcess::close_stdin() { in_.close(); }
 
 void WorkerProcess::kill_now() {
   if (!joined_ && pid_ > 0) ::kill(pid_, SIGKILL);
@@ -277,12 +240,32 @@ int WorkerPool::alive_count() const {
   return alive;
 }
 
+namespace {
+
+/// Milliseconds left until `deadline`, rounded up, clamped to [0, INT_MAX]
+/// so huge timeouts cannot overflow poll()'s int argument.
+int remaining_poll_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = deadline - std::chrono::steady_clock::now();
+  if (left <= std::chrono::steady_clock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count() + 1;
+  if (ms > static_cast<long long>(INT_MAX)) return INT_MAX;
+  return static_cast<int>(ms);
+}
+
+}  // namespace
+
 std::vector<int> WorkerPool::poll_readable(const std::vector<int>& slots,
                                            double timeout_s) {
-  const int timeout_ms =
-      timeout_s < 0.0
-          ? -1
-          : static_cast<int>(timeout_s * 1000.0) + (timeout_s > 0.0 ? 1 : 0);
+  const bool forever = timeout_s < 0.0;
+  // Cap the deadline arithmetic too: a caller passing e.g. 1e18 seconds
+  // must not overflow the steady_clock duration into the past.
+  constexpr double kMaxWaitS = 86400.0 * 365.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              forever ? 0.0 : std::min(timeout_s, kMaxWaitS)));
   std::vector<struct pollfd> fds;
   fds.reserve(slots.size());
   for (const int slot : slots) {
@@ -292,10 +275,20 @@ std::vector<int> WorkerPool::poll_readable(const std::vector<int>& slots,
     entry.events = POLLIN;
     fds.push_back(entry);
   }
-  const int ready = ::poll(fds.empty() ? nullptr : fds.data(),
-                           static_cast<nfds_t>(fds.size()), timeout_ms);
   std::vector<int> readable;
-  if (ready <= 0) return readable;
+  int ready = 0;
+  for (;;) {
+    const int timeout_ms = forever ? -1 : remaining_poll_ms(deadline);
+    ready = ::poll(fds.empty() ? nullptr : fds.data(),
+                   static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready >= 0) break;
+    // A signal (e.g. SIGCHLD from a dying worker) interrupted the wait;
+    // retry with the time that is actually left, never reporting the
+    // interruption as "nothing readable".
+    if (errno == EINTR) continue;
+    return readable;
+  }
+  if (ready == 0) return readable;
   for (std::size_t i = 0; i < fds.size(); ++i) {
     if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       readable.push_back(slots[i]);

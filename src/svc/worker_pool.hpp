@@ -2,13 +2,16 @@
 //
 // WorkerProcess wraps one `mfdft_jobd --worker` child behind a pair of
 // pipes: the parent writes one request line to the child's stdin and reads
-// one result line from its stdout. Reads are nonblocking and line-
-// assembled, so a torn line followed by EOF (a worker that died mid-write)
-// is observed as worker loss, never as a half-parsed result. Exit statuses
-// are reaped in a way that preserves the original crash signal — a worker
-// that already died of SIGABRT is never re-killed into looking like
-// SIGKILL — and surface through describe_wait_status() into the Status
-// messages the supervisor reports.
+// one result line from its stdout. Both pipe ends are driven through
+// net::FramedConnection — the same line framing the TCP transport uses —
+// so reads are nonblocking and line-assembled, and a torn line followed by
+// EOF (a worker that died mid-write) is observed as worker loss, never as
+// a half-parsed result; loss_detail() reports the true reason (read errno,
+// discarded partial-line bytes) instead of collapsing everything into
+// "EOF". Exit statuses are reaped in a way that preserves the original
+// crash signal — a worker that already died of SIGABRT is never re-killed
+// into looking like SIGKILL — and surface through describe_wait_status()
+// into the Status messages the supervisor reports.
 //
 // WorkerPool owns a fixed array of slots. Slots are the supervisor's
 // stable worker identity: a crashed slot is respawned as a fresh process
@@ -23,6 +26,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "net/framed.hpp"
 
 namespace mfd::svc {
 
@@ -61,14 +66,22 @@ class WorkerProcess {
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] pid_t pid() const { return pid_; }
   /// Parent-side read end of the child's stdout (for poll()).
-  [[nodiscard]] int read_fd() const { return out_fd_; }
+  [[nodiscard]] int read_fd() const { return out_.fd(); }
 
   /// Writes `line` plus '\n' to the child's stdin. SIGPIPE is suppressed
   /// for the write; false means the child's stdin is gone (worker loss).
   bool send_line(const std::string& line);
 
-  /// Nonblocking buffered line read from the child's stdout.
+  /// Nonblocking buffered line read from the child's stdout. A failed read
+  /// (not EOF) also reports kEof — the worker is lost either way — but the
+  /// errno and any discarded partial line are kept for loss_detail().
   ReadResult read_line(std::string* line);
+
+  /// Why the last read_line() observed worker loss: the read error and/or
+  /// torn-line residue; "" for a clean EOF.
+  [[nodiscard]] std::string loss_detail() const {
+    return out_.loss_detail();
+  }
 
   /// Closes the child's stdin so a well-behaved worker drains and exits.
   void close_stdin();
@@ -89,9 +102,8 @@ class WorkerProcess {
 
   int id_ = -1;
   pid_t pid_ = -1;
-  int in_fd_ = -1;   ///< Parent writes requests here (child stdin).
-  int out_fd_ = -1;  ///< Parent reads results here (child stdout).
-  std::string buffer_;
+  net::FramedConnection in_;   ///< Parent writes requests (child stdin).
+  net::FramedConnection out_;  ///< Parent reads results (child stdout).
   bool joined_ = false;
   int wait_status_ = 0;
 };
@@ -131,7 +143,10 @@ class WorkerPool {
 
   /// Waits up to `timeout_s` (< 0 = forever) for any listed slot's stdout
   /// to become readable or closed; returns those slots. An empty slot list
-  /// just sleeps out the timeout.
+  /// just sleeps out the timeout. A poll() interrupted by a signal is
+  /// retried with the remaining time recomputed — EINTR never masquerades
+  /// as "nothing readable" — and arbitrarily large timeouts are clamped
+  /// instead of overflowing the millisecond conversion.
   [[nodiscard]] std::vector<int> poll_readable(const std::vector<int>& slots,
                                                double timeout_s);
 

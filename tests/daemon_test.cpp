@@ -1,0 +1,400 @@
+// Networked JobDaemon acceptance tests: a client stream over loopback TCP
+// must come back byte-identical to a local run_jobd() — regardless of
+// executor count, queue discipline (strict / FIFO / aged priority), remote
+// workers, or which peer finished which job first — and the daemon's
+// overload / worker-loss policies must answer with typed kUnavailable
+// results instead of hanging or dropping jobs.
+#include "svc/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/json.hpp"
+#include "net/framed.hpp"
+#include "net/socket.hpp"
+#include "svc/job.hpp"
+#include "svc/jobd.hpp"
+
+namespace mfd::svc {
+namespace {
+
+/// Mixed-class workload: interactive kinds (testgen/coverage/diagnosis)
+/// across the benchmark chips. Codesign is deliberately absent — these
+/// tests exercise transport and scheduling, not the PSO.
+std::string mixed_jobs_jsonl() {
+  std::string lines;
+  for (const char* chip : {"figure4_chip", "IVD_chip", "RA30_chip"}) {
+    for (const JobKind kind :
+         {JobKind::kTestgen, JobKind::kCoverage, JobKind::kDiagnosis}) {
+      JobSpec spec;
+      spec.kind = kind;
+      spec.id = std::string(to_string(kind)) + ":" + chip;
+      spec.chip = chip;
+      lines += spec.to_json().dump() + "\n";
+    }
+  }
+  return lines;
+}
+
+/// The same workload plus the parse-slot edge cases run_jobd() defines:
+/// a blank line (skipped but counted in line numbers) and a malformed line
+/// (answered in place as kInvalidOptions stage "parse").
+std::string jobs_with_parse_edges_jsonl() {
+  std::string lines = mixed_jobs_jsonl();
+  lines += "\n";                     // blank: skipped, advances line count
+  lines += "{\"kind\": \"nope\"}\n"; // malformed: answered in its slot
+  JobSpec tail;
+  tail.kind = JobKind::kTestgen;
+  tail.id = "tail";
+  tail.chip = "figure4_chip";
+  lines += tail.to_json().dump() + "\n";
+  return lines;
+}
+
+/// Local ground truth for any input, byte for byte.
+std::string jobd_baseline(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::ostringstream out;
+  (void)run_jobd(in, out);
+  return out.str();
+}
+
+/// Runs one client stream against a daemon; returns the bytes read back.
+std::string client_bytes(int port, const std::string& jsonl,
+                         const std::string& priority = "",
+                         Status* status_out = nullptr) {
+  ClientOptions options;
+  options.port = port;
+  options.priority = priority;
+  options.connect_base_s = 0.01;
+  std::istringstream in(jsonl);
+  std::ostringstream out;
+  const Status status = run_daemon_client(in, out, options);
+  if (status_out != nullptr) {
+    *status_out = status;
+  } else {
+    EXPECT_TRUE(status.ok()) << status.to_string();
+  }
+  return out.str();
+}
+
+DaemonOptions fast_daemon_options() {
+  DaemonOptions options;
+  options.executors = 1;
+  options.backoff_base_s = 0.01;
+  options.backoff_max_s = 0.05;
+  return options;
+}
+
+/// Waits (bounded) until `predicate` holds over the daemon's metrics.
+template <typename Predicate>
+bool wait_for_metrics(const JobDaemon& daemon, Predicate predicate) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate(daemon.metrics())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST(JobDaemon, RejectsInvalidOptions) {
+  DaemonOptions options;
+  options.port = -1;
+  options.queue_capacity = 0;
+  JobDaemon daemon(options);
+  const Status status = daemon.start();
+  EXPECT_EQ(status.outcome, Outcome::kInvalidOptions);
+  EXPECT_NE(status.message.find("port"), std::string::npos);
+  EXPECT_NE(status.message.find("queue_capacity"), std::string::npos);
+}
+
+TEST(JobDaemon, LoopbackClientMatchesLocalRunByteForByte) {
+  // The acceptance criterion: same bytes as run_jobd() over the socket,
+  // malformed and blank lines included, for every executor count and every
+  // queue discipline.
+  const std::string jsonl = jobs_with_parse_edges_jsonl();
+  const std::string baseline = jobd_baseline(jsonl);
+  ASSERT_FALSE(baseline.empty());
+
+  const double disciplines[] = {-1.0, 0.0, 5.0};  // strict / FIFO / aged
+  for (const int executors : {1, 4}) {
+    for (const double age_promote_s : disciplines) {
+      DaemonOptions options = fast_daemon_options();
+      options.executors = executors;
+      options.age_promote_s = age_promote_s;
+      JobDaemon daemon(options);
+      ASSERT_TRUE(daemon.start().ok());
+      EXPECT_EQ(client_bytes(daemon.port(), jsonl), baseline)
+          << "executors=" << executors << " age_promote_s=" << age_promote_s;
+      daemon.stop();
+
+      const DaemonMetrics metrics = daemon.metrics();
+      EXPECT_EQ(metrics.clients_served, 1);
+      EXPECT_EQ(metrics.jobs_done, 11);  // 9 + malformed + tail
+      EXPECT_EQ(metrics.jobs_parse_error, 1);
+      EXPECT_EQ(metrics.jobs_admitted, 10);
+      EXPECT_EQ(metrics.jobs_shed, 0);
+    }
+  }
+}
+
+TEST(JobDaemon, PriorityHintRoutesWholeStreamToBulkClass) {
+  const std::string jsonl = mixed_jobs_jsonl();
+  const std::string baseline = jobd_baseline(jsonl);
+
+  JobDaemon daemon(fast_daemon_options());
+  ASSERT_TRUE(daemon.start().ok());
+  // The hello's priority covers specs without one — and scheduling class
+  // must never leak into result bytes.
+  EXPECT_EQ(client_bytes(daemon.port(), jsonl, "bulk"), baseline);
+  daemon.stop();
+  const DaemonMetrics metrics = daemon.metrics();
+  EXPECT_EQ(metrics.admitted_bulk, 9);
+  EXPECT_EQ(metrics.admitted_interactive, 0);
+}
+
+TEST(JobDaemon, SpecPriorityOverridesHelloHint) {
+  JobSpec spec;
+  spec.kind = JobKind::kTestgen;
+  spec.id = "pinned";
+  spec.chip = "figure4_chip";
+  spec.priority = "interactive";
+  const std::string jsonl = spec.to_json().dump() + "\n";
+  const std::string baseline = jobd_baseline(jsonl);
+
+  JobDaemon daemon(fast_daemon_options());
+  ASSERT_TRUE(daemon.start().ok());
+  EXPECT_EQ(client_bytes(daemon.port(), jsonl, "bulk"), baseline);
+  daemon.stop();
+  const DaemonMetrics metrics = daemon.metrics();
+  EXPECT_EQ(metrics.admitted_interactive, 1);
+  EXPECT_EQ(metrics.admitted_bulk, 0);
+}
+
+TEST(JobDaemon, ConcurrentClientsEachGetTheirOwnOrderedStream) {
+  // Two clients with different batches share one daemon (and its queue and
+  // executors); each must read exactly its own local-run bytes.
+  const std::string jsonl_a = mixed_jobs_jsonl();
+  std::string jsonl_b;
+  for (const char* chip : {"RA30_chip", "figure4_chip"}) {
+    JobSpec spec;
+    spec.kind = JobKind::kDiagnosis;
+    spec.id = std::string("b:") + chip;
+    spec.chip = chip;
+    jsonl_b += spec.to_json().dump() + "\n";
+  }
+  const std::string baseline_a = jobd_baseline(jsonl_a);
+  const std::string baseline_b = jobd_baseline(jsonl_b);
+
+  DaemonOptions options = fast_daemon_options();
+  options.executors = 2;
+  JobDaemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  std::string bytes_a;
+  std::string bytes_b;
+  std::thread client_a(
+      [&] { bytes_a = client_bytes(daemon.port(), jsonl_a, "interactive"); });
+  std::thread client_b(
+      [&] { bytes_b = client_bytes(daemon.port(), jsonl_b, "bulk"); });
+  client_a.join();
+  client_b.join();
+  daemon.stop();
+
+  EXPECT_EQ(bytes_a, baseline_a);
+  EXPECT_EQ(bytes_b, baseline_b);
+  EXPECT_EQ(daemon.metrics().clients_served, 2);
+}
+
+TEST(JobDaemon, RemoteWorkerOnlyDaemonMatchesLocalRun) {
+  // executors = 0: every job must flow over the second TCP hop to the
+  // remote worker and come back byte-identical anyway.
+  const std::string jsonl = mixed_jobs_jsonl();
+  const std::string baseline = jobd_baseline(jsonl);
+
+  DaemonOptions options = fast_daemon_options();
+  options.executors = 0;
+  JobDaemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  std::thread worker([port = daemon.port()] {
+    (void)run_daemon_worker("127.0.0.1", port, /*connect_attempts=*/3,
+                            /*connect_base_s=*/0.01, /*connect_max_s=*/0.05);
+  });
+
+  const std::string bytes = client_bytes(daemon.port(), jsonl);
+  daemon.stop();
+  worker.join();
+
+  EXPECT_EQ(bytes, baseline);
+  const DaemonMetrics metrics = daemon.metrics();
+  EXPECT_EQ(metrics.jobs_done, 9);
+  EXPECT_EQ(metrics.jobs_remote, 9);
+  EXPECT_GE(metrics.workers_joined, 1);
+}
+
+/// Hand-rolled misbehaving worker: joins the pool, takes one job, then
+/// hangs up without answering (a mid-job crash as the daemon sees it).
+void crash_after_one_request(int port) {
+  std::string error;
+  const int fd = net::tcp_connect("127.0.0.1", port, &error);
+  ASSERT_GE(fd, 0) << error;
+  net::FramedConnection conn(fd);
+  Json hello = Json::object();
+  hello.set("role", Json(std::string("worker")));
+  ASSERT_TRUE(conn.write_line(hello.dump()));
+  std::string request;
+  ASSERT_EQ(conn.read_line(&request),
+            net::FramedConnection::ReadStatus::kLine);
+  conn.close();  // vanish with the job in flight
+}
+
+TEST(JobDaemon, JobLostToACrashedWorkerIsRetriedElsewhere) {
+  JobSpec spec;
+  spec.kind = JobKind::kTestgen;
+  spec.id = "survivor";
+  spec.chip = "figure4_chip";
+  const std::string jsonl = spec.to_json().dump() + "\n";
+  const std::string baseline = jobd_baseline(jsonl);
+
+  DaemonOptions options = fast_daemon_options();
+  options.executors = 0;  // only remote workers can serve
+  JobDaemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  // The crashing worker is connected before the client submits, so it is
+  // the only consumer when the job arrives.
+  std::thread crasher([&] { crash_after_one_request(daemon.port()); });
+  std::string bytes;
+  std::thread client([&] { bytes = client_bytes(daemon.port(), jsonl); });
+  crasher.join();
+
+  // After the loss is detected the job is requeued; a healthy worker then
+  // joins and completes it — invisibly, as far as result bytes go.
+  ASSERT_TRUE(wait_for_metrics(
+      daemon, [](const DaemonMetrics& m) { return m.workers_lost >= 1; }));
+  std::thread worker([port = daemon.port()] {
+    (void)run_daemon_worker("127.0.0.1", port, /*connect_attempts=*/3,
+                            /*connect_base_s=*/0.01, /*connect_max_s=*/0.05);
+  });
+  client.join();
+  daemon.stop();
+  worker.join();
+
+  EXPECT_EQ(bytes, baseline);
+  const DaemonMetrics metrics = daemon.metrics();
+  EXPECT_EQ(metrics.workers_lost, 1);
+  EXPECT_EQ(metrics.jobs_retried, 1);
+  EXPECT_EQ(metrics.jobs_quarantined, 0);
+  EXPECT_EQ(metrics.jobs_done, 1);
+  EXPECT_EQ(metrics.jobs_remote, 1);
+}
+
+TEST(JobDaemon, ExhaustedRemoteAttemptsQuarantineTheJob) {
+  JobSpec spec;
+  spec.kind = JobKind::kTestgen;
+  spec.id = "doomed";
+  spec.chip = "figure4_chip";
+  const std::string jsonl = spec.to_json().dump() + "\n";
+
+  DaemonOptions options = fast_daemon_options();
+  options.executors = 0;
+  options.max_attempts = 1;  // one loss is final
+  JobDaemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  std::thread crasher([&] { crash_after_one_request(daemon.port()); });
+  std::string bytes;
+  std::thread client([&] { bytes = client_bytes(daemon.port(), jsonl); });
+  crasher.join();
+  client.join();
+  daemon.stop();
+
+  // The client still gets a complete, typed answer in the job's slot.
+  std::istringstream lines(bytes);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const JobResult result = JobResult::from_json(Json::parse(line));
+  EXPECT_EQ(result.index, 0);
+  EXPECT_EQ(result.id, "doomed");
+  EXPECT_EQ(result.status.outcome, Outcome::kUnavailable);
+  EXPECT_EQ(result.status.stage, "worker");
+  EXPECT_NE(result.status.message.find("quarantined after 1 remote-worker"),
+            std::string::npos);
+  EXPECT_EQ(daemon.metrics().jobs_quarantined, 1);
+}
+
+TEST(JobDaemon, OverloadShedsWithTypedUnavailableInInputOrder) {
+  // capacity 1, no consumers: the first job parks in the queue, the rest
+  // shed immediately; stop() sheds the parked one. The client still reads
+  // one typed result per input line, in input order.
+  std::string jsonl;
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec;
+    spec.kind = JobKind::kTestgen;
+    spec.id = "job-" + std::to_string(i);
+    spec.chip = "figure4_chip";
+    jsonl += spec.to_json().dump() + "\n";
+  }
+
+  DaemonOptions options = fast_daemon_options();
+  options.executors = 0;  // nobody pops
+  options.queue_capacity = 1;
+  JobDaemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  std::string bytes;
+  std::thread client([&] { bytes = client_bytes(daemon.port(), jsonl); });
+  ASSERT_TRUE(wait_for_metrics(
+      daemon, [](const DaemonMetrics& m) { return m.jobs_shed >= 2; }));
+  daemon.stop();
+  client.join();
+
+  std::istringstream lines(bytes);
+  std::string line;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(std::getline(lines, line)) << "missing result " << i;
+    const JobResult result = JobResult::from_json(Json::parse(line));
+    EXPECT_EQ(result.index, i);
+    EXPECT_EQ(result.id, "job-" + std::to_string(i));
+    EXPECT_EQ(result.status.outcome, Outcome::kUnavailable);
+    EXPECT_EQ(result.status.stage, "admission");
+  }
+  EXPECT_FALSE(std::getline(lines, line));
+  const DaemonMetrics metrics = daemon.metrics();
+  EXPECT_EQ(metrics.jobs_shed, 3);
+  EXPECT_EQ(metrics.jobs_done, 3);
+  EXPECT_EQ(metrics.clients_served, 1);
+}
+
+TEST(JobDaemon, ClientFailsTypedWhenNoDaemonListens) {
+  // Grab a port that is certainly closed by binding and releasing it.
+  std::string error;
+  const int fd = net::tcp_listen("127.0.0.1", 0, 1, &error);
+  ASSERT_GE(fd, 0) << error;
+  const int dead_port = net::bound_port(fd);
+  ::close(fd);
+
+  ClientOptions options;
+  options.port = dead_port;
+  options.connect_attempts = 2;
+  options.connect_base_s = 0.01;
+  options.connect_max_s = 0.02;
+  std::istringstream in("{}\n");
+  std::ostringstream out;
+  const Status status = run_daemon_client(in, out, options);
+  EXPECT_EQ(status.outcome, Outcome::kUnavailable);
+  EXPECT_EQ(status.stage, "client");
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace mfd::svc

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -216,14 +217,56 @@ TEST(FitnessCacheTest, LeftoverTmpFilesAreIgnored) {
     cache.put(key_of(1), record_of(1.0));
     ASSERT_TRUE(cache.persist().ok());
   }
-  // A crash between write and rename leaves a .tmp file; loads skip it.
-  std::ofstream(dir.path / ("seg-dead-0" +
-                            std::string(FitnessCache::kSegmentSuffix) +
-                            ".tmp"))
-      << "half a segment";
+  // A crash between write and rename leaves a .tmp file; loads skip it —
+  // and a *fresh* temp (a concurrent writer may still own it) survives.
+  const fs::path fresh_tmp =
+      dir.path /
+      ("seg-dead-0" + std::string(FitnessCache::kSegmentSuffix) + ".tmp");
+  std::ofstream(fresh_tmp) << "half a segment";
   FitnessCache reload(options);
   EXPECT_EQ(reload.size(), 1u);
   EXPECT_EQ(reload.stats().disk_segments_rejected, 0);
+  EXPECT_EQ(reload.stats().disk_temps_swept, 0);
+  EXPECT_TRUE(fs::exists(fresh_tmp));
+}
+
+TEST(FitnessCacheTest, StaleTmpFilesAreSweptAtLoad) {
+  TempDir dir("sweep");
+  FitnessCacheOptions options;
+  options.dir = dir.str();
+  {
+    FitnessCache cache(options);
+    cache.put(key_of(1), record_of(1.0));
+    ASSERT_TRUE(cache.persist().ok());
+  }
+  // A temp old enough that no live persist() can still own it is garbage
+  // from a dead writer: load removes it (and only it).
+  const fs::path stale_tmp =
+      dir.path /
+      ("seg-dead-1" + std::string(FitnessCache::kSegmentSuffix) + ".tmp");
+  std::ofstream(stale_tmp) << "half a segment";
+  fs::last_write_time(stale_tmp,
+                      fs::file_time_type::clock::now() -
+                          FitnessCache::kStaleTempAge -
+                          std::chrono::minutes(1));
+  // Not every .tmp is ours: an unrelated temp must be left alone however
+  // old it is.
+  const fs::path foreign_tmp = dir.path / "notes.txt.tmp";
+  std::ofstream(foreign_tmp) << "unrelated";
+  fs::last_write_time(foreign_tmp,
+                      fs::file_time_type::clock::now() -
+                          FitnessCache::kStaleTempAge -
+                          std::chrono::minutes(1));
+
+  FitnessCache reload(options);
+  EXPECT_EQ(reload.size(), 1u);  // the real segment still loads
+  EXPECT_EQ(reload.stats().disk_temps_swept, 1);
+  EXPECT_FALSE(fs::exists(stale_tmp));
+  EXPECT_TRUE(fs::exists(foreign_tmp));
+
+  // The sweep is once-per-load: a second warm start finds nothing to do.
+  FitnessCache again(options);
+  EXPECT_EQ(again.stats().disk_temps_swept, 0);
 }
 
 TEST(FitnessCacheTest, ConcurrentGetPutIsSafe) {

@@ -1,0 +1,235 @@
+// net/ transport primitives: line framing over pipes and sockets (torn
+// lines, clean EOF, dead peers), the interruptible Listener, host:port
+// parsing, and connect-with-backoff — the substrate under the networked
+// job daemon.
+#include "net/framed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/fdstream.hpp"
+#include "net/listener.hpp"
+#include "net/socket.hpp"
+
+namespace mfd::net {
+namespace {
+
+using ReadStatus = FramedConnection::ReadStatus;
+
+/// A connected local socket pair wrapped in FramedConnections.
+struct FramedPair {
+  FramedConnection a;
+  FramedConnection b;
+
+  FramedPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = FramedConnection(fds[0]);
+    b = FramedConnection(fds[1]);
+  }
+};
+
+TEST(FramedConnection, RoundTripsLinesInOrder) {
+  FramedPair pair;
+  ASSERT_TRUE(pair.a.write_line("first"));
+  ASSERT_TRUE(pair.a.write_line("second {\"json\": true}"));
+  ASSERT_TRUE(pair.a.write_line(""));  // empty lines are legal frames
+  std::string line;
+  ASSERT_EQ(pair.b.read_line(&line), ReadStatus::kLine);
+  EXPECT_EQ(line, "first");
+  ASSERT_EQ(pair.b.read_line(&line), ReadStatus::kLine);
+  EXPECT_EQ(line, "second {\"json\": true}");
+  ASSERT_EQ(pair.b.read_line(&line), ReadStatus::kLine);
+  EXPECT_EQ(line, "");
+}
+
+TEST(FramedConnection, ShutdownWriteReadsAsCleanEof) {
+  FramedPair pair;
+  ASSERT_TRUE(pair.a.write_line("last words"));
+  pair.a.shutdown_write();
+  std::string line;
+  ASSERT_EQ(pair.b.read_line(&line), ReadStatus::kLine);
+  EXPECT_EQ(line, "last words");
+  EXPECT_EQ(pair.b.read_line(&line), ReadStatus::kEof);
+  EXPECT_EQ(pair.b.partial_bytes(), 0u);
+}
+
+TEST(FramedConnection, PeerDeadMidLineLeavesPartialBytesObservable) {
+  FramedPair pair;
+  // Half a line, no newline, then the peer vanishes.
+  const std::string torn = "{\"id\": \"torn";
+  ASSERT_EQ(::write(pair.a.fd(), torn.data(), torn.size()),
+            static_cast<ssize_t>(torn.size()));
+  pair.a.close();
+  std::string line;
+  // The torn fragment is never surfaced as a complete line...
+  EXPECT_EQ(pair.b.read_line(&line), ReadStatus::kEof);
+  // ...but its size is, so the loss report can say "N bytes of a torn
+  // line" instead of pretending the stream ended cleanly.
+  EXPECT_EQ(pair.b.partial_bytes(), torn.size());
+  EXPECT_NE(pair.b.loss_detail().find(std::to_string(torn.size())),
+            std::string::npos);
+}
+
+TEST(FramedConnection, WriteToDeadPeerFailsWithoutKillingTheProcess) {
+  FramedPair pair;
+  pair.b.close();
+  // The first write may land in the socket buffer; the dead peer must
+  // surface as `false` within a couple of frames — as an error return,
+  // never as SIGPIPE.
+  bool alive = true;
+  for (int i = 0; i < 4 && alive; ++i) alive = pair.a.write_line("hello?");
+  EXPECT_FALSE(alive);
+  EXPECT_FALSE(pair.a.last_error().empty());
+}
+
+TEST(FramedConnection, WorksOverPipesToo) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  FramedConnection reader(fds[0]);
+  FramedConnection writer(fds[1]);
+  ASSERT_TRUE(writer.write_line("through a pipe"));
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line), ReadStatus::kLine);
+  EXPECT_EQ(line, "through a pipe");
+  writer.shutdown_write();  // pipes have no SHUT_WR; this closes the fd
+  EXPECT_EQ(reader.read_line(&line), ReadStatus::kEof);
+}
+
+TEST(FramedConnection, NonblockingReadReportsAgainNotEof) {
+  FramedPair pair;
+  ASSERT_TRUE(pair.b.set_nonblocking(true));
+  std::string line;
+  EXPECT_EQ(pair.b.read_line(&line), ReadStatus::kAgain);
+  ASSERT_TRUE(pair.a.write_line("now"));
+  EXPECT_EQ(pair.b.read_line(&line), ReadStatus::kLine);
+  EXPECT_EQ(line, "now");
+}
+
+TEST(FdDuplexStream, CarriesIostreamTrafficOverASocket) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FramedConnection peer(fds[0]);
+  {
+    FdDuplexStream stream(fds[1]);  // borrows the fd
+    stream.out() << "from iostream land\n";
+    stream.out().flush();
+    std::string line;
+    ASSERT_TRUE(peer.write_line("from framed land"));
+    ASSERT_TRUE(std::getline(stream.in(), line));
+    EXPECT_EQ(line, "from framed land");
+  }
+  std::string line;
+  ASSERT_EQ(peer.read_line(&line), FramedConnection::ReadStatus::kLine);
+  EXPECT_EQ(line, "from iostream land");
+  ::close(fds[1]);
+}
+
+TEST(Listener, AcceptsLoopbackConnectionsOnEphemeralPort) {
+  std::string error;
+  auto listener = Listener::bind("127.0.0.1", 0, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  EXPECT_GT(listener->port(), 0);
+
+  const int client = tcp_connect("127.0.0.1", listener->port(), &error);
+  ASSERT_GE(client, 0) << error;
+  int accepted = -1;
+  ASSERT_EQ(listener->accept(5.0, &accepted, &error),
+            Listener::AcceptStatus::kAccepted);
+
+  FramedConnection server_side(accepted);
+  FramedConnection client_side(client);
+  ASSERT_TRUE(client_side.write_line("ping"));
+  std::string line;
+  ASSERT_EQ(server_side.read_line(&line), ReadStatus::kLine);
+  EXPECT_EQ(line, "ping");
+}
+
+TEST(Listener, TimesOutWhenNobodyConnects) {
+  std::string error;
+  auto listener = Listener::bind("127.0.0.1", 0, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  int fd = -1;
+  EXPECT_EQ(listener->accept(0.02, &fd, &error),
+            Listener::AcceptStatus::kTimeout);
+}
+
+TEST(Listener, InterruptWakesABlockedAcceptAndStaysInterrupted) {
+  std::string error;
+  auto listener = Listener::bind("127.0.0.1", 0, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  std::thread interrupter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    listener->interrupt();
+  });
+  int fd = -1;
+  EXPECT_EQ(listener->accept(-1.0, &fd, &error),
+            Listener::AcceptStatus::kInterrupted);
+  interrupter.join();
+  // interrupt() is sticky: every later accept returns immediately, so an
+  // accept loop can never race past its own shutdown.
+  EXPECT_EQ(listener->accept(-1.0, &fd, &error),
+            Listener::AcceptStatus::kInterrupted);
+}
+
+TEST(Socket, ParsesHostPortSpecs) {
+  Endpoint endpoint;
+  std::string error;
+  EXPECT_TRUE(parse_host_port("0.0.0.0:9000", &endpoint, &error));
+  EXPECT_EQ(endpoint.host, "0.0.0.0");
+  EXPECT_EQ(endpoint.port, 9000);
+  EXPECT_TRUE(parse_host_port("7777", &endpoint, &error));
+  EXPECT_EQ(endpoint.port, 7777);
+  EXPECT_FALSE(parse_host_port("nope:notaport", &endpoint, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_host_port("1.2.3.4:99999", &endpoint, &error));
+}
+
+TEST(Socket, ConnectBackoffGivesUpAgainstAClosedPort) {
+  // Bind-and-release to get a port that is certainly closed.
+  std::string error;
+  const int fd = tcp_listen("127.0.0.1", 0, 1, &error);
+  ASSERT_GE(fd, 0) << error;
+  const int dead_port = bound_port(fd);
+  ::close(fd);
+
+  const int connected = tcp_connect_backoff("127.0.0.1", dead_port,
+                                            /*attempts=*/2, /*base_s=*/0.01,
+                                            /*max_s=*/0.02, &error);
+  EXPECT_LT(connected, 0);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Socket, ConnectBackoffSucceedsOnceTheListenerAppears) {
+  // The retry loop is the point: the first attempts fail, then the
+  // listener comes up and a later attempt lands.
+  std::string error;
+  auto listener = Listener::bind("127.0.0.1", 0, &error);
+  ASSERT_NE(listener, nullptr) << error;
+  const int port = listener->port();
+  // Hold the port but delay serving: connect from a thread while this
+  // thread accepts after a pause.
+  int connected = -1;
+  std::string client_error;
+  std::thread client([&] {
+    connected = tcp_connect_backoff("127.0.0.1", port, /*attempts=*/10,
+                                    /*base_s=*/0.01, /*max_s=*/0.05,
+                                    &client_error);
+  });
+  int accepted = -1;
+  ASSERT_EQ(listener->accept(5.0, &accepted, &error),
+            Listener::AcceptStatus::kAccepted);
+  client.join();
+  ASSERT_GE(connected, 0) << client_error;
+  ::close(connected);
+  ::close(accepted);
+}
+
+}  // namespace
+}  // namespace mfd::net

@@ -10,11 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <csignal>
+#include <pthread.h>
 #include <unistd.h>
 
 #include "common/fault_inject.hpp"
@@ -367,6 +372,47 @@ TEST(SupervisorTest, WorkersShareFitnessCacheThroughDiskTier) {
 
   std::error_code ec;
   fs::remove_all(dir, ec);
+}
+
+TEST(SupervisorTest, SignalStormDuringBatchStaysByteIdentical) {
+  // Regression for the poll_readable() EINTR bug: a signal landing in the
+  // supervisor's poll() used to be reported as "nothing readable", which a
+  // storm could turn into a stalled or misjudged batch. With a handler
+  // installed *without* SA_RESTART (so every syscall really does take the
+  // EINTR), a burst of signals during the run must change nothing.
+  struct sigaction storm_action {};
+  storm_action.sa_handler = [](int) {};
+  sigemptyset(&storm_action.sa_mask);
+  storm_action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGUSR1, &storm_action, &previous), 0);
+
+  const std::vector<JobSpec> specs = nine_jobs();
+  SupervisorOptions options;
+  options.workers = 2;
+  options.worker_command = worker_command();
+  Supervisor supervisor(options);
+
+  const pthread_t batch_thread = pthread_self();
+  std::atomic<bool> storming{true};
+  std::thread storm([&storming, batch_thread] {
+    while (storming.load()) {
+      pthread_kill(batch_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  const std::vector<JobResult> results = supervisor.run(specs);
+  storming.store(false);
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  ASSERT_EQ(results.size(), specs.size());
+  EXPECT_EQ(result_lines(results), dispatcher_baseline(specs));
+  const ServiceMetrics& metrics = supervisor.metrics();
+  EXPECT_EQ(metrics.jobs_ok, 9);
+  EXPECT_EQ(metrics.jobs_retried, 0);
+  EXPECT_EQ(metrics.jobs_quarantined, 0);
+  EXPECT_EQ(metrics.workers_lost, 0);
 }
 
 }  // namespace

@@ -32,6 +32,27 @@
 //                      line per job on stdout; --cache-dir/--cache-mb are
 //                      honored per worker)
 //
+// Networked modes (same JSONL protocol over TCP — see svc/daemon.hpp):
+//
+//   --listen HOST:PORT   long-lived daemon: serves any number of
+//                        concurrent clients and remote workers on one
+//                        port, stays warm (shared fitness cache + parsed
+//                        chips) between jobs, schedules interactive work
+//                        ahead of bulk codesign, and sheds overload as
+//                        "unavailable" results. Port 0 picks an ephemeral
+//                        port (printed to stderr). Runs until SIGINT/
+//                        SIGTERM; --threads sets the executor pool,
+//                        --queue-capacity the admission bound.
+//   --connect HOST:PORT  client mode: stream --in to the daemon, write its
+//                        results (byte-identical to a local run) to --out.
+//                        With --worker: donate this process to the daemon
+//                        as a remote worker instead; reconnects with
+//                        backoff until the daemon is gone.
+//   --priority CLASS     client mode: default scheduling class for this
+//                        stream's jobs ("interactive" or "bulk"; a spec's
+//                        own priority field wins)
+//   --queue-capacity N   daemon admission bound (default 64)
+//
 // Exit status: 0 when every job ran OK, 3 when some jobs failed or were
 // stopped (their Status is in the results file), 2 on usage or I/O errors.
 // SIGPIPE is ignored: a closed downstream pipe surfaces as a clean write
@@ -48,8 +69,14 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "core/fitness_cache.hpp"
+#include "net/socket.hpp"
+#include "svc/daemon.hpp"
 #include "svc/jobd.hpp"
 
 namespace {
@@ -59,10 +86,19 @@ int usage(const char* argv0) {
                "usage: %s [--in PATH] [--out PATH] [--threads N] "
                "[--workers N] [--stall-timeout-s S] [--max-attempts K] "
                "[--deadline-s S] [--cache-dir PATH] [--cache-mb N] "
-               "[--no-shared-cache] [--trace PATH] [--worker]\n",
-               argv0);
+               "[--no-shared-cache] [--trace PATH] [--worker]\n"
+               "       %s --listen HOST:PORT [--threads N] "
+               "[--queue-capacity N] [--deadline-s S] [--cache-dir PATH]\n"
+               "       %s --connect HOST:PORT [--in PATH] [--out PATH] "
+               "[--priority interactive|bulk] [--worker]\n",
+               argv0, argv0, argv0);
   return 2;
 }
+
+/// SIGINT/SIGTERM raise this; the daemon loop polls it.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void request_stop(int) { g_stop_requested = 1; }
 
 /// Path of this binary (workers are spawned from the same executable);
 /// falls back to argv[0] when /proc is unavailable.
@@ -86,6 +122,10 @@ int main(int argc, char** argv) {
   std::string in_path;
   std::string out_path;
   std::string trace_path;
+  std::string listen_spec;
+  std::string connect_spec;
+  std::string priority;
+  int queue_capacity = 64;
   bool worker_mode = false;
   mfd::svc::JobdOptions options;
 
@@ -136,6 +176,22 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       trace_path = v;
+    } else if (arg == "--listen") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      listen_spec = v;
+    } else if (arg == "--connect") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      connect_spec = v;
+    } else if (arg == "--priority") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      priority = v;
+    } else if (arg == "--queue-capacity") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      queue_capacity = std::atoi(v);
     } else if (arg == "--worker") {
       worker_mode = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -150,6 +206,124 @@ int main(int argc, char** argv) {
   if (options.cache_mb < 0) {
     std::fprintf(stderr, "%s: --cache-mb must be >= 0\n", argv[0]);
     return 2;
+  }
+  if (!listen_spec.empty() && !connect_spec.empty()) {
+    std::fprintf(stderr, "%s: --listen and --connect are mutually exclusive\n",
+                 argv[0]);
+    return 2;
+  }
+
+  if (!listen_spec.empty()) {
+    // Daemon mode: serve clients and remote workers until SIGINT/SIGTERM.
+    mfd::net::Endpoint endpoint;
+    std::string parse_error;
+    if (!mfd::net::parse_host_port(listen_spec, &endpoint, &parse_error) ||
+        queue_capacity < 1) {
+      std::fprintf(stderr, "%s: bad --listen spec '%s': %s\n", argv[0],
+                   listen_spec.c_str(),
+                   queue_capacity < 1 ? "queue capacity must be >= 1"
+                                      : parse_error.c_str());
+      return 2;
+    }
+    mfd::svc::DaemonOptions daemon_options;
+    daemon_options.host = endpoint.host;
+    daemon_options.port = endpoint.port;
+    // `--threads 0` keeps its CLI meaning (hardware concurrency); the
+    // DaemonOptions field itself uses 0 = "remote workers only".
+    daemon_options.executors =
+        options.threads == 0 ? mfd::ThreadPool::hardware_threads()
+                             : options.threads;
+    daemon_options.queue_capacity = static_cast<std::size_t>(queue_capacity);
+    daemon_options.default_deadline_s = options.deadline_s;
+    daemon_options.cache_dir = options.cache_dir;
+    daemon_options.cache_mb = options.cache_mb;
+    daemon_options.max_attempts = options.max_attempts;
+    mfd::svc::JobDaemon daemon(daemon_options);
+    const mfd::Status started = daemon.start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], started.to_string().c_str());
+      return 2;
+    }
+    std::signal(SIGINT, request_stop);
+    std::signal(SIGTERM, request_stop);
+    std::fprintf(stderr, "mfdft_jobd: listening on %s:%d\n",
+                 endpoint.host.c_str(), daemon.port());
+    while (g_stop_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    daemon.stop();
+    const mfd::svc::DaemonMetrics metrics = daemon.metrics();
+    std::fprintf(stderr,
+                 "mfdft_jobd: daemon served %lld clients, %lld jobs "
+                 "(%lld shed, %lld quarantined), %lld remote workers\n",
+                 static_cast<long long>(metrics.clients_served),
+                 static_cast<long long>(metrics.jobs_done),
+                 static_cast<long long>(metrics.jobs_shed),
+                 static_cast<long long>(metrics.jobs_quarantined),
+                 static_cast<long long>(metrics.workers_joined));
+    return 0;
+  }
+
+  if (!connect_spec.empty()) {
+    mfd::net::Endpoint endpoint;
+    std::string parse_error;
+    if (!mfd::net::parse_host_port(connect_spec, &endpoint, &parse_error)) {
+      std::fprintf(stderr, "%s: bad --connect spec '%s': %s\n", argv[0],
+                   connect_spec.c_str(), parse_error.c_str());
+      return 2;
+    }
+    if (worker_mode) {
+      // Remote worker: donate this process to the daemon's pool.
+      std::unique_ptr<mfd::core::FitnessCache> cache;
+      if (options.shared_cache) {
+        mfd::core::FitnessCacheOptions cache_options;
+        cache_options.dir = options.cache_dir;
+        cache_options.max_bytes = static_cast<std::size_t>(options.cache_mb)
+                                  << 20;
+        cache = std::make_unique<mfd::core::FitnessCache>(cache_options);
+      }
+      const int served = mfd::svc::run_daemon_worker(
+          endpoint.host, endpoint.port, /*connect_attempts=*/10,
+          /*connect_base_s=*/0.05, /*connect_max_s=*/1.0, cache.get());
+      std::fprintf(stderr, "mfdft_jobd: remote worker served %d connections\n",
+                   served);
+      return served > 0 ? 0 : 2;
+    }
+    // Client mode: stream --in to the daemon, results to --out.
+    std::ifstream client_in_file;
+    if (!in_path.empty()) {
+      client_in_file.open(in_path);
+      if (!client_in_file) {
+        std::fprintf(stderr, "%s: cannot open input '%s'\n", argv[0],
+                     in_path.c_str());
+        return 2;
+      }
+    }
+    std::ofstream client_out_file;
+    if (!out_path.empty()) {
+      client_out_file.open(out_path);
+      if (!client_out_file) {
+        std::fprintf(stderr, "%s: cannot open output '%s'\n", argv[0],
+                     out_path.c_str());
+        return 2;
+      }
+    }
+    mfd::svc::ClientOptions client_options;
+    client_options.host = endpoint.host;
+    client_options.port = endpoint.port;
+    client_options.priority = priority;
+    int results = 0;
+    const mfd::Status status = mfd::svc::run_daemon_client(
+        in_path.empty() ? std::cin : client_in_file,
+        out_path.empty() ? std::cout : client_out_file, client_options,
+        &results);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], status.to_string().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "mfdft_jobd: %d results from %s:%d\n", results,
+                 endpoint.host.c_str(), endpoint.port);
+    return 0;
   }
 
   if (worker_mode) {
