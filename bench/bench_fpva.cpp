@@ -1,0 +1,173 @@
+// FPVA scale bench: the DFT flow's core stages on fully programmable
+// valve-array grids (arXiv 1705.04996) with hundreds to thousands of
+// valves — an order of magnitude beyond the Table-1 chips. Per grid tier:
+// multiport test generation, full-universe coverage (naive BFS oracle vs
+// the batch kernel, parity-checked where the naive side is affordable),
+// diagnosis-table construction, and exact set-cover suite minimization
+// through the ILP engine.
+//
+// Build & run:  ./build/bench/bench_fpva [--json PATH]
+//   MFDFT_BENCH_FPVA_MAX_GRID    — largest NxN tier to run (default 17;
+//                                  the ladder is 6, 8, 12, 17, 24, 32).
+//   MFDFT_BENCH_FPVA_NAIVE_LIMIT — run the naive coverage oracle only up
+//                                  to this many valves (default 200).
+//   --json PATH                  — write BENCH_fpva.json (EXPERIMENTS.md).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/eval_stats.hpp"
+#include "common/json.hpp"
+#include "common/text_table.hpp"
+#include "sim/batch_fault.hpp"
+#include "sim/diagnosis.hpp"
+#include "sim/pressure.hpp"
+#include "testgen/minimize.hpp"
+#include "testgen/vector_gen.hpp"
+#include "workload/fpva.hpp"
+
+namespace {
+
+using namespace mfd;
+
+// Fault-outer loop over the naive per-(fault, vector) BFS simulator — the
+// timing baseline the batch kernel is measured against (same oracle as
+// bench_faultsim, which covers the small Table-1 chips).
+sim::CoverageReport naive_coverage(const arch::Biochip& chip,
+                                   const std::vector<sim::TestVector>& vectors,
+                                   sim::FaultUniverse universe) {
+  const sim::PressureSimulator simulator(chip);
+  sim::EvaluationContext ctx;
+  sim::CoverageReport report;
+  for (const sim::Fault& fault : sim::all_faults(chip, universe)) {
+    ++report.total_faults;
+    bool detected = false;
+    for (const sim::TestVector& vector : vectors) {
+      if (simulator.detects(vector, fault, ctx)) {
+        detected = true;
+        break;
+      }
+    }
+    if (detected) {
+      ++report.detected_faults;
+    } else {
+      report.undetected.push_back(fault);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path(argc, argv);
+  const int max_grid = bench::env_int("MFDFT_BENCH_FPVA_MAX_GRID", 17);
+  const int naive_limit = bench::env_int("MFDFT_BENCH_FPVA_NAIVE_LIMIT", 200);
+  const auto universe = sim::FaultUniverse::kStuckAtAndLeakage;
+
+  Json report_json = Json::object();
+  report_json.set("bench", Json("fpva"));
+  report_json.set("max_grid", Json(std::int64_t{max_grid}));
+  report_json.set("naive_limit_valves", Json(std::int64_t{naive_limit}));
+  report_json.set("universe", Json("stuck_at_leakage"));
+  Json tiers_json = Json::array();
+
+  std::printf("DFT flow on FPVA grids (full stuck-at + leakage universe; "
+              "naive oracle up to %d valves)\n\n",
+              naive_limit);
+  std::printf("%-7s %7s %7s %11s %8s %11s %11s %9s %7s %11s %8s\n", "grid",
+              "valves", "faults", "testgen [s]", "vectors", "naive [s]",
+              "batch [s]", "diag [s]", "resol", "minimize[s]", "minimal");
+
+  for (const int n : {6, 8, 12, 17, 24, 32}) {
+    if (n > max_grid) break;
+    workload::FpvaSpec spec;
+    spec.rows = n;
+    spec.cols = n;
+    spec.ports = 4;
+    spec.mixers = 2;
+    spec.detectors = 1;
+    spec.seed = 2024;
+    const arch::Biochip chip = workload::make_fpva_chip(spec);
+    const int faults = static_cast<int>(sim::all_faults(chip, universe).size());
+
+    StageTimer timer;
+    const auto suite = testgen::generate_test_suite_multiport(chip);
+    const double testgen_s = timer.seconds();
+    if (!suite.has_value()) {
+      std::printf("%-7s multiport suite infeasible; skipped\n",
+                  spec.name.empty() ? chip.name().c_str() : spec.name.c_str());
+      continue;
+    }
+    const std::vector<sim::TestVector>& vectors = suite->vectors;
+
+    // Coverage: batch kernel always, naive oracle only while affordable
+    // (it is O(faults x vectors x BFS) — hours at 32x32).
+    timer = StageTimer();
+    const sim::CoverageReport batch_report =
+        sim::evaluate_coverage(chip, vectors, universe);
+    const double batch_s = timer.seconds();
+    double naive_s = -1.0;
+    if (chip.valve_count() <= naive_limit) {
+      timer = StageTimer();
+      const sim::CoverageReport naive_report =
+          naive_coverage(chip, vectors, universe);
+      naive_s = timer.seconds();
+      if (naive_report.detected_faults != batch_report.detected_faults ||
+          naive_report.undetected != batch_report.undetected) {
+        std::printf("%dx%d KERNEL MISMATCH (naive %d/%d, batch %d/%d)\n", n,
+                    n, naive_report.detected_faults, naive_report.total_faults,
+                    batch_report.detected_faults, batch_report.total_faults);
+        return 1;
+      }
+    }
+
+    timer = StageTimer();
+    const sim::DiagnosisTable table =
+        sim::build_diagnosis_table(chip, vectors, universe);
+    const double diagnosis_s = timer.seconds();
+
+    testgen::MinimizeStats minimize_stats;
+    timer = StageTimer();
+    const testgen::TestSuite minimal =
+        testgen::minimize_test_suite(chip, *suite, {}, &minimize_stats);
+    const double minimize_s = timer.seconds();
+
+    std::printf("%-7s %7d %7d %11.2f %8d %11s %11.3f %9.2f %7.3f %11.2f "
+                "%5d%s\n",
+                (std::to_string(n) + "x" + std::to_string(n)).c_str(),
+                chip.valve_count(), faults, testgen_s,
+                static_cast<int>(vectors.size()),
+                naive_s < 0.0 ? "-" : format_double(naive_s, 3).c_str(),
+                batch_s, diagnosis_s, table.resolution(), minimize_s,
+                minimal.size(), minimize_stats.exact ? " (exact)" : "");
+
+    Json row = Json::object();
+    row.set("grid", Json(std::int64_t{n}));
+    row.set("valves", Json(std::int64_t{chip.valve_count()}));
+    row.set("total_faults", Json(std::int64_t{faults}));
+    row.set("detected_faults",
+            Json(std::int64_t{batch_report.detected_faults}));
+    row.set("testgen_seconds", Json(testgen_s));
+    row.set("vectors", Json(static_cast<std::int64_t>(vectors.size())));
+    row.set("naive_seconds", Json(naive_s));
+    row.set("batch_seconds", Json(batch_s));
+    row.set("speedup", Json(naive_s < 0.0 ? -1.0 : naive_s / batch_s));
+    row.set("diagnosis_seconds", Json(diagnosis_s));
+    row.set("resolution", Json(table.resolution()));
+    row.set("distinct_signatures",
+            Json(std::int64_t{table.distinct_signatures()}));
+    row.set("minimize_seconds", Json(minimize_s));
+    row.set("vectors_minimal", Json(std::int64_t{minimal.size()}));
+    row.set("minimize_exact", Json(minimize_stats.exact));
+    row.set("ilp_pivots", Json(minimize_stats.ilp.pivots));
+    row.set("ilp_lp_solves", Json(minimize_stats.ilp.lp_solves));
+    tiers_json.push_back(std::move(row));
+  }
+  if (!json_path.empty()) {
+    report_json.set("tiers", std::move(tiers_json));
+    report_json.save(json_path);
+  }
+  return 0;
+}

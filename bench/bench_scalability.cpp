@@ -8,6 +8,7 @@
 #include "arch/synthetic.hpp"
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/text_table.hpp"
 #include "core/codesign.hpp"
 #include "sched/scheduler.hpp"
@@ -25,8 +26,9 @@ double seconds_since(const std::chrono::steady_clock::time_point& start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mfd;
+  const std::string json_path = bench::json_path(argc, argv);
   std::printf("Scalability: DFT flow stages on synthetic chips "
               "(MFDFT_BENCH_THREADS=%s)\n\n",
               bench::bench_threads() == 0
@@ -34,6 +36,10 @@ int main() {
                   : std::to_string(bench::bench_threads()).c_str());
 
   const int threads = bench::bench_threads();
+  Json report_json = Json::object();
+  report_json.set("bench", Json("scalability"));
+  report_json.set("threads", Json(std::int64_t{threads}));
+  Json chips_json = Json::array();
   TextTable table;
   table.set_header({"grid", "valves", "plan [s]", "added", "testgen [s]",
                     "vectors", "schedule [s]", "makespan", "codesign [s]",
@@ -67,6 +73,13 @@ int main() {
                      std::to_string(chip.valve_count()),
                      format_double(plan_seconds, 2), "infeasible", "-", "-",
                      "-", "-"});
+      Json row = Json::object();
+      row.set("grid_w", Json(std::int64_t{size.w}));
+      row.set("grid_h", Json(std::int64_t{size.h}));
+      row.set("valves", Json(std::int64_t{chip.valve_count()}));
+      row.set("plan_seconds", Json(plan_seconds));
+      row.set("plan_feasible", Json(false));
+      chips_json.push_back(std::move(row));
       continue;
     }
     const arch::Biochip augmented =
@@ -131,9 +144,31 @@ int main() {
                  codesign.ok()
                      ? format_double(codesign.stats.hit_rate(), 3)
                      : "-1"});
+
+    Json row = Json::object();
+    row.set("grid_w", Json(std::int64_t{size.w}));
+    row.set("grid_h", Json(std::int64_t{size.h}));
+    row.set("valves", Json(std::int64_t{chip.valve_count()}));
+    row.set("plan_seconds", Json(plan_seconds));
+    row.set("plan_feasible", Json(true));
+    row.set("added_edges", Json(static_cast<std::int64_t>(
+                               plan.added_edges.size())));
+    row.set("testgen_seconds", Json(testgen_seconds));
+    row.set("vectors", Json(std::int64_t{
+                           suite.has_value() ? suite->size() : -1}));
+    row.set("schedule_seconds", Json(schedule_seconds));
+    row.set("makespan", Json(schedule.feasible ? schedule.makespan : -1.0));
+    row.set("codesign_seconds", Json(codesign_seconds));
+    row.set("cache_hit_rate",
+            Json(codesign.ok() ? codesign.stats.hit_rate() : -1.0));
+    chips_json.push_back(std::move(row));
   }
   std::printf("%s\n", table.str().c_str());
   csv.save("scalability.csv");
   std::printf("series written to scalability.csv\n");
+  if (!json_path.empty()) {
+    report_json.set("chips", std::move(chips_json));
+    report_json.save(json_path);
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "arch/biochip.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 
 namespace mfd::arch {
 
@@ -15,12 +16,22 @@ struct SyntheticChipSpec {
   int detectors = 1;    // devices placed on interior nodes
   /// Extra channel segments beyond the connecting tree (adds loops).
   int extra_channels = 4;
+
+  /// Checks every field and reports all violations in one Status (stage
+  /// "synthetic_chip_spec", outcome kInvalidOptions) — the
+  /// CodesignOptions::validate() convention. Generator paths (the workload
+  /// family expander) check this and propagate the Status instead of
+  /// letting make_synthetic_chip() throw.
+  [[nodiscard]] Status validate() const;
+
+  [[nodiscard]] bool operator==(const SyntheticChipSpec&) const = default;
 };
 
 /// Generates a valid chip: ports on the boundary, devices in the interior,
 /// a channel tree connecting everything (built from grid shortest paths),
 /// plus `extra_channels` additional segments forming loops. Throws when the
-/// spec cannot fit the grid.
+/// spec fails validate() (callers who want a Status check it themselves
+/// first).
 Biochip make_synthetic_chip(const SyntheticChipSpec& spec, Rng& rng);
 
 }  // namespace mfd::arch

@@ -1,0 +1,138 @@
+#include "sched/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace mfd::sched {
+
+namespace {
+
+/// First whitespace-delimited token of `rest`; advances `rest` past it (and
+/// the following separator). Empty when the line is exhausted.
+std::string take_token(std::string& rest) {
+  std::size_t begin = rest.find_first_not_of(" \t");
+  if (begin == std::string::npos) {
+    rest.clear();
+    return {};
+  }
+  std::size_t end = rest.find_first_of(" \t", begin);
+  if (end == std::string::npos) end = rest.size();
+  std::string token = rest.substr(begin, end - begin);
+  const std::size_t next = rest.find_first_not_of(" \t", end);
+  rest = next == std::string::npos ? std::string() : rest.substr(next);
+  return token;
+}
+
+OpId parse_op_id(const std::string& token, int op_count, const char* what) {
+  MFD_REQUIRE(!token.empty(), std::string("read_assay(): missing ") + what);
+  std::size_t consumed = 0;
+  int id = 0;
+  try {
+    id = std::stoi(token, &consumed);
+  } catch (const std::exception&) {
+    throw Error(std::string("read_assay(): bad ") + what + " '" + token + "'");
+  }
+  MFD_REQUIRE(consumed == token.size() && id >= 0 && id < op_count,
+              std::string("read_assay(): bad ") + what + " '" + token + "'");
+  return id;
+}
+
+}  // namespace
+
+void write_assay(std::ostream& out, const Assay& assay) {
+  out << "assay " << assay.name() << '\n';
+  for (const Operation& op : assay.operations()) {
+    out << "op " << to_string(op.kind) << ' ' << shortest_double(op.duration)
+        << ' ' << op.name << '\n';
+  }
+  for (OpId to = 0; to < assay.operation_count(); ++to) {
+    for (const OpId from : assay.dag().predecessors(to)) {
+      out << "dep " << from << ' ' << to << '\n';
+    }
+  }
+}
+
+std::string assay_to_string(const Assay& assay) {
+  std::ostringstream out;
+  write_assay(out, assay);
+  return out.str();
+}
+
+Assay read_assay(std::istream& in) {
+  std::string name;
+  bool have_header = false;
+  std::vector<std::tuple<OpKind, double, std::string>> ops;
+  std::vector<std::pair<OpId, OpId>> deps;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string rest = line;
+    const std::string directive = take_token(rest);
+    if (directive.empty() || directive[0] == '#') continue;
+    if (directive == "assay") {
+      MFD_REQUIRE(!have_header, "read_assay(): duplicate 'assay' line");
+      have_header = true;
+      name = rest;  // remainder: assay names may contain spaces
+    } else if (directive == "op") {
+      MFD_REQUIRE(have_header, "read_assay(): 'op' before 'assay'");
+      const std::string kind_word = take_token(rest);
+      OpKind kind;
+      if (kind_word == "mix") {
+        kind = OpKind::kMix;
+      } else if (kind_word == "detect") {
+        kind = OpKind::kDetect;
+      } else {
+        throw Error("read_assay(): unknown op kind '" + kind_word + "'");
+      }
+      const std::string duration_word = take_token(rest);
+      double duration = 0.0;
+      try {
+        std::size_t consumed = 0;
+        duration = std::stod(duration_word, &consumed);
+        MFD_REQUIRE(consumed == duration_word.size() && duration > 0.0,
+                    "read_assay(): bad duration '" + duration_word + "'");
+      } catch (const Error&) {
+        throw;
+      } catch (const std::exception&) {
+        throw Error("read_assay(): bad duration '" + duration_word + "'");
+      }
+      ops.emplace_back(kind, duration, rest);  // remainder = operation name
+    } else if (directive == "dep") {
+      MFD_REQUIRE(have_header, "read_assay(): 'dep' before 'assay'");
+      const int op_count = static_cast<int>(ops.size());
+      const OpId from =
+          parse_op_id(take_token(rest), op_count, "dep source id");
+      const OpId to = parse_op_id(take_token(rest), op_count, "dep target id");
+      MFD_REQUIRE(rest.empty(), "read_assay(): trailing text on 'dep' line");
+      deps.emplace_back(from, to);
+    } else {
+      throw Error("read_assay(): unknown directive '" + directive + "'");
+    }
+  }
+  MFD_REQUIRE(have_header, "read_assay(): missing 'assay' header line");
+  MFD_REQUIRE(!ops.empty(), "read_assay(): assay has no operations");
+
+  Assay assay(name);
+  for (const auto& [kind, duration, op_name] : ops) {
+    assay.add_operation(kind, duration, op_name);
+  }
+  for (const auto& [from, to] : deps) assay.add_dependency(from, to);
+  std::string why;
+  MFD_REQUIRE(assay.validate(&why), "read_assay(): invalid assay: " + why);
+  return assay;
+}
+
+Assay assay_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_assay(in);
+}
+
+}  // namespace mfd::sched

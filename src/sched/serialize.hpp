@@ -1,0 +1,35 @@
+// Plain-text serialization of bioassay sequencing graphs.
+//
+// The format mirrors arch/serialize: line-oriented, order-sensitive
+// (operation ids follow `op` declaration order), e.g.:
+//
+//   assay IVD
+//   op mix 50 mix_0
+//   op detect 40 detect_1
+//   dep 0 1
+//
+// The operation name is the remainder of the `op` line (names may contain
+// spaces); durations are written with the shortest round-tripping decimal
+// form, so write -> read -> write is byte-stable. Lines starting with '#'
+// are comments. This is the wire form generated assays travel in
+// (svc::JobSpec's `assay_text` field), the assay-side analogue of
+// `chip_text`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/assay.hpp"
+
+namespace mfd::sched {
+
+/// Writes the assay in the text format described above.
+void write_assay(std::ostream& out, const Assay& assay);
+std::string assay_to_string(const Assay& assay);
+
+/// Parses an assay from the text format; throws mfd::Error on malformed
+/// input (unknown directives, bad ids, cyclic dependencies).
+Assay read_assay(std::istream& in);
+Assay assay_from_string(const std::string& text);
+
+}  // namespace mfd::sched

@@ -1,6 +1,7 @@
 #include "sim/batch_fault.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 
 #include "common/run_control.hpp"
@@ -96,10 +97,27 @@ FaultSignatures compute_signatures(const arch::Biochip& chip,
           : tracer->span("compute_signatures f=" +
                          std::to_string(faults.size()) +
                          " v=" + std::to_string(vectors.size()));
+  // Size guards, promoted to MFD_REQUIRE for the FPVA regime (thousands of
+  // valves): the counts must survive the int casts below, and the packed
+  // matrix must not silently wrap or exhaust memory. The cell cap (2^36
+  // bits = 8 GiB of signature) is far beyond any real campaign but turns a
+  // runaway request into a typed error instead of an allocation death.
+  MFD_REQUIRE(faults.size() <=
+                  static_cast<std::size_t>(std::numeric_limits<int>::max()),
+              "compute_signatures(): fault count overflows int");
+  MFD_REQUIRE(vectors.size() <=
+                  static_cast<std::size_t>(std::numeric_limits<int>::max()),
+              "compute_signatures(): vector count overflows int");
   FaultSignatures sigs;
   sigs.fault_count = static_cast<int>(faults.size());
   sigs.vector_count = static_cast<int>(vectors.size());
   const auto wpf = static_cast<std::size_t>(sigs.words_per_fault());
+  constexpr std::uint64_t kMaxSignatureWords = std::uint64_t{1} << 30;
+  MFD_REQUIRE(static_cast<std::uint64_t>(sigs.fault_count) * wpf <=
+                  kMaxSignatureWords,
+              "compute_signatures(): signature matrix too large (" +
+                  std::to_string(sigs.fault_count) + " faults x " +
+                  std::to_string(sigs.vector_count) + " vectors)");
   sigs.bits.assign(static_cast<std::size_t>(sigs.fault_count) * wpf, 0);
   BatchFaultSimulator batch(chip);
   for (const Fault& fault : faults) {

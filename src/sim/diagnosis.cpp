@@ -1,7 +1,10 @@
 #include "sim/diagnosis.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
+#include "common/error.hpp"
 #include "sim/batch_fault.hpp"
 
 namespace mfd::sim {
@@ -63,6 +66,16 @@ DiagnosisTable build_diagnosis_table(const arch::Biochip& chip,
                                      const std::vector<TestVector>& vectors,
                                      FaultUniverse universe) {
   const std::vector<Fault> faults = all_faults(chip, universe);
+  // The table stores one byte per (fault, vector) cell — at FPVA fault
+  // counts (thousands of valves) an oversized request must fail typed, not
+  // by allocation death. 2^33 cells = 8 GiB of signature bytes.
+  constexpr std::uint64_t kMaxTableCells = std::uint64_t{1} << 33;
+  MFD_REQUIRE(static_cast<std::uint64_t>(faults.size()) *
+                      static_cast<std::uint64_t>(vectors.size()) <=
+                  kMaxTableCells,
+              "build_diagnosis_table(): table too large (" +
+                  std::to_string(faults.size()) + " faults x " +
+                  std::to_string(vectors.size()) + " vectors)");
   const FaultSignatures sigs = compute_signatures(chip, vectors, faults);
   DiagnosisTable table;
   table.signature_of_fault.reserve(faults.size());

@@ -118,7 +118,10 @@ Status JobSpec::validate() const {
        "unknown chip '" + chip +
            "' (want IVD_chip, RA30_chip, mRNA_chip or figure4_chip)");
   if (kind == JobKind::kCodesign) {
-    flag(assay.empty(), "codesign jobs require an 'assay'");
+    flag(assay.empty() && assay_text.empty(),
+         "codesign jobs require one of 'assay' or 'assay_text'");
+    flag(!assay.empty() && !assay_text.empty(),
+         "'assay' and 'assay_text' are mutually exclusive");
     flag(!assay.empty() && !known_assay(assay),
          "unknown assay '" + assay + "' (want IVD, PID or CPA)");
     flag(outer_iterations < 1, "outer_iterations must be >= 1");
@@ -146,6 +149,7 @@ Json JobSpec::to_json() const {
   out.set("chip", Json(chip));
   out.set("chip_text", Json(chip_text));
   out.set("assay", Json(assay));
+  out.set("assay_text", Json(assay_text));
   out.set("universe", Json(universe));
   out.set("deadline_s", Json(deadline_s));
   out.set("threads", Json(std::int64_t{threads}));
@@ -161,10 +165,10 @@ JobSpec JobSpec::from_json(const Json& json) {
   MFD_REQUIRE(json.is_object(), "JobSpec::from_json(): not a JSON object");
   static const char* const kKnownKeys[] = {
       "kind",       "id",        "chip",
-      "chip_text",  "assay",     "universe",
-      "deadline_s", "threads",   "seed",
-      "outer_iterations", "outer_particles", "config_pool_size",
-      "priority"};
+      "chip_text",  "assay",     "assay_text",
+      "universe",   "deadline_s", "threads",
+      "seed",       "outer_iterations", "outer_particles",
+      "config_pool_size", "priority"};
   for (const auto& [key, _] : json.as_object()) {
     bool known = false;
     for (const char* candidate : kKnownKeys) {
@@ -186,6 +190,7 @@ JobSpec JobSpec::from_json(const Json& json) {
   read_string(json, "chip", spec.chip);
   read_string(json, "chip_text", spec.chip_text);
   read_string(json, "assay", spec.assay);
+  read_string(json, "assay_text", spec.assay_text);
   read_string(json, "universe", spec.universe);
   read_double(json, "deadline_s", spec.deadline_s);
   read_int(json, "threads", spec.threads);

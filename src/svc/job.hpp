@@ -69,9 +69,12 @@ struct JobSpec {
   std::string chip;
   std::string chip_text;
 
-  /// Assay name (IVD, PID, CPA); required for codesign jobs, ignored
-  /// otherwise.
+  /// Assay source for codesign jobs (ignored otherwise): exactly one of
+  /// `assay` (a named benchmark assay: IVD, PID, CPA) or `assay_text`
+  /// (inline sched/serialize text format — how generated campaign assays
+  /// travel) must be set.
   std::string assay;
+  std::string assay_text;
 
   /// Fault universe for coverage/diagnosis jobs: "stuck_at" or
   /// "stuck_at_leakage".

@@ -91,6 +91,11 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
     ran[k].index = runnable_index[k];
     results[static_cast<std::size_t>(runnable_index[k])] = std::move(ran[k]);
   }
+  std::vector<double> job_run_seconds;
+  job_run_seconds.reserve(results.size());
+  for (const JobResult& result : results) {
+    job_run_seconds.push_back(result.run_seconds);
+  }
 
   // Phase 3: emit. Each line is built whole before it touches the stream,
   // so there is never a partially written JSONL record.
@@ -107,6 +112,7 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
   report.jobs_stopped = report.metrics.jobs_stopped;
   report.jobs_failed = report.metrics.jobs_failed + parse_errors;
   report.cache_persist = cache_persist;
+  report.job_run_seconds = std::move(job_run_seconds);
   return report;
 }
 

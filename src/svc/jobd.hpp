@@ -84,6 +84,11 @@ struct JobdReport {
   /// Outcome of writing the persistent cache segment at the end of the
   /// batch (kOk when no cache_dir was configured or nothing was new).
   Status cache_persist = Status::Ok();
+  /// Per-job wall time in input order (campaign/bench reporting only —
+  /// never serialized into results). In-process dispatch measures every
+  /// job; worker-mode entries are 0 (the measurement dies with the worker
+  /// boundary).
+  std::vector<double> job_run_seconds;
 };
 
 /// Runs every job on `in` (JSONL, one JobSpec per line) and writes one

@@ -6,6 +6,7 @@
 #include "arch/chips.hpp"
 #include "arch/serialize.hpp"
 #include "core/codesign.hpp"
+#include "sched/serialize.hpp"
 #include "sim/diagnosis.hpp"
 #include "sim/pressure.hpp"
 #include "testgen/vector_gen.hpp"
@@ -23,11 +24,14 @@ arch::Biochip build_chip(const JobSpec& spec) {
   throw Error("run_job(): unknown chip '" + spec.chip + "'");
 }
 
-sched::Assay build_assay(const std::string& name) {
-  if (name == "IVD") return sched::make_ivd_assay();
-  if (name == "PID") return sched::make_pid_assay();
-  if (name == "CPA") return sched::make_cpa_assay();
-  throw Error("run_job(): unknown assay '" + name + "'");
+sched::Assay build_assay(const JobSpec& spec) {
+  if (!spec.assay_text.empty()) {
+    return sched::assay_from_string(spec.assay_text);
+  }
+  if (spec.assay == "IVD") return sched::make_ivd_assay();
+  if (spec.assay == "PID") return sched::make_pid_assay();
+  if (spec.assay == "CPA") return sched::make_cpa_assay();
+  throw Error("run_job(): unknown assay '" + spec.assay + "'");
 }
 
 /// Job-scoped resolvers: warm through the context when one was provided.
@@ -37,8 +41,8 @@ arch::Biochip resolve_chip(const JobSpec& spec, JobContext* context) {
 }
 
 sched::Assay resolve_assay(const JobSpec& spec, JobContext* context) {
-  if (context != nullptr) return context->assay_for(spec.assay);
-  return build_assay(spec.assay);
+  if (context != nullptr) return context->assay_for(spec);
+  return build_assay(spec);
 }
 
 sim::FaultUniverse resolve_universe(const JobSpec& spec) {
@@ -169,15 +173,20 @@ arch::Biochip JobContext::chip_for(const JobSpec& spec) {
   return chips_.emplace(key, std::move(chip)).first->second;
 }
 
-sched::Assay JobContext::assay_for(const std::string& name) {
+sched::Assay JobContext::assay_for(const JobSpec& spec) {
+  // Same keying rule as chip_for(): named assays and inline text are
+  // distinct cache entries.
+  const std::string key = !spec.assay_text.empty()
+                              ? "text:" + spec.assay_text
+                              : "name:" + spec.assay;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = assays_.find(name);
+    const auto it = assays_.find(key);
     if (it != assays_.end()) return it->second;
   }
-  sched::Assay assay = build_assay(name);
+  sched::Assay assay = build_assay(spec);
   const std::lock_guard<std::mutex> lock(mutex_);
-  return assays_.emplace(name, std::move(assay)).first->second;
+  return assays_.emplace(key, std::move(assay)).first->second;
 }
 
 std::size_t JobContext::warm_chips() const {

@@ -36,8 +36,9 @@ class JobContext {
   /// malformed text (the error is not cached; a retry re-parses).
   [[nodiscard]] arch::Biochip chip_for(const JobSpec& spec);
 
-  /// The named assay, built at most once. Throws mfd::Error when unknown.
-  [[nodiscard]] sched::Assay assay_for(const std::string& name);
+  /// The spec's assay (named benchmark or inline assay_text), built at most
+  /// once per distinct source. Throws mfd::Error when unknown or malformed.
+  [[nodiscard]] sched::Assay assay_for(const JobSpec& spec);
 
   /// Distinct chips / assays currently warm (for tests and metrics).
   [[nodiscard]] std::size_t warm_chips() const;

@@ -1,0 +1,62 @@
+// Fully programmable valve arrays (FPVAs) as a scale workload.
+//
+// An FPVA (Liu et al., "Testing Microfluidic Fully Programmable Valve
+// Arrays", arXiv 1705.04996) is a regular grid in which (nearly) every
+// lattice edge is a channel segment guarded by its own valve — hundreds to
+// thousands of valves on realistic array sizes, versus the tens on the
+// paper's reconstructed benchmark chips. FpvaSpec describes one array;
+// make_fpva_chip() lowers it into the ordinary arch::Biochip representation
+// (ports on the boundary ring, devices on interior nodes, one dedicated
+// control per channel valve), so every downstream stage — pressure sim,
+// batch fault sim, testgen, scheduling, ILP, PSO, the job service — runs on
+// FPVAs unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/biochip.hpp"
+#include "common/status.hpp"
+
+namespace mfd::workload {
+
+struct FpvaSpec {
+  /// Chip name ("" = auto "fpva_{cols}x{rows}"); must not contain
+  /// whitespace (the arch/serialize text format is token-delimited).
+  std::string name;
+  /// Grid dimensions in nodes: cols x rows lattice, (cols-1)*rows +
+  /// cols*(rows-1) candidate channel segments.
+  int rows = 8;
+  int cols = 8;
+  /// Flow ports, spaced evenly around the boundary ring.
+  int ports = 4;
+  /// Devices on interior nodes (so assays can be scheduled on the array).
+  int mixers = 1;
+  int detectors = 1;
+  /// Fraction of lattice edges realized as valved channel segments, in
+  /// (0, 1]. 1.0 is the canonical full array; lower values thin the lattice
+  /// by deleting non-bridge edges (connectivity of every node is
+  /// preserved), modelling partially populated arrays. The request is a
+  /// target: thinning stops early once only bridges remain.
+  double channel_density = 1.0;
+  /// Seed for the thinning order and device placement; generation is a
+  /// pure function of the spec.
+  std::uint64_t seed = 1;
+
+  /// Checks every field and reports all violations in one Status (stage
+  /// "fpva_spec", outcome kInvalidOptions).
+  [[nodiscard]] Status validate() const;
+
+  [[nodiscard]] bool operator==(const FpvaSpec&) const = default;
+};
+
+/// Number of lattice edges of a cols x rows grid (the valve count of a
+/// density-1.0 array).
+[[nodiscard]] int fpva_lattice_edges(int rows, int cols);
+
+/// Lowers the spec into a validated Biochip. Deterministic: the same spec
+/// always yields byte-identical arch::chip_to_string() text. Throws when
+/// the spec fails validate() (Status-returning callers check it first).
+[[nodiscard]] arch::Biochip make_fpva_chip(const FpvaSpec& spec);
+
+}  // namespace mfd::workload

@@ -2,6 +2,7 @@
 
 #include "graph/dag.hpp"
 #include "sched/assay.hpp"
+#include "sched/serialize.hpp"
 
 namespace mfd::sched {
 namespace {
@@ -150,6 +151,41 @@ TEST(PaperAssayTest, CpaHasKineticReadChains) {
     }
   }
   EXPECT_TRUE(detect_after_detect);
+}
+
+// --- text serialization (sched/serialize) --------------------------------
+
+TEST(AssaySerializeTest, WriteReadWriteIsByteStable) {
+  for (const Assay& assay :
+       {make_ivd_assay(), make_pid_assay(), make_cpa_assay()}) {
+    const std::string text = assay_to_string(assay);
+    const Assay reread = assay_from_string(text);
+    EXPECT_EQ(assay_to_string(reread), text) << assay.name();
+    EXPECT_EQ(reread.name(), assay.name());
+    EXPECT_EQ(reread.operation_count(), assay.operation_count());
+  }
+}
+
+TEST(AssaySerializeTest, PreservesNamesWithSpacesAndDependencies) {
+  Assay assay("wire demo");
+  const OpId a = assay.add_operation(OpKind::kMix, 12.5, "first stage mix");
+  const OpId b = assay.add_operation(OpKind::kDetect, 40.0, "read out");
+  assay.add_dependency(a, b);
+  const Assay reread = assay_from_string(assay_to_string(assay));
+  EXPECT_EQ(reread.name(), "wire demo");
+  EXPECT_EQ(reread.operation(a).name, "first stage mix");
+  EXPECT_EQ(reread.operation(b).name, "read out");
+  EXPECT_TRUE(reread.dag().has_arc(a, b));
+}
+
+TEST(AssaySerializeTest, MalformedInputThrows) {
+  EXPECT_THROW(assay_from_string(""), Error);
+  EXPECT_THROW(assay_from_string("op mix 10 x\n"), Error);  // no header
+  EXPECT_THROW(assay_from_string("assay a\nop teleport 10 x\n"), Error);
+  EXPECT_THROW(assay_from_string("assay a\nop mix -4 x\n"), Error);
+  EXPECT_THROW(assay_from_string("assay a\nop mix 10 x\ndep 0 7\n"),
+               Error);
+  EXPECT_THROW(assay_from_string("assay a\nfrobnicate\n"), Error);
 }
 
 }  // namespace

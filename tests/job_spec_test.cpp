@@ -77,12 +77,39 @@ TEST(JobSpecValidate, RejectsUnknownChipAndUniverse) {
   EXPECT_NE(status.message.find("universe"), std::string::npos);
 }
 
+TEST(JobSpecValidate, CodesignAcceptsInlineAssayText) {
+  JobSpec spec;
+  spec.kind = JobKind::kCodesign;
+  spec.chip = "IVD_chip";
+  spec.assay_text = "assay a\nop mix 10 m\nop detect 5 d\ndep 0 1\n";
+  EXPECT_TRUE(spec.validate().ok()) << spec.validate().to_string();
+}
+
+TEST(JobSpecValidate, RejectsBothAssayAndAssayText) {
+  JobSpec spec;
+  spec.kind = JobKind::kCodesign;
+  spec.chip = "IVD_chip";
+  spec.assay = "IVD";
+  spec.assay_text = "assay a\nop mix 10 m\n";
+  const Status status = spec.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message.find("mutually exclusive"), std::string::npos)
+      << status.message;
+}
+
+TEST(JobSpecValidate, NonCodesignIgnoresAssayFields) {
+  JobSpec spec = valid_testgen_spec();
+  spec.assay_text = "assay a\nop mix 10 m\n";
+  EXPECT_TRUE(spec.validate().ok()) << spec.validate().to_string();
+}
+
 TEST(JobSpecJson, RoundTripsEveryField) {
   JobSpec spec;
   spec.kind = JobKind::kCodesign;
   spec.id = "job-17";
   spec.chip = "mRNA_chip";
   spec.assay = "CPA";
+  spec.assay_text = "";
   spec.universe = "stuck_at_leakage";
   spec.deadline_s = 12.5;
   spec.threads = 4;
@@ -96,6 +123,18 @@ TEST(JobSpecJson, RoundTripsEveryField) {
   const JobSpec reparsed =
       JobSpec::from_json(Json::parse(spec.to_json().dump()));
   EXPECT_EQ(reparsed, spec);
+}
+
+TEST(JobSpecJson, RoundTripsAssayText) {
+  JobSpec spec;
+  spec.kind = JobKind::kCodesign;
+  spec.id = "inline";
+  spec.chip_text = "chip x\ngrid 3 3\n";
+  spec.assay_text = "assay a\nop mix 10 m\nop detect 5 d\ndep 0 1\n";
+  const JobSpec back =
+      JobSpec::from_json(Json::parse(spec.to_json().dump()));
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.assay_text, spec.assay_text);
 }
 
 TEST(JobSpecJson, AbsentFieldsKeepDefaults) {

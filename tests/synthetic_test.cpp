@@ -13,6 +13,59 @@
 namespace mfd {
 namespace {
 
+TEST(SyntheticChipSpecValidate, DefaultSpecIsValid) {
+  EXPECT_TRUE(arch::SyntheticChipSpec{}.validate().ok());
+}
+
+TEST(SyntheticChipSpecValidate, ListsEveryBadFieldInOneStatus) {
+  arch::SyntheticChipSpec spec;
+  spec.grid_width = 2;
+  spec.grid_height = 2;
+  spec.ports = 1;
+  spec.mixers = -1;
+  spec.detectors = -2;
+  spec.extra_channels = -3;
+  const Status status = spec.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.outcome, Outcome::kInvalidOptions);
+  EXPECT_EQ(status.stage, "synthetic_chip_spec");
+  EXPECT_NE(status.message.find("ports"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("3x3"), std::string::npos) << status.message;
+  EXPECT_NE(status.message.find("mixers"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("detectors"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("extra_channels"), std::string::npos)
+      << status.message;
+}
+
+TEST(SyntheticChipSpecValidate, ReportsOvercrowdedRegionsWithCounts) {
+  arch::SyntheticChipSpec spec;
+  spec.grid_width = 3;
+  spec.grid_height = 3;
+  spec.ports = 9;     // boundary ring has 8 nodes
+  spec.mixers = 2;    // interior has 1 node
+  spec.detectors = 1;
+  const Status status = spec.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message.find("boundary"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("9 > 8"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("interior"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("3 > 1"), std::string::npos)
+      << status.message;
+}
+
+TEST(SyntheticChipSpecValidate, GeneratorRequiresAValidSpec) {
+  arch::SyntheticChipSpec spec;
+  spec.ports = 0;
+  Rng rng(1);
+  EXPECT_THROW(arch::make_synthetic_chip(spec, rng), Error);
+}
+
 class SyntheticChipTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SyntheticChipTest, GeneratedChipIsValid) {
