@@ -8,11 +8,13 @@ namespace mfd {
 
 namespace {
 
-constexpr const char* kPointNames[] = {"worker_abort", "worker_stall",
-                                       "truncate_output"};
-constexpr FaultPoint kPoints[] = {FaultPoint::kWorkerAbort,
-                                  FaultPoint::kWorkerStall,
-                                  FaultPoint::kTruncateOutput};
+constexpr const char* kPointNames[] = {"worker_abort",  "worker_stall",
+                                       "truncate_output", "daemon_crash",
+                                       "conn_drop",       "journal_torn_tail"};
+constexpr FaultPoint kPoints[] = {
+    FaultPoint::kWorkerAbort, FaultPoint::kWorkerStall,
+    FaultPoint::kTruncateOutput, FaultPoint::kDaemonCrash,
+    FaultPoint::kConnDrop, FaultPoint::kJournalTornTail};
 
 std::string trimmed(const std::string& text) {
   std::size_t begin = 0;
@@ -55,8 +57,9 @@ FaultRule parse_entry(const std::string& entry) {
   }
   MFD_REQUIRE(known, "FaultInjectPlan: unknown point '" + point_word +
                          "' in '" + entry +
-                         "' (want worker_abort, worker_stall or "
-                         "truncate_output)");
+                         "' (want worker_abort, worker_stall, "
+                         "truncate_output, daemon_crash, conn_drop or "
+                         "journal_torn_tail)");
 
   std::string selector = entry.substr(at + 1);
   const std::size_t colon = selector.find(':');
@@ -88,6 +91,12 @@ const char* to_string(FaultPoint point) {
       return "worker_stall";
     case FaultPoint::kTruncateOutput:
       return "truncate_output";
+    case FaultPoint::kDaemonCrash:
+      return "daemon_crash";
+    case FaultPoint::kConnDrop:
+      return "conn_drop";
+    case FaultPoint::kJournalTornTail:
+      return "journal_torn_tail";
   }
   return "unknown";
 }

@@ -22,7 +22,8 @@
 
 namespace mfd {
 
-/// Injection points inside the worker loop (`mfdft_jobd --worker`).
+/// Injection points inside the worker loop (`mfdft_jobd --worker`) and —
+/// since the durable-execution tier — the batch driver and network client.
 enum class FaultPoint {
   /// std::abort() after reading the request, before running the job
   /// (worker dies by SIGABRT with the job in flight).
@@ -33,6 +34,16 @@ enum class FaultPoint {
   /// Write half of the result line, no newline, then _Exit(0) (downstream
   /// sees a torn record followed by EOF).
   kTruncateOutput,
+  /// Hard _Exit of the *driver* process (run_jobd / campaign) right after
+  /// job N's result was journaled — no output, no summary, no cache
+  /// persist: the crash a --resume run must recover from.
+  kDaemonCrash,
+  /// Close the daemon-client connection after result N was received (and
+  /// journaled), simulating a network partition mid-stream.
+  kConnDrop,
+  /// Write only half of job N's journal record before the driver _Exits —
+  /// the torn tail ResultJournal::open() must reject and recompute.
+  kJournalTornTail,
 };
 
 [[nodiscard]] const char* to_string(FaultPoint point);
@@ -49,6 +60,11 @@ struct FaultRule {
 
 /// Environment variable carrying the spec to worker processes.
 inline constexpr const char* kFaultInjectEnv = "MFDFT_FAULT_INJECT";
+
+/// Exit code of a process killed by an injected driver-level fault
+/// (daemon_crash / journal_torn_tail), so chaos tests can tell an injected
+/// crash apart from a real failure.
+inline constexpr int kFaultExitCode = 55;
 
 class FaultInjectPlan {
  public:

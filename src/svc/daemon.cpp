@@ -11,6 +11,7 @@
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault_inject.hpp"
 #include "common/json.hpp"
 #include "common/run_control.hpp"
 #include "net/fdstream.hpp"
@@ -26,6 +28,7 @@
 #include "net/socket.hpp"
 #include "svc/job.hpp"
 #include "svc/jobd.hpp"
+#include "svc/journal.hpp"
 #include "svc/priority_queue.hpp"
 #include "svc/run_job.hpp"
 #include "svc/supervisor.hpp"
@@ -569,21 +572,142 @@ Status run_daemon_client(std::istream& in, std::ostream& out,
   });
 
   int results = 0;
+  bool injected_drop = false;
   std::string line;
   net::FramedConnection::ReadStatus status;
   while ((status = reader.read_line(&line)) ==
          net::FramedConnection::ReadStatus::kLine) {
+    if (options.on_result) options.on_result(results, line);
     out << line << '\n';
+    if (options.faults != nullptr &&
+        options.faults->fires(FaultPoint::kConnDrop, results, 0)) {
+      // Injected partition: kill the socket after this result was fully
+      // delivered (journaled and written). A bare shutdown would read back
+      // as a clean EOF, so the drop is flagged and typed below.
+      ::shutdown(reader.fd(), SHUT_RDWR);
+      injected_drop = true;
+      ++results;
+      break;
+    }
     ++results;
   }
   out.flush();
   sender.join();
   if (results_out != nullptr) *results_out = results;
+  if (injected_drop) {
+    return Status::Fail(Outcome::kInternalError, "client",
+                        "daemon connection lost: injected conn_drop after " +
+                            std::to_string(results) + " results");
+  }
   if (status == net::FramedConnection::ReadStatus::kError ||
       reader.partial_bytes() > 0) {
     return Status::Fail(Outcome::kInternalError, "client",
                         "daemon connection lost: " + reader.loss_detail());
   }
+  return Status::Ok();
+}
+
+Status run_daemon_client_resumable(std::istream& in, std::ostream& out,
+                                   const ClientOptions& options,
+                                   const std::string& journal_dir, bool resume,
+                                   int* results_out, int* resumed_out) {
+  // Read the whole input: `lines` preserves blanks (wire layout / daemon
+  // line numbering), `job_lines` is the journal's view (job index i =
+  // i-th non-blank line, exactly run_jobd's indexing).
+  std::vector<std::string> lines;
+  std::vector<std::string> job_lines;
+  std::vector<std::size_t> job_line_pos;  // job index -> position in `lines`
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!blank(line)) {
+      job_line_pos.push_back(lines.size());
+      job_lines.push_back(line);
+    }
+    lines.push_back(line);
+  }
+
+  ResultJournal journal;
+  const Status opened = journal.open(journal_dir, job_lines, resume);
+  if (!opened.ok()) return opened;
+  if (resumed_out != nullptr) {
+    *resumed_out = static_cast<int>(journal.completed().size());
+  }
+
+  // Wire stream: completed jobs' lines are *blanked*, not removed, so the
+  // daemon's "line N" parse-error numbering matches an uninterrupted run.
+  // The daemon answers only non-blank lines, in input order, so arrival n
+  // maps to the n-th incomplete job.
+  std::vector<int> incomplete;  // arrival index -> original job index
+  std::ostringstream wire;
+  {
+    std::vector<std::string> padded = lines;
+    for (const auto& [index, payload] : journal.completed()) {
+      (void)payload;
+      padded[job_line_pos[static_cast<std::size_t>(index)]].clear();
+    }
+    for (std::size_t i = 0; i < job_lines.size(); ++i) {
+      if (journal.completed().count(static_cast<int>(i)) == 0) {
+        incomplete.push_back(static_cast<int>(i));
+      }
+    }
+    for (const std::string& padded_line : padded) wire << padded_line << '\n';
+  }
+
+  // Every received line is journaled (deterministic outcomes only) before
+  // the stream can die: a connection loss keeps all arrivals durable, and
+  // `out` stays untouched until the batch is provably complete. The daemon
+  // numbers results by *its* stream's non-blank line order, so on a resumed
+  // run the serialized "index" field must be patched back to the original
+  // batch position (re-dumped through the same codec run_jobd emits with —
+  // every other byte is unchanged).
+  std::vector<std::string> received(incomplete.size());
+  ClientOptions durable = options;
+  durable.on_result = [&](int arrival, const std::string& result_line) {
+    if (arrival < 0 || arrival >= static_cast<int>(incomplete.size())) return;
+    const int index = incomplete[static_cast<std::size_t>(arrival)];
+    std::string canonical = result_line;
+    bool eligible = false;
+    try {
+      JobResult result = JobResult::from_json(Json::parse(result_line));
+      if (result.index != index) {
+        result.index = index;
+        canonical = result.to_json().dump();
+      }
+      eligible = journal_eligible(result.status.outcome);
+    } catch (const std::exception&) {
+      // An unparseable result line is never journaled — resume recomputes.
+    }
+    received[static_cast<std::size_t>(arrival)] = canonical;
+    if (eligible && journal.active()) (void)journal.append(index, canonical);
+    if (options.on_result) options.on_result(arrival, canonical);
+  };
+
+  std::istringstream wire_in(wire.str());
+  std::ostringstream sink;  // interleaved order; the merge below re-slots
+  int fresh = 0;
+  const Status run = run_daemon_client(wire_in, sink, durable, &fresh);
+  if (!run.ok()) return run;  // journal holds the arrivals; rerun to finish
+  if (fresh != static_cast<int>(incomplete.size())) {
+    return Status::Fail(Outcome::kInternalError, "client",
+                        "daemon answered " + std::to_string(fresh) + " of " +
+                            std::to_string(incomplete.size()) +
+                            " incomplete jobs");
+  }
+
+  // Merge: journal-adopted bytes verbatim, fresh bytes as received, in job
+  // index order — byte-identical to an uninterrupted run.
+  std::vector<const std::string*> merged(job_lines.size(), nullptr);
+  for (const auto& [index, payload] : journal.completed()) {
+    merged[static_cast<std::size_t>(index)] = &payload;
+  }
+  for (std::size_t n = 0; n < received.size(); ++n) {
+    merged[static_cast<std::size_t>(incomplete[n])] = &received[n];
+  }
+  for (const std::string* result_line : merged) {
+    out << *result_line << '\n';
+  }
+  out.flush();
+  if (results_out != nullptr) *results_out = static_cast<int>(merged.size());
   return Status::Ok();
 }
 

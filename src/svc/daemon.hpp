@@ -37,12 +37,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
 
 #include "common/status.hpp"
 #include "core/fitness_cache.hpp"
+
+namespace mfd {
+class FaultInjectPlan;
+}  // namespace mfd
 
 namespace mfd::svc {
 
@@ -141,6 +146,15 @@ struct ClientOptions {
   int connect_attempts = 10;
   double connect_base_s = 0.05;
   double connect_max_s = 1.0;
+  /// Called with each received result line (0-based arrival index) before
+  /// it is written to `out` — the journaling hook of the durable client
+  /// path. Runs on the reader thread.
+  std::function<void(int, const std::string&)> on_result;
+  /// Chaos plan for network-level points (borrowed, may be null):
+  /// conn_drop@job=N shuts the socket down right after the Nth result line
+  /// was received (and delivered to on_result), so the stream dies with a
+  /// typed kInternalError exactly like a real partition.
+  const FaultInjectPlan* faults = nullptr;
 };
 
 /// Streams `in` (JobSpec JSONL, run_jobd()'s input format) to a daemon and
@@ -154,6 +168,22 @@ struct ClientOptions {
 Status run_daemon_client(std::istream& in, std::ostream& out,
                          const ClientOptions& options,
                          int* results_out = nullptr);
+
+/// Durable variant of run_daemon_client(): journals every received result
+/// with a deterministic outcome into `journal_dir` (svc/journal.hpp) and,
+/// with resume=true, skips jobs the journal already answers — their input
+/// lines are replaced by *blank* lines on the wire, so the daemon's "line
+/// N" parse-error numbering matches an uninterrupted run — then merges
+/// stored and fresh lines into `out`, byte-identical to an uninterrupted
+/// run. The daemon stays stateless: resume is entirely client-side. On a
+/// connection loss the journal keeps everything that arrived and the error
+/// is returned (rerun with resume=true to finish); `out` is only written
+/// on success. *resumed_out (optional) receives the adopted-record count.
+Status run_daemon_client_resumable(std::istream& in, std::ostream& out,
+                                   const ClientOptions& options,
+                                   const std::string& journal_dir, bool resume,
+                                   int* results_out = nullptr,
+                                   int* resumed_out = nullptr);
 
 /// Donates this process to a daemon as a remote worker — the networked
 /// `mfdft_jobd --worker`. Connects with reconnect-backoff, sends the

@@ -1,7 +1,9 @@
 #include "svc/dispatcher.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -74,6 +76,7 @@ void Dispatcher::run_one(int index, const JobSpec& spec,
   result.index = index;
   result.queue_wait_seconds = queue_wait_seconds;
   result.run_seconds = seconds_between(started, Clock::now());
+  if (options_.on_result) options_.on_result(result);
 }
 
 std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
@@ -93,6 +96,24 @@ std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
     for (int i = 0; i < n; ++i) {
       controls_.push_back(std::make_unique<RunControl>());
     }
+  }
+
+  // Drain watcher: a stopped batch control (SIGTERM handler, deadline)
+  // cascades into cancel_all(), so in-flight jobs unwind through their
+  // per-job controls and queued jobs come back kCancelled without running.
+  std::atomic<bool> watch_done{false};
+  std::thread watcher;
+  if (options_.control != nullptr) {
+    if (stop_requested(options_.control)) cancel_all();
+    watcher = std::thread([this, &watch_done] {
+      while (!watch_done.load(std::memory_order_acquire)) {
+        if (stop_requested(options_.control)) {
+          cancel_all();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
   }
 
   PriorityQueue<QueuedJob> queue(options_.queue_capacity, kJobClassCount,
@@ -138,6 +159,10 @@ std::vector<JobResult> Dispatcher::run(const std::vector<JobSpec>& specs) {
     queue.close();
     consume();
     pool.wait();
+  }
+  if (watcher.joinable()) {
+    watch_done.store(true, std::memory_order_release);
+    watcher.join();
   }
 
   metrics_ = ServiceMetrics{};

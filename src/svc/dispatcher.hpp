@@ -52,6 +52,15 @@ struct DispatcherOptions {
   /// evaluations (metrics gain the cache_* counters). Borrowed; must
   /// outlive the dispatcher. Null = per-job private caches.
   core::FitnessCache* cache = nullptr;
+  /// Called once per finished job with its final result (any outcome);
+  /// runs on whichever consumer thread finished the job, so it must be
+  /// thread-safe. The jobd driver journals completed results here.
+  std::function<void(const JobResult&)> on_result;
+  /// Batch-level drain control (borrowed, may be null): when it stops
+  /// mid-run, the dispatcher cascades cancel_all() — in-flight jobs are
+  /// cancelled via their per-job controls, queued ones come back
+  /// kCancelled without running.
+  const RunControl* control = nullptr;
 
   /// All violations in one Status, CodesignOptions::validate() style.
   [[nodiscard]] Status validate() const;

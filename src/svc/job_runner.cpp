@@ -30,7 +30,8 @@ void ServiceMetrics::tally(const JobResult& result) {
 }
 
 std::unique_ptr<JobRunner> make_job_runner(const JobdOptions& options,
-                                           core::FitnessCache* cache) {
+                                           core::FitnessCache* cache,
+                                           RunHooks hooks) {
   if (options.workers > 0) {
     SupervisorOptions supervisor_options;
     supervisor_options.workers = options.workers;
@@ -51,6 +52,8 @@ std::unique_ptr<JobRunner> make_job_runner(const JobdOptions& options,
     supervisor_options.backoff_seed = options.backoff_seed;
     supervisor_options.fault_inject = options.fault_inject;
     supervisor_options.tracer = options.tracer;
+    supervisor_options.on_result = std::move(hooks.on_result);
+    supervisor_options.control = hooks.control;
     return std::make_unique<Supervisor>(std::move(supervisor_options));
   }
   DispatcherOptions dispatcher_options;
@@ -59,6 +62,8 @@ std::unique_ptr<JobRunner> make_job_runner(const JobdOptions& options,
   dispatcher_options.default_deadline_s = options.deadline_s;
   dispatcher_options.tracer = options.tracer;
   dispatcher_options.cache = cache;
+  dispatcher_options.on_result = std::move(hooks.on_result);
+  dispatcher_options.control = hooks.control;
   return std::make_unique<Dispatcher>(std::move(dispatcher_options));
 }
 

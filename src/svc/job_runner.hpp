@@ -11,11 +11,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/eval_stats.hpp"
 #include "svc/job.hpp"
+
+namespace mfd {
+class RunControl;
+}  // namespace mfd
 
 namespace mfd::core {
 class FitnessCache;
@@ -77,12 +82,28 @@ class JobRunner {
   [[nodiscard]] virtual const ServiceMetrics& metrics() const = 0;
 };
 
+/// Durable-execution hooks threaded into whichever backend runs the batch.
+struct RunHooks {
+  /// Called once per finished job, right after its result is final (any
+  /// outcome, including drained/cancelled ones). May run on a dispatcher
+  /// worker thread — the callback must be thread-safe. run_jobd uses it to
+  /// journal completed results before the batch moves on.
+  std::function<void(const JobResult&)> on_result;
+  /// Batch-level drain control (borrowed, may be null): once it stops,
+  /// the backend starts no further jobs — unstarted jobs come back
+  /// kCancelled, in-flight ones are cancelled (Dispatcher) or allowed to
+  /// finish (Supervisor, where the job lives in another process).
+  const RunControl* control = nullptr;
+};
+
 /// Picks the backend for one jobd batch: a Supervisor over worker
 /// subprocesses when options.workers > 0 (with the cache directory flags
 /// appended to the worker command so workers share the persistent tier),
 /// an in-process Dispatcher wired to `cache` otherwise. `cache` is
-/// borrowed, may be null, and must outlive the runner.
+/// borrowed, may be null, and must outlive the runner; `hooks` (see
+/// RunHooks) are forwarded to the backend.
 [[nodiscard]] std::unique_ptr<JobRunner> make_job_runner(
-    const JobdOptions& options, core::FitnessCache* cache = nullptr);
+    const JobdOptions& options, core::FitnessCache* cache = nullptr,
+    RunHooks hooks = {});
 
 }  // namespace mfd::svc

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "core/fitness_cache.hpp"
 #include "svc/job.hpp"
 #include "svc/job_runner.hpp"
+#include "svc/journal.hpp"
 #include "svc/run_job.hpp"
 
 namespace mfd::svc {
@@ -44,10 +46,13 @@ JobResult parse_error_result(int index, int line_number,
 JobdReport run_jobd(std::istream& in, std::ostream& out,
                     const JobdOptions& options) {
   // Phase 1: parse every line up front. Malformed lines keep their slot in
-  // the output (stage "parse") instead of shifting later results.
+  // the output (stage "parse") instead of shifting later results. The raw
+  // line bytes are kept per slot: they key the journal (a resumed run must
+  // prove each record answers *this* batch's line i, parse errors included).
   std::vector<JobResult> results;
-  std::vector<JobSpec> runnable;
-  std::vector<int> runnable_index;
+  std::vector<JobSpec> specs;  // per slot; default-constructed on parse error
+  std::vector<std::string> raw_lines;
+  std::vector<bool> is_parse_error;
   std::string line;
   int line_number = 0;
   int parse_errors = 0;
@@ -55,19 +60,103 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
     ++line_number;
     if (blank(line)) continue;
     const int index = static_cast<int>(results.size());
+    raw_lines.push_back(line);
     try {
       JobSpec spec = JobSpec::from_json(Json::parse(line));
-      runnable.push_back(std::move(spec));
-      runnable_index.push_back(index);
       results.emplace_back();
+      is_parse_error.push_back(false);
+      specs.push_back(std::move(spec));
     } catch (const std::exception& e) {
       results.push_back(parse_error_result(index, line_number, e.what()));
+      is_parse_error.push_back(true);
+      specs.emplace_back();
       ++parse_errors;
     }
   }
 
-  // Phase 2: run the well-formed jobs as one batch on whichever JobRunner
-  // backend the options select (crash-isolated worker subprocesses, or the
+  JobdReport report;
+  report.jobs_total = static_cast<int>(results.size());
+  report.parse_errors = parse_errors;
+
+  // Durable-execution setup: the journal (when configured) adopts an
+  // earlier interrupted run's completed results; the fault plan drives the
+  // driver-level chaos points (daemon_crash / journal_torn_tail).
+  ResultJournal journal;
+  if (!options.journal_dir.empty()) {
+    report.journal_status =
+        journal.open(options.journal_dir, raw_lines, options.resume);
+    if (!report.journal_status.ok()) {
+      // Durability was requested and cannot be provided; running anyway
+      // would silently downgrade the contract. Nothing is emitted.
+      return report;
+    }
+  }
+  const FaultInjectPlan faults = options.fault_inject.empty()
+                                     ? FaultInjectPlan::from_env()
+                                     : FaultInjectPlan::parse(options.fault_inject);
+
+  // Adopted results: the journal's stored line bytes are emitted verbatim
+  // (that is the byte-identity guarantee); the parsed form fills the slot
+  // for report accounting. A record that cannot be parsed back is dropped
+  // and its job recomputed — defense in depth, the checksum already vouches
+  // for the bytes.
+  std::vector<std::string> stored_lines(results.size());
+  std::vector<bool> adopted(results.size(), false);
+  for (const auto& [index, payload] : journal.completed()) {
+    try {
+      JobResult result = JobResult::from_json(Json::parse(payload));
+      results[static_cast<std::size_t>(index)] = std::move(result);
+      stored_lines[static_cast<std::size_t>(index)] = payload;
+      adopted[static_cast<std::size_t>(index)] = true;
+    } catch (const std::exception&) {
+      // Recompute this job.
+    }
+  }
+  for (const bool flag : adopted) {
+    if (flag) ++report.jobs_resumed;
+  }
+
+  // Everything below funnels completed results through one hook: journal
+  // the deterministic ones (fsync'd before the batch moves on), then fire
+  // the injected driver crash. `result.index` must already be the original
+  // batch index. May run on dispatcher worker threads.
+  std::mutex journal_failure_mutex;
+  const auto record = [&](const JobResult& result) {
+    if (journal.active() && journal_eligible(result.status.outcome)) {
+      const std::string result_line = result.to_json().dump();
+      if (faults.fires(FaultPoint::kJournalTornTail, result.index, 0)) {
+        (void)journal.append_torn(result.index, result_line);
+        std::_Exit(kFaultExitCode);
+      }
+      const Status appended = journal.append(result.index, result_line);
+      if (!appended.ok()) {
+        const std::lock_guard<std::mutex> lock(journal_failure_mutex);
+        if (report.journal_status.ok()) report.journal_status = appended;
+      }
+    }
+    if (faults.fires(FaultPoint::kDaemonCrash, result.index, 0)) {
+      std::_Exit(kFaultExitCode);
+    }
+  };
+
+  // Parse errors are final (and deterministic: a resumed run re-reads the
+  // same input, so the "line N" messages match); journal them before the
+  // batch runs.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (is_parse_error[i] && !adopted[i]) record(results[i]);
+  }
+
+  // The runnable subset: well-formed jobs not adopted from the journal.
+  std::vector<JobSpec> runnable;
+  std::vector<int> runnable_index;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (is_parse_error[i] || adopted[i]) continue;
+    runnable.push_back(std::move(specs[i]));
+    runnable_index.push_back(static_cast<int>(i));
+  }
+
+  // Phase 2: run the subset as one batch on whichever JobRunner backend
+  // the options select (crash-isolated worker subprocesses, or the
   // in-process dispatcher). Both return results in input order with
   // identical deterministic bytes for crash-free runs. The in-process
   // backend gets one shared fitness cache for the whole batch; worker
@@ -81,8 +170,17 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
         static_cast<std::size_t>(options.cache_mb) << 20;
     cache = std::make_unique<core::FitnessCache>(std::move(cache_options));
   }
+  RunHooks hooks;
+  hooks.control = options.control;
+  hooks.on_result = [&](const JobResult& subset_result) {
+    // Backends index results by subset position; the journal (and the
+    // serialized `index` field) speak original batch indexes.
+    JobResult patched = subset_result;
+    patched.index = runnable_index[static_cast<std::size_t>(patched.index)];
+    record(patched);
+  };
   const std::unique_ptr<JobRunner> runner =
-      make_job_runner(options, cache.get());
+      make_job_runner(options, cache.get(), std::move(hooks));
   std::vector<JobResult> ran = runner->run(runnable);
   const ServiceMetrics metrics = runner->metrics();
   Status cache_persist = Status::Ok();
@@ -98,21 +196,41 @@ JobdReport run_jobd(std::istream& in, std::ostream& out,
   }
 
   // Phase 3: emit. Each line is built whole before it touches the stream,
-  // so there is never a partially written JSONL record.
-  for (const JobResult& result : results) {
-    out << result.to_json().dump() + "\n";
+  // so there is never a partially written JSONL record. Adopted slots emit
+  // the journal's stored bytes verbatim; everything else is freshly
+  // serialized — the same bytes an uninterrupted run would produce, since
+  // run_job is a pure function of the spec.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (adopted[i]) {
+      out << stored_lines[i] + "\n";
+    } else {
+      out << results[i].to_json().dump() + "\n";
+    }
   }
   out.flush();
 
-  JobdReport report;
-  report.jobs_total = static_cast<int>(results.size());
-  report.parse_errors = parse_errors;
+  // Outcome buckets over the *whole* batch — adopted, parse-error and
+  // freshly run slots alike (metrics only saw the executed subset).
   report.metrics = metrics;
-  report.jobs_ok = report.metrics.jobs_ok;
-  report.jobs_stopped = report.metrics.jobs_stopped;
-  report.jobs_failed = report.metrics.jobs_failed + parse_errors;
+  for (const JobResult& result : results) {
+    switch (result.status.outcome) {
+      case Outcome::kOk:
+        ++report.jobs_ok;
+        break;
+      case Outcome::kDeadlineExceeded:
+      case Outcome::kCancelled:
+        ++report.jobs_stopped;
+        break;
+      default:
+        ++report.jobs_failed;
+        break;
+    }
+  }
   report.cache_persist = cache_persist;
+  report.journal_appended = journal.stats().records_appended;
   report.job_run_seconds = std::move(job_run_seconds);
+  report.interrupted =
+      options.control != nullptr && options.control->check() != StopReason::kNone;
   return report;
 }
 

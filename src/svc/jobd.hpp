@@ -68,6 +68,22 @@ struct JobdOptions {
   std::string cache_dir;
   /// In-memory cache budget in MiB (0 = unbounded).
   int cache_mb = 256;
+
+  /// Durable execution (see svc/journal.hpp): directory of the crash-safe
+  /// result journal ("" = no journal). Every completed job with a
+  /// deterministic outcome is appended and fsync'd before the batch moves
+  /// on, so a crashed driver loses at most the in-flight jobs.
+  std::string journal_dir;
+  /// With a journal_dir: adopt valid records from an earlier interrupted
+  /// run (verified against this batch's spec-line hashes) and re-run only
+  /// the incomplete jobs. The emitted results.jsonl is byte-identical to
+  /// an uninterrupted run. false = discard any existing journal.
+  bool resume = false;
+  /// Batch-level drain control (borrowed, may be null). When it stops
+  /// mid-batch — a SIGTERM/SIGINT handler typically — admission stops,
+  /// unstarted jobs come back kCancelled, and the report is marked
+  /// interrupted; journaled results stay durable for a --resume rerun.
+  const RunControl* control = nullptr;
 };
 
 /// Batch summary (forwarded dispatcher metrics plus parse accounting).
@@ -84,6 +100,18 @@ struct JobdReport {
   /// Outcome of writing the persistent cache segment at the end of the
   /// batch (kOk when no cache_dir was configured or nothing was new).
   Status cache_persist = Status::Ok();
+  /// Journal health: failed when the journal directory could not be opened
+  /// (the batch does not run — durability was requested and cannot be
+  /// provided) or when a record write failed mid-batch.
+  Status journal_status = Status::Ok();
+  /// Jobs adopted from the journal instead of re-run (resume mode). Their
+  /// job_run_seconds entries are 0 — results are wall-clock free.
+  int jobs_resumed = 0;
+  /// Records appended to the journal by this run.
+  int journal_appended = 0;
+  /// True when the batch control stopped the run before every job executed
+  /// (tools exit with a typed partial status instead of 0/3).
+  bool interrupted = false;
   /// Per-job wall time in input order (campaign/bench reporting only —
   /// never serialized into results). In-process dispatch measures every
   /// job; worker-mode entries are 0 (the measurement dies with the worker

@@ -1,0 +1,334 @@
+#include "svc/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mfd::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "MFDJ1";
+
+std::string to_hex16(std::uint64_t word) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[word & 0xf];
+    word >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex16(const std::string& text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_decimal(const std::string& text, std::int64_t limit,
+                   std::int64_t* out) {
+  if (text.empty()) return false;
+  std::int64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > limit) return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::uint64_t record_checksum(int index, const Hash128& spec_hash,
+                              const std::string& payload) {
+  ContentHasher hasher;
+  hasher.mix_int(index);
+  hasher.mix(spec_hash.hi);
+  hasher.mix(spec_hash.lo);
+  hasher.mix_bytes(payload);
+  return hasher.digest().lo;
+}
+
+struct ParsedRecord {
+  int index = 0;
+  Hash128 spec_hash;
+  std::string payload;
+};
+
+/// Parses one record at `pos`; on success fills `out`, sets `next` to the
+/// byte after the trailing newline, and returns true. Any framing or
+/// checksum violation returns false — the caller treats everything from
+/// `pos` on as the torn tail.
+bool parse_record(const std::string& data, std::size_t pos, ParsedRecord* out,
+                  std::size_t* next) {
+  // Header fields are space-separated; the payload is framed by the
+  // declared length, never by newline search.
+  const auto take_field = [&data](std::size_t* cursor,
+                                  std::string* field) -> bool {
+    const std::size_t space = data.find(' ', *cursor);
+    if (space == std::string::npos) return false;
+    *field = data.substr(*cursor, space - *cursor);
+    *cursor = space + 1;
+    return true;
+  };
+  std::size_t cursor = pos;
+  std::string magic;
+  std::string index_text;
+  std::string hi_text;
+  std::string lo_text;
+  std::string len_text;
+  std::string cksum_text;
+  if (!take_field(&cursor, &magic) || magic != kMagic) return false;
+  if (!take_field(&cursor, &index_text) || !take_field(&cursor, &hi_text) ||
+      !take_field(&cursor, &lo_text) || !take_field(&cursor, &len_text) ||
+      !take_field(&cursor, &cksum_text)) {
+    return false;
+  }
+  std::int64_t index = 0;
+  std::int64_t length = 0;
+  ParsedRecord record;
+  std::uint64_t cksum = 0;
+  if (!parse_decimal(index_text, 1000000000, &index) ||
+      !parse_decimal(len_text, 1000000000, &length) ||
+      !parse_hex16(hi_text, &record.spec_hash.hi) ||
+      !parse_hex16(lo_text, &record.spec_hash.lo) ||
+      !parse_hex16(cksum_text, &cksum)) {
+    return false;
+  }
+  const std::size_t payload_end = cursor + static_cast<std::size_t>(length);
+  if (payload_end >= data.size() || data[payload_end] != '\n') return false;
+  record.index = static_cast<int>(index);
+  record.payload = data.substr(cursor, static_cast<std::size_t>(length));
+  if (record_checksum(record.index, record.spec_hash, record.payload) !=
+      cksum) {
+    return false;
+  }
+  *out = std::move(record);
+  *next = payload_end + 1;
+  return true;
+}
+
+/// Full-record write with EINTR/short-write retry.
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool journal_eligible(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+    case Outcome::kInvalidOptions:
+    case Outcome::kInfeasible:
+    case Outcome::kInternalError:
+      return true;
+    default:
+      // Deadline, cancel and unavailable depend on wall clock or transient
+      // infrastructure; adopting them on resume would make the resumed
+      // output differ from an uninterrupted run.
+      return false;
+  }
+}
+
+ResultJournal::~ResultJournal() { close(); }
+
+Hash128 ResultJournal::hash_line(const std::string& line) {
+  ContentHasher hasher;
+  hasher.mix_bytes(line);
+  return hasher.digest();
+}
+
+std::string ResultJournal::encode_record(int index, const Hash128& spec_hash,
+                                         const std::string& payload) {
+  std::string out = kMagic;
+  out += ' ';
+  out += std::to_string(index);
+  out += ' ';
+  out += to_hex16(spec_hash.hi);
+  out += ' ';
+  out += to_hex16(spec_hash.lo);
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += to_hex16(record_checksum(index, spec_hash, payload));
+  out += ' ';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+Status ResultJournal::open(const std::string& dir,
+                           const std::vector<std::string>& job_lines,
+                           bool resume) {
+  close();
+  completed_.clear();
+  stats_ = JournalStats{};
+  line_hashes_.clear();
+  line_hashes_.reserve(job_lines.size());
+  for (const std::string& line : job_lines) {
+    line_hashes_.push_back(hash_line(line));
+  }
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Fail(Outcome::kUnavailable, "journal",
+                        "cannot create journal directory '" + dir +
+                            "': " + ec.message());
+  }
+  const std::string path = (fs::path(dir) / kFileName).string();
+
+  // Load whatever an earlier run left behind. Append-only writing means a
+  // crash tears at most the tail, so parsing stops at the first bad record
+  // and everything before it is trustworthy.
+  std::string data;
+  {
+    std::ifstream file(path, std::ios::binary);
+    if (file) {
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      data = buffer.str();
+    }
+  }
+  std::vector<ParsedRecord> records;
+  std::size_t parse_end = 0;
+  while (parse_end < data.size()) {
+    ParsedRecord record;
+    std::size_t next = 0;
+    if (!parse_record(data, parse_end, &record, &next)) break;
+    records.push_back(std::move(record));
+    parse_end = next;
+  }
+  stats_.torn_bytes = static_cast<std::int64_t>(data.size() - parse_end);
+
+  std::size_t keep_bytes = parse_end;
+  if (!resume) {
+    // A fresh run owns the directory: discard any previous batch's journal.
+    stats_.records_stale = static_cast<int>(records.size());
+    keep_bytes = 0;
+  } else {
+    // Adopt the records only if *all* of them belong to this batch; a
+    // single mismatched (index, spec hash) means the journal answers a
+    // different job file and resuming from it would splice foreign results.
+    bool stale = false;
+    for (const ParsedRecord& record : records) {
+      if (record.index < 0 ||
+          record.index >= static_cast<int>(line_hashes_.size()) ||
+          !(record.spec_hash ==
+            line_hashes_[static_cast<std::size_t>(record.index)])) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      stats_.records_stale = static_cast<int>(records.size());
+      keep_bytes = 0;
+    } else {
+      for (ParsedRecord& record : records) {
+        completed_[record.index] = std::move(record.payload);
+      }
+      stats_.records_loaded = static_cast<int>(completed_.size());
+    }
+  }
+
+  if (keep_bytes < data.size()) {
+    if (::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0 &&
+        errno != ENOENT) {
+      return Status::Fail(Outcome::kUnavailable, "journal",
+                          "cannot truncate '" + path +
+                              "': " + std::strerror(errno));
+    }
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::Fail(Outcome::kUnavailable, "journal",
+                        "cannot open '" + path +
+                            "' for append: " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status ResultJournal::append(int index, const std::string& result_line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Ok();
+  if (index < 0 || index >= static_cast<int>(line_hashes_.size())) {
+    return Status::Fail(Outcome::kInternalError, "journal",
+                        "append index " + std::to_string(index) +
+                            " outside the batch");
+  }
+  const std::string record = encode_record(
+      index, line_hashes_[static_cast<std::size_t>(index)], result_line);
+  if (!write_all(fd_, record)) {
+    return Status::Fail(Outcome::kUnavailable, "journal",
+                        std::string("journal write failed: ") +
+                            std::strerror(errno));
+  }
+  // One fsync per record: jobs are seconds of compute, the sync is
+  // microseconds — durability is the whole point of the journal.
+  if (::fsync(fd_) != 0) {
+    return Status::Fail(Outcome::kUnavailable, "journal",
+                        std::string("journal fsync failed: ") +
+                            std::strerror(errno));
+  }
+  ++stats_.records_appended;
+  return Status::Ok();
+}
+
+Status ResultJournal::append_torn(int index, const std::string& result_line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Ok();
+  if (index < 0 || index >= static_cast<int>(line_hashes_.size())) {
+    return Status::Fail(Outcome::kInternalError, "journal",
+                        "append index " + std::to_string(index) +
+                            " outside the batch");
+  }
+  const std::string record = encode_record(
+      index, line_hashes_[static_cast<std::size_t>(index)], result_line);
+  if (!write_all(fd_, record.substr(0, record.size() / 2))) {
+    return Status::Fail(Outcome::kUnavailable, "journal",
+                        std::string("journal write failed: ") +
+                            std::strerror(errno));
+  }
+  (void)::fsync(fd_);
+  return Status::Ok();
+}
+
+void ResultJournal::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mfd::svc

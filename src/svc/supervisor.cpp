@@ -146,6 +146,27 @@ std::vector<JobResult> Supervisor::run(const std::vector<JobSpec>& specs) {
     result.run_seconds = run_seconds;
     results[static_cast<std::size_t>(job)] = std::move(result);
     ++completed;
+    if (options_.on_result) {
+      options_.on_result(results[static_cast<std::size_t>(job)]);
+    }
+  };
+
+  /// Batch drain (SIGTERM handler, batch deadline): completes every pending
+  /// job as kCancelled without assigning it. Jobs already on a worker run
+  /// to completion — they live in another process, and their results are
+  /// still worth having (and journaling).
+  const auto drain_pending = [&] {
+    const Clock::time_point now = Clock::now();
+    for (const Pending& item : pending) {
+      JobResult result;
+      result.id = jobs[static_cast<std::size_t>(item.job)].id;
+      result.kind = jobs[static_cast<std::size_t>(item.job)].kind;
+      result.status = Status::Fail(Outcome::kCancelled, "drain",
+                                   "batch interrupted before this job started");
+      complete(item.job, std::move(result),
+               seconds_between(item.enqueued, now), 0.0);
+    }
+    pending.clear();
   };
 
   const auto run_in_process = [&](const Pending& item) {
@@ -225,13 +246,32 @@ std::vector<JobResult> Supervisor::run(const std::vector<JobSpec>& specs) {
   };
 
   while (completed < n) {
+    // Graceful drain beats assignment: once the batch control stops, no
+    // pending job is started (they complete kCancelled), and the loop only
+    // keeps waiting for jobs already on workers.
+    if (stop_requested(options_.control)) drain_pending();
+
     // Graceful degradation: with no live worker (none ever spawned, or all
     // died without a successful respawn) the remaining jobs run in-process
     // on this thread; backoff no longer applies.
     if (pool.alive_count() == 0) {
       std::sort(pending.begin(), pending.end(),
                 [](const Pending& a, const Pending& b) { return a.job < b.job; });
-      for (const Pending& item : pending) run_in_process(item);
+      for (const Pending& item : pending) {
+        if (stop_requested(options_.control)) {
+          // The drain arrived mid-degradation: the rest complete cancelled.
+          JobResult result;
+          result.id = jobs[static_cast<std::size_t>(item.job)].id;
+          result.kind = jobs[static_cast<std::size_t>(item.job)].kind;
+          result.status =
+              Status::Fail(Outcome::kCancelled, "drain",
+                           "batch interrupted before this job started");
+          complete(item.job, std::move(result),
+                   seconds_between(item.enqueued, Clock::now()), 0.0);
+          continue;
+        }
+        run_in_process(item);
+      }
       pending.clear();
       continue;
     }

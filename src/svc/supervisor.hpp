@@ -29,9 +29,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "common/status.hpp"
 #include "common/trace.hpp"
 #include "svc/job.hpp"
@@ -70,6 +72,15 @@ struct SupervisorOptions {
   std::string fault_inject;
   /// Optional tracer for service-level counters. Borrowed.
   Tracer* tracer = nullptr;
+  /// Called once per finished job with its final result (any outcome) —
+  /// on the supervisor thread. The jobd driver journals completed results
+  /// here.
+  std::function<void(const JobResult&)> on_result;
+  /// Batch-level drain control (borrowed, may be null): once it stops,
+  /// pending jobs complete as kCancelled (stage "drain") without being
+  /// assigned; jobs already on a worker run to completion — they live in
+  /// another process and their results are still worth journaling.
+  const RunControl* control = nullptr;
 
   /// All violations in one Status, CodesignOptions::validate() style.
   [[nodiscard]] Status validate() const;

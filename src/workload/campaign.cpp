@@ -224,13 +224,21 @@ Status expand_campaign(const CampaignSpec& spec,
 CampaignReport summarize_campaign(const CampaignSpec& spec,
                                   const std::vector<CampaignJob>& jobs,
                                   const std::vector<svc::JobResult>& results,
-                                  double wall_seconds) {
+                                  double wall_seconds,
+                                  const svc::JobdReport* jobd) {
   MFD_REQUIRE(jobs.size() == results.size(),
               "summarize_campaign(): jobs/results size mismatch");
   CampaignReport report;
   report.campaign = spec.name;
   report.jobs = static_cast<int>(jobs.size());
   report.wall_seconds = wall_seconds;
+  if (jobd != nullptr) {
+    report.jobs_retried = jobd->metrics.jobs_retried;
+    report.jobs_quarantined = jobd->metrics.jobs_quarantined;
+    report.workers_lost = jobd->metrics.workers_lost;
+    report.jobs_resumed = jobd->jobs_resumed;
+    report.interrupted = jobd->interrupted;
+  }
   std::vector<std::string> chips_seen;
   for (std::size_t k = 0; k < jobs.size(); ++k) {
     const CampaignJob& job = jobs[k];
@@ -250,6 +258,10 @@ CampaignReport summarize_campaign(const CampaignSpec& spec,
       ++report.jobs_ok;
     } else {
       ++report.jobs_failed;
+      if (result.status.outcome == Outcome::kDeadlineExceeded ||
+          result.status.outcome == Outcome::kCancelled) {
+        ++report.jobs_stopped;
+      }
     }
     report.vectors_total += result.vectors;
     report.faults_total += result.total_faults;
@@ -286,6 +298,12 @@ Json CampaignReport::to_json() const {
   out.set("jobs", Json(std::int64_t{jobs}));
   out.set("jobs_ok", Json(std::int64_t{jobs_ok}));
   out.set("jobs_failed", Json(std::int64_t{jobs_failed}));
+  out.set("jobs_stopped", Json(std::int64_t{jobs_stopped}));
+  out.set("jobs_retried", Json(std::int64_t{jobs_retried}));
+  out.set("jobs_quarantined", Json(std::int64_t{jobs_quarantined}));
+  out.set("workers_lost", Json(std::int64_t{workers_lost}));
+  out.set("jobs_resumed", Json(std::int64_t{jobs_resumed}));
+  out.set("interrupted", Json(interrupted));
   out.set("chips", Json(std::int64_t{chips}));
   out.set("valves_min", Json(std::int64_t{valves_min}));
   out.set("valves_max", Json(std::int64_t{valves_max}));
@@ -336,6 +354,11 @@ Status run_campaign(const CampaignSpec& spec,
   std::ostringstream results_stream;
   out->jobd = svc::run_jobd(in, results_stream, options.jobd);
   out->results_jsonl = results_stream.str();
+  if (!out->jobd.journal_status.ok()) {
+    // Durability was requested and could not be provided — run_jobd emitted
+    // nothing (journal open failure) or lost a record write mid-batch.
+    return out->jobd.journal_status;
+  }
 
   // Parse the results back for the report. run_jobd() wrote them itself, so
   // a parse failure here is a codec bug, not bad user input.
@@ -365,7 +388,7 @@ Status run_campaign(const CampaignSpec& spec,
     out->results[k].run_seconds = out->jobd.job_run_seconds[k];
   }
   out->report = summarize_campaign(spec, out->jobs, out->results,
-                                   out->jobd.metrics.wall_seconds);
+                                   out->jobd.metrics.wall_seconds, &out->jobd);
   return Status::Ok();
 }
 

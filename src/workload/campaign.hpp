@@ -107,6 +107,20 @@ struct CampaignReport {
   int jobs = 0;
   int jobs_ok = 0;
   int jobs_failed = 0;
+  /// Jobs stopped by a deadline or a drain (kDeadlineExceeded/kCancelled);
+  /// counted inside jobs_failed for backward compatibility of the ok/failed
+  /// split, broken out here for recovery accounting.
+  int jobs_stopped = 0;
+  /// Crash-recovery counters, plumbed from the executing backend's
+  /// ServiceMetrics (svc/job_runner.hpp); all 0 for in-process dispatch.
+  int jobs_retried = 0;
+  int jobs_quarantined = 0;
+  int workers_lost = 0;
+  /// Jobs adopted from a result journal instead of re-run (resume mode).
+  int jobs_resumed = 0;
+  /// True when the batch was drained by a stop signal before completing —
+  /// the journal (if any) makes the campaign resumable.
+  bool interrupted = false;
   int chips = 0;
   int valves_min = 0;
   int valves_max = 0;
@@ -121,9 +135,13 @@ struct CampaignReport {
 
 /// Builds the report from expanded jobs and their results (matched by batch
 /// position). `wall_seconds` is the caller-measured campaign wall time.
+/// `jobd` (optional) contributes the recovery counters — retries,
+/// quarantines, worker losses, resumed jobs, interruption — that only the
+/// executing driver knows.
 [[nodiscard]] CampaignReport summarize_campaign(
     const CampaignSpec& spec, const std::vector<CampaignJob>& jobs,
-    const std::vector<svc::JobResult>& results, double wall_seconds);
+    const std::vector<svc::JobResult>& results, double wall_seconds,
+    const svc::JobdReport* jobd = nullptr);
 
 /// How run_campaign() executes the expanded batch (a JobdOptions subset
 /// plus report plumbing).

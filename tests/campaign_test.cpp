@@ -6,9 +6,14 @@
 // the thread count — the property BENCH_campaign.json runs stand on.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/run_control.hpp"
 #include "workload/campaign.hpp"
 
 namespace mfd::workload {
@@ -179,6 +184,91 @@ TEST(CampaignRunTest, ReportAggregatesTheBatch) {
   EXPECT_EQ(json.at("campaign").as_string(), "unit");
   EXPECT_EQ(json.at("jobs").as_int(), 5);
   EXPECT_EQ(json.at("rows").as_array().size(), 5u);
+
+  // The recovery counters are part of the schema even for a clean run.
+  EXPECT_EQ(json.at("jobs_retried").as_int(), 0);
+  EXPECT_EQ(json.at("jobs_quarantined").as_int(), 0);
+  EXPECT_EQ(json.at("workers_lost").as_int(), 0);
+  EXPECT_EQ(json.at("jobs_resumed").as_int(), 0);
+  EXPECT_EQ(json.at("jobs_stopped").as_int(), 0);
+  EXPECT_FALSE(json.at("interrupted").as_bool());
+}
+
+TEST(CampaignRunTest, JournaledCampaignResumesByteIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("mfdft_campaign_journal_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  const CampaignSpec spec = small_campaign();
+
+  // Uninterrupted oracle.
+  CampaignRunOptions plain;
+  plain.jobd.threads = 1;
+  CampaignOutcome oracle;
+  ASSERT_TRUE(run_campaign(spec, plain, &oracle).ok());
+
+  // Journaled first run: every deterministic result durable on disk.
+  CampaignRunOptions journaled = plain;
+  journaled.jobd.journal_dir = dir.string();
+  CampaignOutcome first;
+  ASSERT_TRUE(run_campaign(spec, journaled, &first).ok());
+  EXPECT_EQ(first.results_jsonl, oracle.results_jsonl);
+  EXPECT_EQ(first.jobd.journal_appended, 5);
+
+  // Resumed run over the complete journal: every job adopted, nothing
+  // re-executed, bytes identical.
+  CampaignRunOptions resumed = journaled;
+  resumed.jobd.resume = true;
+  CampaignOutcome second;
+  ASSERT_TRUE(run_campaign(spec, resumed, &second).ok());
+  EXPECT_EQ(second.results_jsonl, oracle.results_jsonl);
+  EXPECT_EQ(second.jobd.jobs_resumed, 5);
+  EXPECT_EQ(second.jobd.journal_appended, 0);
+  EXPECT_EQ(second.report.jobs_resumed, 5);
+
+  // Truncate the journal to its first 2 records — a run interrupted after
+  // two jobs — and resume: exactly the 3 missing jobs are recomputed.
+  {
+    std::ifstream in(dir / "results.journal", std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::size_t end = 0;
+    for (int records = 0; records < 2; ++records) {
+      end = bytes.find('\n', end) + 1;
+    }
+    std::ofstream out(dir / "results.journal",
+                      std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, end);
+  }
+  CampaignOutcome third;
+  ASSERT_TRUE(run_campaign(spec, resumed, &third).ok());
+  EXPECT_EQ(third.results_jsonl, oracle.results_jsonl);
+  EXPECT_EQ(third.jobd.jobs_resumed, 2);
+  EXPECT_EQ(third.jobd.journal_appended, 3);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(CampaignRunTest, StoppedControlDrainsTheCampaignAsInterrupted) {
+  const CampaignSpec spec = small_campaign();
+  RunControl control;
+  control.request_cancel();  // stopped before the batch starts
+
+  CampaignRunOptions options;
+  options.jobd.threads = 1;
+  options.jobd.control = &control;
+  CampaignOutcome outcome;
+  ASSERT_TRUE(run_campaign(spec, options, &outcome).ok());
+
+  // Every job answered (as cancelled), nothing hung, and the report is
+  // typed as interrupted with the stopped jobs broken out.
+  EXPECT_EQ(outcome.report.jobs, 5);
+  EXPECT_EQ(outcome.report.jobs_ok, 0);
+  EXPECT_EQ(outcome.report.jobs_stopped, 5);
+  EXPECT_TRUE(outcome.report.interrupted);
+  EXPECT_TRUE(outcome.jobd.interrupted);
 }
 
 }  // namespace

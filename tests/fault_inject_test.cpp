@@ -59,6 +59,26 @@ TEST(FaultInjectTest, CanonicalSpecRoundTrips) {
   EXPECT_EQ(FaultInjectPlan::parse(plan.spec()).rules(), plan.rules());
 }
 
+TEST(FaultInjectTest, ParsesTheDriverLevelChaosPoints) {
+  // The durable-execution points: driver crash, client connection drop,
+  // and the torn journal tail. Same grammar, same matching semantics.
+  const FaultInjectPlan plan = FaultInjectPlan::parse(
+      "daemon_crash@job=4,conn_drop@job=2:times=1,journal_torn_tail@job=6");
+  ASSERT_EQ(plan.rules().size(), 3u);
+  EXPECT_EQ(plan.rules()[0], (FaultRule{FaultPoint::kDaemonCrash, 4, 0}));
+  EXPECT_EQ(plan.rules()[1], (FaultRule{FaultPoint::kConnDrop, 2, 1}));
+  EXPECT_EQ(plan.rules()[2],
+            (FaultRule{FaultPoint::kJournalTornTail, 6, 0}));
+
+  EXPECT_TRUE(plan.fires(FaultPoint::kDaemonCrash, 4, 0));
+  EXPECT_FALSE(plan.fires(FaultPoint::kDaemonCrash, 5, 0));
+  EXPECT_TRUE(plan.fires(FaultPoint::kConnDrop, 2, 0));
+  EXPECT_FALSE(plan.fires(FaultPoint::kConnDrop, 2, 1));  // times=1
+  EXPECT_TRUE(plan.fires(FaultPoint::kJournalTornTail, 6, 0));
+
+  EXPECT_EQ(FaultInjectPlan::parse(plan.spec()).rules(), plan.rules());
+}
+
 TEST(FaultInjectTest, MalformedEntriesThrowNamingTheEntry) {
   for (const char* spec :
        {"worker_abort",               // no @job=
@@ -76,6 +96,9 @@ TEST(FaultInjectTest, ToStringNamesMatchTheGrammar) {
   EXPECT_STREQ(to_string(FaultPoint::kWorkerAbort), "worker_abort");
   EXPECT_STREQ(to_string(FaultPoint::kWorkerStall), "worker_stall");
   EXPECT_STREQ(to_string(FaultPoint::kTruncateOutput), "truncate_output");
+  EXPECT_STREQ(to_string(FaultPoint::kDaemonCrash), "daemon_crash");
+  EXPECT_STREQ(to_string(FaultPoint::kConnDrop), "conn_drop");
+  EXPECT_STREQ(to_string(FaultPoint::kJournalTornTail), "journal_torn_tail");
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Crash-safe result journal: record round-trips, torn-tail rejection at
+// every byte offset (satellite of the durable-execution PR), stale-batch
+// detection, and the outcome-eligibility gate that keeps resumed runs
+// byte-identical to uninterrupted ones.
+#include "svc/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/status.hpp"
+
+namespace mfd::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mfdft_journal_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] fs::path file() const {
+    return dir_ / ResultJournal::kFileName;
+  }
+
+  [[nodiscard]] std::string read_file() const {
+    std::ifstream in(file(), std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void write_file(const std::string& bytes) const {
+    fs::create_directories(dir_);
+    std::ofstream out(file(), std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  fs::path dir_;
+};
+
+const std::vector<std::string> kLines = {
+    R"({"id":"a","kind":"testgen"})",
+    R"({"id":"b","kind":"coverage"})",
+    R"({"id":"c","kind":"diagnosis"})",
+};
+
+std::string payload(int index) {
+  return R"({"index":)" + std::to_string(index) + R"(,"ok":true})";
+}
+
+TEST_F(JournalTest, AppendedRecordsAreAdoptedOnResume) {
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(dir_.string(), kLines, /*resume=*/false).ok());
+    EXPECT_TRUE(journal.active());
+    EXPECT_TRUE(journal.append(0, payload(0)).ok());
+    EXPECT_TRUE(journal.append(2, payload(2)).ok());
+    EXPECT_EQ(journal.stats().records_appended, 2);
+    journal.close();
+    EXPECT_FALSE(journal.active());
+  }
+
+  ResultJournal resumed;
+  ASSERT_TRUE(resumed.open(dir_.string(), kLines, /*resume=*/true).ok());
+  EXPECT_EQ(resumed.stats().records_loaded, 2);
+  EXPECT_EQ(resumed.stats().records_stale, 0);
+  EXPECT_EQ(resumed.stats().torn_bytes, 0);
+  ASSERT_EQ(resumed.completed().size(), 2u);
+  EXPECT_EQ(resumed.completed().at(0), payload(0));
+  EXPECT_EQ(resumed.completed().at(2), payload(2));
+  EXPECT_EQ(resumed.completed().count(1), 0u);
+}
+
+TEST_F(JournalTest, FreshOpenDiscardsEveryExistingRecord) {
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(dir_.string(), kLines, /*resume=*/false).ok());
+    ASSERT_TRUE(journal.append(1, payload(1)).ok());
+  }
+  ResultJournal fresh;
+  ASSERT_TRUE(fresh.open(dir_.string(), kLines, /*resume=*/false).ok());
+  EXPECT_TRUE(fresh.completed().empty());
+  EXPECT_EQ(fresh.stats().records_stale, 1);
+  // The discard is physical: the file was truncated, so a later resume
+  // cannot accidentally adopt the pre-discard records either.
+  EXPECT_EQ(read_file(), "");
+}
+
+TEST_F(JournalTest, TornTailAtEveryByteOffsetRejectsExactlyTheLastRecord) {
+  // Build a 3-record journal, then truncate the *last* record at every
+  // possible byte offset — from "newline missing" down to "nothing of the
+  // record on disk". Every truncation must load the first two records and
+  // reject the torn third, never crash, never adopt corrupt bytes; the
+  // job the torn record answered is exactly the one a resume recomputes.
+  std::string intact;
+  for (int i = 0; i < 2; ++i) {
+    intact += ResultJournal::encode_record(
+        i, ResultJournal::hash_line(kLines[static_cast<std::size_t>(i)]),
+        payload(i));
+  }
+  const std::string last = ResultJournal::encode_record(
+      2, ResultJournal::hash_line(kLines[2]), payload(2));
+
+  for (std::size_t keep = 0; keep < last.size(); ++keep) {
+    write_file(intact + last.substr(0, keep));
+
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(dir_.string(), kLines, /*resume=*/true).ok())
+        << "keep=" << keep;
+    EXPECT_EQ(journal.stats().records_loaded, 2) << "keep=" << keep;
+    EXPECT_EQ(journal.stats().torn_bytes, static_cast<std::int64_t>(keep))
+        << "keep=" << keep;
+    ASSERT_EQ(journal.completed().size(), 2u) << "keep=" << keep;
+    EXPECT_EQ(journal.completed().count(2), 0u) << "keep=" << keep;
+    journal.close();
+
+    // open() truncated the torn bytes away, so the file is back to the
+    // valid prefix — append-only integrity is restored for the rerun.
+    EXPECT_EQ(read_file(), intact) << "keep=" << keep;
+  }
+}
+
+TEST_F(JournalTest, CorruptChecksumRejectsTheTailRecord) {
+  const std::string first = ResultJournal::encode_record(
+      0, ResultJournal::hash_line(kLines[0]), payload(0));
+  std::string second = ResultJournal::encode_record(
+      1, ResultJournal::hash_line(kLines[1]), payload(1));
+  // Flip one payload byte; the declared length still matches, so only the
+  // checksum can catch it.
+  second[second.size() - 3] ^= 0x01;
+  write_file(first + second);
+
+  ResultJournal journal;
+  ASSERT_TRUE(journal.open(dir_.string(), kLines, /*resume=*/true).ok());
+  EXPECT_EQ(journal.stats().records_loaded, 1);
+  EXPECT_EQ(journal.completed().count(1), 0u);
+  EXPECT_EQ(read_file(), first);
+}
+
+TEST_F(JournalTest, RecordFromADifferentBatchDiscardsTheWholeJournal) {
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(dir_.string(), kLines, /*resume=*/false).ok());
+    ASSERT_TRUE(journal.append(0, payload(0)).ok());
+    ASSERT_TRUE(journal.append(1, payload(1)).ok());
+  }
+  // Same shape, different spec bytes on line 1: the journal answers some
+  // other batch. Adopting even the line-0 record would be a guess — the
+  // whole journal must go.
+  std::vector<std::string> other = kLines;
+  other[1] = R"({"id":"b","kind":"coverage","seed":99})";
+
+  ResultJournal journal;
+  ASSERT_TRUE(journal.open(dir_.string(), other, /*resume=*/true).ok());
+  EXPECT_TRUE(journal.completed().empty());
+  EXPECT_EQ(journal.stats().records_stale, 2);
+  EXPECT_EQ(read_file(), "");
+}
+
+TEST_F(JournalTest, RecordIndexBeyondTheBatchDiscardsTheWholeJournal) {
+  {
+    ResultJournal journal;
+    ASSERT_TRUE(journal.open(dir_.string(), kLines, /*resume=*/false).ok());
+    ASSERT_TRUE(journal.append(2, payload(2)).ok());
+  }
+  const std::vector<std::string> shorter(kLines.begin(), kLines.begin() + 2);
+  ResultJournal journal;
+  ASSERT_TRUE(journal.open(dir_.string(), shorter, /*resume=*/true).ok());
+  EXPECT_TRUE(journal.completed().empty());
+  EXPECT_EQ(journal.stats().records_stale, 1);
+}
+
+TEST_F(JournalTest, AppendTornLeavesAPrefixTheNextOpenRejects) {
+  ResultJournal journal;
+  ASSERT_TRUE(journal.open(dir_.string(), kLines, /*resume=*/false).ok());
+  ASSERT_TRUE(journal.append(0, payload(0)).ok());
+  ASSERT_TRUE(journal.append_torn(1, payload(1)).ok());
+  journal.close();
+
+  ResultJournal resumed;
+  ASSERT_TRUE(resumed.open(dir_.string(), kLines, /*resume=*/true).ok());
+  EXPECT_EQ(resumed.stats().records_loaded, 1);
+  EXPECT_GT(resumed.stats().torn_bytes, 0);
+  EXPECT_EQ(resumed.completed().count(1), 0u);
+}
+
+TEST_F(JournalTest, InactiveJournalAppendsAreNoOps) {
+  ResultJournal journal;
+  EXPECT_FALSE(journal.active());
+  EXPECT_TRUE(journal.append(0, payload(0)).ok());
+  EXPECT_EQ(journal.stats().records_appended, 0);
+}
+
+TEST_F(JournalTest, OpenFailsWhenTheDirectoryCannotBeCreated) {
+  // A regular file where the directory should be.
+  fs::create_directories(dir_);
+  std::ofstream(dir_ / "blocked").put('x');
+  ResultJournal journal;
+  const Status status =
+      journal.open((dir_ / "blocked").string(), kLines, /*resume=*/false);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.outcome, Outcome::kUnavailable);
+  EXPECT_FALSE(journal.active());
+}
+
+TEST(JournalEligibilityTest, OnlyDeterministicOutcomesAreJournaled) {
+  EXPECT_TRUE(journal_eligible(Outcome::kOk));
+  EXPECT_TRUE(journal_eligible(Outcome::kInvalidOptions));
+  EXPECT_TRUE(journal_eligible(Outcome::kInfeasible));
+  EXPECT_TRUE(journal_eligible(Outcome::kInternalError));
+  // Wall-clock / transient outcomes must be recomputed on resume, or the
+  // resumed results.jsonl would differ from an uninterrupted run's.
+  EXPECT_FALSE(journal_eligible(Outcome::kDeadlineExceeded));
+  EXPECT_FALSE(journal_eligible(Outcome::kCancelled));
+  EXPECT_FALSE(journal_eligible(Outcome::kUnavailable));
+}
+
+}  // namespace
+}  // namespace mfd::svc

@@ -26,9 +26,18 @@
 //   --cache-dir PATH   persistent fitness-cache directory
 //   --cache-mb N       in-memory cache budget in MiB (default 256)
 //   --no-shared-cache  per-job private caches
+//   --journal DIR      durable execution: fsync every completed job's
+//                      result into DIR/results.journal, so a crashed or
+//                      killed campaign loses at most its in-flight jobs
+//   --resume           with --journal: adopt completed jobs from the
+//                      journal (verified against this campaign's exact
+//                      job lines) and run only the rest; --out comes out
+//                      byte-identical to an uninterrupted campaign
 //
 // Exit status: 0 when every job ran OK, 3 when some failed (their Status
-// is in the results), 2 on usage or I/O errors.
+// is in the results), 2 on usage or I/O errors, 4 when the campaign was
+// interrupted (SIGINT/SIGTERM drain, or a lost daemon connection with
+// --journal) — rerun with --journal/--resume to finish.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -40,7 +49,9 @@
 
 #include <unistd.h>
 
+#include "common/fault_inject.hpp"
 #include "common/json.hpp"
+#include "common/run_control.hpp"
 #include "net/socket.hpp"
 #include "svc/daemon.hpp"
 #include "workload/campaign.hpp"
@@ -53,10 +64,17 @@ int usage(const char* argv0) {
       "usage: %s [--spec PATH | --preset smoke|scale] [--emit-jobs PATH]\n"
       "       [--out PATH] [--json PATH] [--threads N] [--workers N]\n"
       "       [--jobd-bin PATH] [--connect HOST:PORT] [--priority CLASS]\n"
-      "       [--cache-dir PATH] [--cache-mb N] [--no-shared-cache]\n",
+      "       [--cache-dir PATH] [--cache-mb N] [--no-shared-cache]\n"
+      "       [--journal DIR] [--resume]\n",
       argv0);
   return 2;
 }
+
+/// Drain control for the local execution path: request_cancel() is a
+/// single atomic store, safe to call from the signal handler.
+mfd::RunControl g_campaign_control;
+
+void request_drain(int) { g_campaign_control.request_cancel(); }
 
 /// Directory of this binary; workers default to the mfdft_jobd next to it.
 std::string sibling_jobd(const char* argv0) {
@@ -235,6 +253,12 @@ int main(int argc, char** argv) {
       options.jobd.cache_mb = std::atoi(v);
     } else if (arg == "--no-shared-cache") {
       options.jobd.shared_cache = false;
+    } else if (arg == "--journal") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      options.jobd.journal_dir = v;
+    } else if (arg == "--resume") {
+      options.jobd.resume = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -255,6 +279,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "%s: --threads/--workers/--cache-mb must be >= 0\n",
                  argv[0]);
+    return 2;
+  }
+  if (options.jobd.resume && options.jobd.journal_dir.empty()) {
+    std::fprintf(stderr, "%s: --resume requires --journal DIR\n", argv[0]);
     return 2;
   }
 
@@ -347,14 +375,28 @@ int main(int argc, char** argv) {
     client_options.host = endpoint.host;
     client_options.port = endpoint.port;
     client_options.priority = priority;
+    // Chaos plan for client-side network points (conn_drop); inert unless
+    // MFDFT_FAULT_INJECT names one.
+    const mfd::FaultInjectPlan faults = mfd::FaultInjectPlan::from_env();
+    client_options.faults = &faults;
     int result_count = 0;
-    const mfd::Status client_status = mfd::svc::run_daemon_client(
-        daemon_in, daemon_out, client_options, &result_count);
+    int resumed_count = 0;
+    const mfd::Status client_status =
+        options.jobd.journal_dir.empty()
+            ? mfd::svc::run_daemon_client(daemon_in, daemon_out,
+                                          client_options, &result_count)
+            : mfd::svc::run_daemon_client_resumable(
+                  daemon_in, daemon_out, client_options,
+                  options.jobd.journal_dir, options.jobd.resume,
+                  &result_count, &resumed_count);
     if (!client_status.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[0],
                    client_status.to_string().c_str());
-      return 2;
+      // With a journal, everything received so far is durable — the
+      // campaign is resumable, a typed partial rather than a hard error.
+      return options.jobd.journal_dir.empty() ? 2 : 4;
     }
+    outcome.jobd.jobs_resumed = resumed_count;
     outcome.results_jsonl = daemon_out.str();
     std::istringstream results_in(outcome.results_jsonl);
     std::string line;
@@ -375,15 +417,23 @@ int main(int argc, char** argv) {
       return 2;
     }
     outcome.report = mfd::workload::summarize_campaign(
-        spec, outcome.jobs, outcome.results, /*wall_seconds=*/0.0);
+        spec, outcome.jobs, outcome.results, /*wall_seconds=*/0.0,
+        &outcome.jobd);
   } else {
     if (options.jobd.workers > 0) {
       const std::string bin =
           jobd_bin.empty() ? sibling_jobd(argv[0]) : jobd_bin;
       options.jobd.worker_command = {bin, "--worker"};
     }
+    // Graceful drain: SIGINT/SIGTERM stop admission, unstarted jobs come
+    // back "cancelled", the journal (if any) stays consistent, exit 4.
+    options.jobd.control = &g_campaign_control;
+    std::signal(SIGINT, request_drain);
+    std::signal(SIGTERM, request_drain);
     const mfd::Status run_status =
         mfd::workload::run_campaign(spec, options, &outcome);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
     if (!run_status.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[0],
                    run_status.to_string().c_str());
@@ -416,14 +466,29 @@ int main(int argc, char** argv) {
   }
 
   const mfd::workload::CampaignReport& report = outcome.report;
+  std::string recovery_summary;
+  if (report.jobs_retried > 0 || report.jobs_quarantined > 0 ||
+      report.workers_lost > 0 || report.jobs_resumed > 0) {
+    recovery_summary = ", " + std::to_string(report.jobs_retried) +
+                       " retried, " + std::to_string(report.jobs_quarantined) +
+                       " quarantined, " + std::to_string(report.workers_lost) +
+                       " workers lost, " + std::to_string(report.jobs_resumed) +
+                       " resumed";
+  }
   std::fprintf(stderr,
                "mfdft_campaign: %s: %d chips (%d-%d valves), %d jobs "
-               "(%d ok, %d failed), %lld vectors, %lld/%lld faults detected, "
-               "%.2fs wall\n",
+               "(%d ok, %d failed%s), %lld vectors, %lld/%lld faults "
+               "detected, %.2fs wall\n",
                report.campaign.c_str(), report.chips, report.valves_min,
                report.valves_max, report.jobs, report.jobs_ok,
-               report.jobs_failed, report.vectors_total,
-               report.faults_detected, report.faults_total,
-               report.wall_seconds);
+               report.jobs_failed, recovery_summary.c_str(),
+               report.vectors_total, report.faults_detected,
+               report.faults_total, report.wall_seconds);
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "mfdft_campaign: interrupted; rerun with --journal/--resume "
+                 "to finish the remaining jobs\n");
+    return 4;
+  }
   return report.jobs_ok == report.jobs ? 0 : 3;
 }

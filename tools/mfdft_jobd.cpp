@@ -26,6 +26,13 @@
 //                      0 = unbounded)
 //   --no-shared-cache  give every job a private cache (disables cross-job
 //                      sharing; useful for timing comparisons)
+//   --journal DIR      durable execution: append every completed job's
+//                      result (fsync'd) to DIR/results.journal so a crashed
+//                      or killed run loses at most its in-flight jobs
+//   --resume           with --journal: adopt the journal's completed jobs
+//                      (verified against this batch's exact input lines)
+//                      and re-run only the rest; the results file comes out
+//                      byte-identical to an uninterrupted run
 //   --trace PATH       JSONL trace of per-job spans and service counters
 //   --worker           internal: run as a supervisor-driven worker process
 //                      (one request envelope per stdin line, one result
@@ -54,9 +61,11 @@
 //   --queue-capacity N   daemon admission bound (default 64)
 //
 // Exit status: 0 when every job ran OK, 3 when some jobs failed or were
-// stopped (their Status is in the results file), 2 on usage or I/O errors.
-// SIGPIPE is ignored: a closed downstream pipe surfaces as a clean write
-// error on stderr, not a mid-batch kill.
+// stopped (their Status is in the results file), 2 on usage or I/O errors,
+// 4 when a SIGINT/SIGTERM drained the batch early (results are complete
+// lines — unstarted jobs report "cancelled" — and, with --journal, the run
+// is resumable with --resume). SIGPIPE is ignored: a closed downstream pipe
+// surfaces as a clean write error on stderr, not a mid-batch kill.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +81,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault_inject.hpp"
+#include "common/run_control.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "core/fitness_cache.hpp"
@@ -86,7 +97,8 @@ int usage(const char* argv0) {
                "usage: %s [--in PATH] [--out PATH] [--threads N] "
                "[--workers N] [--stall-timeout-s S] [--max-attempts K] "
                "[--deadline-s S] [--cache-dir PATH] [--cache-mb N] "
-               "[--no-shared-cache] [--trace PATH] [--worker]\n"
+               "[--no-shared-cache] [--journal DIR] [--resume] "
+               "[--trace PATH] [--worker]\n"
                "       %s --listen HOST:PORT [--threads N] "
                "[--queue-capacity N] [--deadline-s S] [--cache-dir PATH]\n"
                "       %s --connect HOST:PORT [--in PATH] [--out PATH] "
@@ -99,6 +111,13 @@ int usage(const char* argv0) {
 volatile std::sig_atomic_t g_stop_requested = 0;
 
 void request_stop(int) { g_stop_requested = 1; }
+
+/// Batch-mode drain control: request_cancel() is a single atomic store, so
+/// the handler may call it directly. The running batch stops admitting
+/// jobs, completes unstarted ones as "cancelled", and exits 4.
+mfd::RunControl g_batch_control;
+
+void request_drain(int) { g_batch_control.request_cancel(); }
 
 /// Path of this binary (workers are spawned from the same executable);
 /// falls back to argv[0] when /proc is unavailable.
@@ -172,6 +191,12 @@ int main(int argc, char** argv) {
       options.cache_mb = std::atoi(v);
     } else if (arg == "--no-shared-cache") {
       options.shared_cache = false;
+    } else if (arg == "--journal") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      options.journal_dir = v;
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--trace") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -210,6 +235,10 @@ int main(int argc, char** argv) {
   if (!listen_spec.empty() && !connect_spec.empty()) {
     std::fprintf(stderr, "%s: --listen and --connect are mutually exclusive\n",
                  argv[0]);
+    return 2;
+  }
+  if (options.resume && options.journal_dir.empty()) {
+    std::fprintf(stderr, "%s: --resume requires --journal DIR\n", argv[0]);
     return 2;
   }
 
@@ -312,17 +341,30 @@ int main(int argc, char** argv) {
     client_options.host = endpoint.host;
     client_options.port = endpoint.port;
     client_options.priority = priority;
+    // Chaos plan for the client-side network points (conn_drop); inert
+    // unless MFDFT_FAULT_INJECT names one.
+    const mfd::FaultInjectPlan faults = mfd::FaultInjectPlan::from_env();
+    client_options.faults = &faults;
+    std::istream& client_in = in_path.empty() ? std::cin : client_in_file;
+    std::ostream& client_out =
+        out_path.empty() ? std::cout : client_out_file;
     int results = 0;
-    const mfd::Status status = mfd::svc::run_daemon_client(
-        in_path.empty() ? std::cin : client_in_file,
-        out_path.empty() ? std::cout : client_out_file, client_options,
-        &results);
+    int resumed = 0;
+    const mfd::Status status =
+        options.journal_dir.empty()
+            ? mfd::svc::run_daemon_client(client_in, client_out,
+                                          client_options, &results)
+            : mfd::svc::run_daemon_client_resumable(
+                  client_in, client_out, client_options, options.journal_dir,
+                  options.resume, &results, &resumed);
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[0], status.to_string().c_str());
-      return 2;
+      // With a journal, a lost connection left every received result
+      // durable: the run is resumable, which is exit 4, not a hard 2.
+      return options.journal_dir.empty() ? 2 : 4;
     }
-    std::fprintf(stderr, "mfdft_jobd: %d results from %s:%d\n", results,
-                 endpoint.host.c_str(), endpoint.port);
+    std::fprintf(stderr, "mfdft_jobd: %d results from %s:%d (%d resumed)\n",
+                 results, endpoint.host.c_str(), endpoint.port, resumed);
     return 0;
   }
 
@@ -393,7 +435,19 @@ int main(int argc, char** argv) {
 
   std::istream& in = in_path.empty() ? std::cin : in_file;
   std::ostream& out = out_path.empty() ? std::cout : out_file;
+  // Graceful drain: SIGINT/SIGTERM stop admission, complete unstarted jobs
+  // as "cancelled", keep the journal (if any) consistent, and exit 4.
+  options.control = &g_batch_control;
+  std::signal(SIGINT, request_drain);
+  std::signal(SIGTERM, request_drain);
   const mfd::svc::JobdReport report = mfd::svc::run_jobd(in, out, options);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (!report.journal_status.ok()) {
+    std::fprintf(stderr, "%s: journal: %s\n", argv[0],
+                 report.journal_status.to_string().c_str());
+    return 2;
+  }
   // run_jobd flushes; a bad stream here means results were lost downstream
   // (file error or a closed pipe) — fail loudly rather than exit 0 on a
   // truncated results file.
@@ -423,16 +477,29 @@ int main(int argc, char** argv) {
                    " warm from disk)"
              : "");
   }
+  std::string journal_summary;
+  if (!options.journal_dir.empty()) {
+    journal_summary = ", journal " +
+                      std::to_string(report.journal_appended) + " appended / " +
+                      std::to_string(report.jobs_resumed) + " resumed";
+  }
   std::fprintf(stderr,
                "mfdft_jobd: %d jobs (%d ok, %d stopped, %d failed%s) "
-               "in %.2fs wall, max queue wait %.3fs%s\n",
+               "in %.2fs wall, max queue wait %.3fs%s%s\n",
                report.jobs_total, report.jobs_ok, report.jobs_stopped,
                report.jobs_failed, worker_summary.c_str(),
                report.metrics.wall_seconds,
-               report.metrics.queue_wait_seconds_max, cache_summary.c_str());
+               report.metrics.queue_wait_seconds_max, cache_summary.c_str(),
+               journal_summary.c_str());
   if (!report.cache_persist.ok()) {
     std::fprintf(stderr, "mfdft_jobd: cache persist failed: %s\n",
                  report.cache_persist.to_string().c_str());
+  }
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "mfdft_jobd: batch interrupted; rerun with --journal/--resume "
+                 "to finish the remaining jobs\n");
+    return 4;
   }
   return report.jobs_ok == report.jobs_total ? 0 : 3;
 }
